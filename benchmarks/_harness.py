@@ -1,0 +1,139 @@
+"""Shared builders for the experiment-regeneration benchmarks.
+
+Every figure/table benchmark drives the same compressed experimental
+setup so results are comparable across files:
+
+- a 2-server / 3-client cluster (the paper's 4×5 testbed scaled down so
+  a full figure regenerates in minutes — Table 2's measurements use the
+  paper-shaped 4×4+5 cluster where layout matters);
+- Table 1 hyperparameters except a compressed ε-anneal horizon and a
+  64-unit hidden layer (the paper's 600-unit network matched its 1760-
+  float observations; our compressed observations are ~660 floats);
+- training sessions of ``TRAIN_TICKS`` as the "12-hour" proxy and twice
+  that as the "24-hour" proxy; all evaluation windows are
+  ``EVAL_TICKS`` long.
+
+EXPERIMENTS.md records the mapping from these compressed sessions to
+the paper's wall-clock sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import CAPES, CapesConfig, ClusterConfig, EnvConfig
+from repro.rl import Hyperparameters
+from repro.stats import compare_measurements
+from repro.util.units import KiB, MiB
+from repro.workloads import FileServer, RandomReadWrite, SequentialWrite
+
+#: Compressed session sizes (ticks = simulated seconds).
+TRAIN_TICKS = 1500  # "12-hour" training proxy
+TRAIN_TICKS_EXTRA = 700  # additional ticks for the "24-hour" proxy
+EVAL_TICKS = 150
+
+#: Objective scale: ThroughputObjective reports units of 100 MB/s.
+MBPS_PER_UNIT = 100.0
+
+#: Compressed-session hyperparameters.  Table 1's values are tuned for
+#: 43k-86k-tick sessions; a 1.5k-tick session needs a faster learning
+#: rate, shorter reward horizon and quicker target tracking to converge
+#: (EXPERIMENTS.md documents this mapping).
+BENCH_HP = Hyperparameters(
+    hidden_layer_size=64,
+    exploration_ticks=800,
+    sampling_ticks_per_observation=10,
+    adam_learning_rate=5e-4,
+    discount_rate=0.9,
+    target_network_update_rate=0.02,
+)
+
+#: SGD updates per action tick for compressed sessions.
+TRAIN_STEPS_PER_TICK = 4
+
+#: The paper's testbed is 4 servers × 5 clients.  The benchmarks keep
+#: the five clients — the per-server inflow (5 clients × window 8 = 40
+#: outstanding RPCs) is what pushes the default configuration into
+#: congestion collapse, the effect CAPES exploits — but halve the server
+#: count to halve simulation cost.  Per-server physics are identical.
+def bench_cluster(n_servers: int = 2, n_clients: int = 5) -> ClusterConfig:
+    return ClusterConfig(n_servers=n_servers, n_clients=n_clients)
+
+
+def random_rw_factory(read_parts: int, write_parts: int) -> Callable:
+    frac = read_parts / (read_parts + write_parts)
+    return lambda cluster, seed: RandomReadWrite(
+        cluster, read_fraction=frac, instances_per_client=5, seed=seed
+    )
+
+
+def fileserver_factory() -> Callable:
+    return lambda cluster, seed: FileServer(
+        cluster,
+        file_size=2 * MiB,
+        io_size=256 * KiB,
+        instances_per_client=8,
+        seed=seed,
+    )
+
+
+def seqwrite_factory() -> Callable:
+    return lambda cluster, seed: SequentialWrite(
+        cluster, record_size=MiB, instances_per_client=5, seed=seed
+    )
+
+
+def make_capes(
+    workload_factory: Callable,
+    seed: int = 42,
+    cluster: Optional[ClusterConfig] = None,
+    hp: Optional[Hyperparameters] = None,
+    perturb_seed: int = 0,
+) -> CAPES:
+    return CAPES(
+        CapesConfig(
+            env=EnvConfig(
+                cluster=cluster or bench_cluster(),
+                workload_factory=workload_factory,
+                hp=hp or BENCH_HP,
+                seed=seed,
+                perturb_seed=perturb_seed,
+            ),
+            seed=seed,
+            train_steps_per_tick=TRAIN_STEPS_PER_TICK,
+            loss="huber",
+        )
+    )
+
+
+def before_after(
+    capes: CAPES,
+    train_ticks: int,
+    eval_ticks: int = EVAL_TICKS,
+):
+    """The paper's evaluation workflow: train, baseline, tuned, compare."""
+    capes.train(train_ticks)
+    capes.env.set_params(capes.env.action_space.defaults())
+    baseline = capes.measure_baseline(eval_ticks)
+    tuned = capes.evaluate(eval_ticks)
+    cmp = compare_measurements(baseline, tuned.rewards)
+    return {
+        "baseline_mbps": cmp.baseline.mean * MBPS_PER_UNIT,
+        "baseline_ci": cmp.baseline.ci_halfwidth * MBPS_PER_UNIT,
+        "tuned_mbps": cmp.tuned.mean * MBPS_PER_UNIT,
+        "tuned_ci": cmp.tuned.ci_halfwidth * MBPS_PER_UNIT,
+        "percent": cmp.percent,
+        "significant": cmp.significant,
+        "final_params": tuned.final_params,
+    }
+
+
+def fmt_row(label: str, row: dict) -> str:
+    return (
+        f"{label:>14}: baseline {row['baseline_mbps']:6.1f}"
+        f"±{row['baseline_ci']:4.1f} MB/s -> tuned "
+        f"{row['tuned_mbps']:6.1f}±{row['tuned_ci']:4.1f} MB/s "
+        f"({row['percent']:+5.1f}%{'*' if row['significant'] else ' '})"
+    )

@@ -1,0 +1,62 @@
+"""Figure 3 regeneration: Filebench fileserver and sequential write.
+
+Paper findings to reproduce in shape:
+- the fileserver workload (mixed data + metadata) is the *hardest*: 12
+  hours of training was not enough; 24 hours converged to a +17 % gain;
+- the 5-stream sequential write workload shows a positive but more
+  modest improvement (transfer time dominates, so scheduling buys
+  less).
+"""
+
+import pytest
+
+from benchmarks._harness import (
+    EVAL_TICKS,
+    TRAIN_TICKS,
+    TRAIN_TICKS_EXTRA,
+    before_after,
+    fileserver_factory,
+    fmt_row,
+    make_capes,
+    seqwrite_factory,
+)
+
+_cache = {}
+
+
+def run_fileserver() -> dict:
+    if "fs" not in _cache:
+        capes = make_capes(fileserver_factory(), seed=21)
+        row12 = before_after(capes, TRAIN_TICKS, EVAL_TICKS)
+        row24 = before_after(capes, TRAIN_TICKS_EXTRA, EVAL_TICKS)
+        _cache["fs"] = {"12h": row12, "24h": row24}
+    return _cache["fs"]
+
+
+def run_seqwrite() -> dict:
+    if "sw" not in _cache:
+        capes = make_capes(seqwrite_factory(), seed=22)
+        _cache["sw"] = {"24h": before_after(capes, TRAIN_TICKS, EVAL_TICKS)}
+    return _cache["sw"]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_fileserver(benchmark):
+    out = benchmark.pedantic(run_fileserver, rounds=1, iterations=1)
+    print("\nFigure 3 — Filebench fileserver (paper: +17% after 24 h)")
+    print(fmt_row("after 12h", out["12h"]))
+    print(fmt_row("after 24h", out["24h"]))
+    # The long-budget policy must help; the workload is noisy, so the
+    # bar is a clear positive gain rather than a point estimate.
+    assert out["24h"]["percent"] > 5.0
+    # The paper's "12 h was not enough" observation: the longer budget
+    # must not do materially worse than the shorter one.
+    assert out["24h"]["percent"] >= out["12h"]["percent"] - 5.0
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_sequential_write(benchmark):
+    out = benchmark.pedantic(run_seqwrite, rounds=1, iterations=1)
+    print("\nFigure 3 — five-stream sequential write (paper: positive gain)")
+    print(fmt_row("tuned", out["24h"]))
+    assert out["24h"]["percent"] > 0.0

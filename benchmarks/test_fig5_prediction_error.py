@@ -1,0 +1,44 @@
+"""Figure 5 regeneration: prediction error over the training session.
+
+"The prediction error shows the difference between the DNN's predicted
+performance and the real performance. ... the prediction error
+decreases steadily as the training session continues after an initial
+warm up period."
+
+The prediction error is the Equation 1 minibatch loss the DRL engine
+minimises; we train a session and verify the trace declines from its
+early plateau, printing a downsampled curve.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import TRAIN_TICKS, make_capes, random_rw_factory
+
+_cache = {}
+
+
+def run_training_trace() -> np.ndarray:
+    if "losses" not in _cache:
+        capes = make_capes(random_rw_factory(1, 9), seed=33)
+        result = capes.train(TRAIN_TICKS)
+        _cache["losses"] = result.losses
+    return _cache["losses"]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_prediction_error_declines(benchmark):
+    losses = benchmark.pedantic(run_training_trace, rounds=1, iterations=1)
+    assert len(losses) > 200
+
+    # Downsampled curve for the report.
+    chunks = np.array_split(losses, 10)
+    means = [float(c.mean()) for c in chunks]
+    print("\nFigure 5 — prediction error during training (10 deciles):")
+    print("  " + "  ".join(f"{m:.4f}" for m in means))
+
+    early = float(np.mean(losses[: len(losses) // 5]))
+    late = float(np.mean(losses[-len(losses) // 5 :]))
+    print(f"  early mean {early:.4f} -> late mean {late:.4f}")
+    assert late < early * 0.5, "prediction error did not decline"
+    assert np.isfinite(losses).all()

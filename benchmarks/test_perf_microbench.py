@@ -1,0 +1,90 @@
+"""Substrate micro-benchmarks (engine, codec, sampler, DNN).
+
+Not a paper table — these guard the performance assumptions the
+experiment harness relies on: the discrete-event engine must sustain
+~10⁵ events/s, the wire codec and the Algorithm 1 sampler must be far
+off the critical path, and one DNN training step must be milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam
+from repro.nn.losses import mse_loss
+from repro.replaydb import MinibatchSampler, ReplayDB
+from repro.sim import Simulator, Timeout
+from repro.telemetry import DifferentialDecoder, DifferentialEncoder
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_engine_event_throughput(benchmark):
+    """Raw event dispatch rate of the simulator core."""
+
+    def run():
+        sim = Simulator()
+
+        def chain(n):
+            for _ in range(n):
+                yield Timeout(0.001)
+
+        for _ in range(10):
+            sim.spawn(chain(1000))
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    rate = events / benchmark.stats["mean"]
+    print(f"\nengine: {events} events in {benchmark.stats['mean'] * 1e3:.1f} ms "
+          f"-> {rate / 1e3:.0f}k events/s")
+    assert rate > 50_000
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_wire_codec_roundtrip(benchmark):
+    rng = np.random.default_rng(0)
+    frames = rng.normal(size=(100, 220))  # cluster frame, 5 clients
+
+    def run():
+        enc = DifferentialEncoder(220)
+        dec = DifferentialDecoder(220)
+        for t in range(100):
+            dec.decode(enc.encode(t, frames[t]))
+
+    benchmark(run)
+    per_msg = benchmark.stats["mean"] / 100
+    print(f"\nwire codec: {per_msg * 1e6:.1f} us per encode+decode")
+    assert per_msg < 0.005
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_sampler_minibatch(benchmark):
+    db = ReplayDB(220)
+    rng = np.random.default_rng(0)
+    for t in range(2000):
+        db.put_observation(t, rng.normal(size=220), reward=1.0)
+        db.put_action(t, 1)
+    sampler = MinibatchSampler(db.cache, obs_ticks=10, seed=0)
+    benchmark(sampler.sample_minibatch, 32)
+    print(f"\nsampler: {benchmark.stats['mean'] * 1e3:.2f} ms per "
+          f"32-transition minibatch")
+    assert benchmark.stats["mean"] < 0.1
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_dnn_forward_backward(benchmark):
+    net = MLP.for_q_network(1100, 5, hidden_size=64, rng=0)
+    opt = Adam(lr=1e-4)
+    x = np.random.default_rng(0).normal(size=(32, 1100))
+    target = np.zeros((32, 5))
+
+    def step():
+        net.zero_grad()
+        loss, grad = mse_loss(net.forward(x), target)
+        net.backward(grad)
+        opt.step(net.parameters())
+        return loss
+
+    benchmark(step)
+    print(f"\nDNN step (bench topology): "
+          f"{benchmark.stats['mean'] * 1e3:.2f} ms")
+    assert benchmark.stats["mean"] < 0.1

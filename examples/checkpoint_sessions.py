@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multi-session operation with checkpoints (appendix A.4, Figure 4).
+
+The paper tested its trained DNN "in three sessions that were spread
+out over two weeks, with numerous unrelated file operations between the
+sessions" to check for overfitting.  This example reproduces the
+mechanics: train once, checkpoint, then reload the model against
+*perturbed* systems (different file placement → different platter
+layout) and verify the policy still helps.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import CapesConfig, ClusterConfig, EnvConfig
+from repro.core import CapesSession
+from repro.env import StorageTuningEnv
+from repro.rl import Hyperparameters
+from repro.stats import compare_measurements
+from repro.workloads import RandomReadWrite
+
+HP = Hyperparameters(
+    hidden_layer_size=64,
+    exploration_ticks=400,
+    sampling_ticks_per_observation=10,
+    adam_learning_rate=5e-4,
+    discount_rate=0.9,
+    target_network_update_rate=0.02,
+)
+
+
+def env_config(seed: int, perturb: int) -> EnvConfig:
+    return EnvConfig(
+        cluster=ClusterConfig(n_servers=2, n_clients=2),
+        workload_factory=lambda cluster, s: RandomReadWrite(
+            cluster, read_fraction=0.1, instances_per_client=3, seed=s
+        ),
+        hp=HP,
+        seed=seed,
+        perturb_seed=perturb,
+    )
+
+
+def main() -> None:
+    ckpt = Path(tempfile.mkdtemp()) / "capes-model.npz"
+
+    print("session 0: training and checkpointing...")
+    trainer = CapesSession(StorageTuningEnv(env_config(seed=3, perturb=0)), seed=3)
+    trainer.train(600)
+    trainer.save(ckpt)
+    print(f"  saved {ckpt}")
+
+    for i, perturb in enumerate((101, 202), start=1):
+        print(f"session {i}: fresh system (perturb={perturb}), reloaded model")
+        env = StorageTuningEnv(env_config(seed=3, perturb=perturb))
+        session = CapesSession(env, seed=3)
+        session.ensure_started()
+        session.load(ckpt)
+        baseline = session.measure_baseline(100)
+        env.set_params(env.action_space.defaults())
+        tuned = session.evaluate(100)
+        cmp = compare_measurements(baseline, tuned.rewards)
+        print(
+            f"  baseline {cmp.baseline.mean * 100:6.1f} MB/s -> "
+            f"tuned {cmp.tuned.mean * 100:6.1f} MB/s ({cmp.percent:+.1f}%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

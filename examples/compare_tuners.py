@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""CAPES vs the search-based tuners of the related-work section (§5).
+
+Runs the static default, random search, hill climbing, a (μ+λ)
+evolution strategy, and a compressed CAPES session against the same
+write-heavy random workload, and prints each tuner's best achieved
+throughput.  The searchers find a *static* setting; CAPES learns a
+*policy* — on this stationary workload both can do well, but only
+CAPES keeps adapting when the workload changes (see §6, and the
+workload-shift ablation in ``benchmarks/test_ablations.py``).
+"""
+
+from repro import CAPES, CapesConfig, ClusterConfig, EnvConfig
+from repro.baselines import EvolutionStrategy, HillClimb, RandomSearch, StaticBaseline
+from repro.env import StorageTuningEnv
+from repro.rl import Hyperparameters
+from repro.workloads import RandomReadWrite
+
+HP = Hyperparameters(
+    hidden_layer_size=64,
+    exploration_ticks=400,
+    sampling_ticks_per_observation=10,
+    adam_learning_rate=5e-4,
+    discount_rate=0.9,
+    target_network_update_rate=0.02,
+)
+
+
+def env_config(seed: int) -> EnvConfig:
+    return EnvConfig(
+        cluster=ClusterConfig(n_servers=2, n_clients=2),
+        workload_factory=lambda cluster, s: RandomReadWrite(
+            cluster, read_fraction=0.1, instances_per_client=3, seed=s
+        ),
+        hp=HP,
+        seed=seed,
+    )
+
+
+def main() -> None:
+    budget_epochs = 12
+    epoch_ticks = 40
+    rows = []
+
+    for cls in (StaticBaseline, RandomSearch, HillClimb, EvolutionStrategy):
+        env = StorageTuningEnv(env_config(seed=11))
+        tuner = cls(env, epoch_ticks=epoch_ticks, seed=0)
+        result = tuner.tune(budget=budget_epochs)
+        rows.append((tuner.name, result.best_score * 100, result.best_params))
+        env.close()
+
+    capes = CAPES(CapesConfig(env=env_config(seed=11), seed=0))
+    capes.train(budget_epochs * epoch_ticks)  # same tick budget
+    tuned = capes.evaluate(120)
+    rows.append(("CAPES (DQN)", tuned.mean_reward * 100, tuned.final_params))
+
+    print(f"{'tuner':>20} {'throughput':>12}  best setting")
+    for name, mbps, params in rows:
+        pretty = ", ".join(f"{k}={v:g}" for k, v in params.items())
+        print(f"{name:>20} {mbps:9.1f} MB/s  {pretty}")
+
+
+if __name__ == "__main__":
+    main()

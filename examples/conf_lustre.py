@@ -1,0 +1,43 @@
+"""Sample CAPES configuration file (artifact appendix A.3 style).
+
+Drive it with the CLI::
+
+    python -m repro.cli sweep    --config examples/conf_lustre.py
+    python -m repro.cli baseline --config examples/conf_lustre.py --ticks 120
+    python -m repro.cli train    --config examples/conf_lustre.py \
+        --ticks 1500 --checkpoint /tmp/capes-model.npz
+    python -m repro.cli evaluate --config examples/conf_lustre.py \
+        --ticks 300 --checkpoint /tmp/capes-model.npz
+
+All ALL-CAPS names are optional except ``WORKLOAD``; unknown names are
+rejected so typos cannot silently fall back to defaults.  See
+``repro.core.config.DEFAULTS`` for the full list.
+"""
+
+from repro.workloads import RandomReadWrite
+
+# -- target system ----------------------------------------------------
+N_SERVERS = 2
+N_CLIENTS = 5  # five clients saturate the servers (paper §4.2)
+DISK_KIND = "hdd"
+
+# -- compressed-session hyperparameters (see EXPERIMENTS.md) ----------
+HIDDEN_LAYER_SIZE = 64
+EXPLORATION_TICKS = 800
+ADAM_LEARNING_RATE = 5e-4
+DISCOUNT_RATE = 0.9
+TARGET_NETWORK_UPDATE_RATE = 0.02
+TRAIN_STEPS_PER_TICK = 4
+LOSS = "huber"
+
+SEED = 42
+
+
+def WORKLOAD(cluster, seed):
+    """The paper's best case: 1:9 read:write random I/O, 5 threads/client."""
+    return RandomReadWrite(
+        cluster,
+        read_fraction=0.1,
+        instances_per_client=5,
+        seed=seed,
+    )

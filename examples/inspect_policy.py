@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Interpreting the trained policy (§6's explainability concern).
+
+After a training session this example asks two questions the paper
+raises but leaves open:
+
+1. *What is the control law?*  Sweep the observed congestion-window PI
+   across its range and print the greedy action at each value — the
+   learned policy typically reads "increase below the optimum, NULL
+   near it, decrease above it".
+2. *What does the network look at?*  Gradient saliency per input
+   feature, aggregated per indicator name, showing which PIs drive the
+   decisions.
+"""
+
+import numpy as np
+
+from repro import CAPES, CapesConfig, ClusterConfig, EnvConfig
+from repro.rl import Hyperparameters, format_policy_table, policy_table, q_sensitivity
+from repro.telemetry import OSC_INDICATORS, frame_labels
+from repro.workloads import RandomReadWrite
+
+HP = Hyperparameters(
+    hidden_layer_size=64,
+    exploration_ticks=700,
+    sampling_ticks_per_observation=10,
+    adam_learning_rate=5e-4,
+    discount_rate=0.9,
+    target_network_update_rate=0.02,
+)
+
+
+def main() -> None:
+    capes = CAPES(
+        CapesConfig(
+            env=EnvConfig(
+                cluster=ClusterConfig(n_servers=2, n_clients=5),
+                workload_factory=lambda c, s: RandomReadWrite(
+                    c, read_fraction=0.1, instances_per_client=5, seed=s
+                ),
+                hp=HP,
+                seed=42,
+            ),
+            seed=42,
+            train_steps_per_tick=4,
+            loss="huber",
+        )
+    )
+    env = capes.env
+    print("training (1200 ticks)...")
+    capes.train(1200)
+
+    # -- 1. the control law over the window PI -------------------------
+    base_obs = env.daemon.current_observation()
+    labels = frame_labels(env.config.cluster.n_servers)
+    per_client = len(labels)
+    window_slots = [
+        t * env.frame_dim + c * per_client + i
+        for t in range(HP.sampling_ticks_per_observation)
+        for c in range(env.config.cluster.n_clients)
+        for i, lab in enumerate(labels)
+        if lab.endswith(".max_rpcs_in_flight")
+    ]
+    window_scale = next(
+        ind.scale for ind in OSC_INDICATORS if ind.name == "max_rpcs_in_flight"
+    )
+    rows = policy_table(
+        capes.session.agent,
+        env.action_space,
+        base_obs,
+        "max_rpcs_in_flight",
+        window_slots,
+        window_scale,
+        values=[1, 2, 3, 4, 6, 8, 12, 16, 24, 32],
+    )
+    print("\nlearned control law (greedy action vs observed window):")
+    print(format_policy_table(rows, "window"))
+
+    # -- 2. which indicators the network attends to ---------------------
+    sampler = env.make_sampler(seed=1)
+    batch = sampler.sample_minibatch(64)
+    sal = q_sensitivity(capes.session.agent, batch.s_t)
+    per_feature = sal.reshape(HP.sampling_ticks_per_observation, -1).mean(axis=0)
+    by_indicator = {}
+    for c in range(env.config.cluster.n_clients):
+        for i, lab in enumerate(labels):
+            name = lab.split(".", 1)[1]
+            by_indicator.setdefault(name, []).append(
+                per_feature[c * per_client + i]
+            )
+    print("\nmean gradient saliency per indicator:")
+    ranked = sorted(
+        ((np.mean(v), k) for k, v in by_indicator.items()), reverse=True
+    )
+    for value, name in ranked:
+        print(f"  {name:>20}: {value:.5f}")
+
+
+if __name__ == "__main__":
+    main()

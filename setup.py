@@ -1,0 +1,6 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so
+`pip install -e .` (PEP 660) cannot build; `python setup.py develop`
+provides the equivalent editable install using setuptools alone."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Search-based automatic tuning baselines (related work, §5).
+
+The paper positions CAPES against "model-less, general purpose
+approaches [that] treat the target system as a black box with knobs and
+adopt a certain search algorithm, such as hill climbing or evolutionary
+algorithms".  These comparators drive the same
+:class:`~repro.env.tuning_env.StorageTuningEnv` as CAPES:
+
+- :class:`~repro.baselines.static.StaticBaseline` — default Lustre
+  settings (the paper's baseline bars);
+- :class:`~repro.baselines.random_search.RandomSearch`;
+- :class:`~repro.baselines.hill_climb.HillClimb` — coordinate ascent;
+- :class:`~repro.baselines.evolution.EvolutionStrategy` — a (μ+λ)-ES.
+
+All are *one-time* search processes: they find a static setting for the
+current workload, exactly the inflexibility §5 attributes to them.
+"""
+
+from repro.baselines.base import BaselineTuner, TuneResult
+from repro.baselines.evolution import EvolutionStrategy
+from repro.baselines.hill_climb import HillClimb
+from repro.baselines.random_search import RandomSearch
+from repro.baselines.static import StaticBaseline
+
+__all__ = [
+    "BaselineTuner",
+    "TuneResult",
+    "StaticBaseline",
+    "RandomSearch",
+    "HillClimb",
+    "EvolutionStrategy",
+]

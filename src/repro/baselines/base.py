@@ -1,0 +1,100 @@
+"""Shared machinery for search-based tuners.
+
+A baseline evaluates candidate parameter assignments by applying them
+to the live environment and measuring the mean objective over an epoch
+of ticks — the "tweak-benchmark cycle" the paper's introduction wants
+to automate away.  Measurements happen on the same running system in
+sequence, so noise is real and search algorithms must cope, just like
+their real-world counterparts.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.actions import TunableParameter
+from repro.env.tuning_env import StorageTuningEnv
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+Params = Dict[str, float]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a search: best setting, its score, and the full trace."""
+
+    best_params: Params
+    best_score: float
+    evaluations: List[Tuple[Params, float]] = field(default_factory=list)
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.evaluations)
+
+
+class BaselineTuner(abc.ABC):
+    """Black-box search over the environment's tunable parameters."""
+
+    name: str = "baseline"
+
+    def __init__(
+        self,
+        env: StorageTuningEnv,
+        epoch_ticks: int = 60,
+        seed: int = 0,
+    ):
+        check_positive("epoch_ticks", epoch_ticks)
+        self.env = env
+        self.epoch_ticks = int(epoch_ticks)
+        self.rng = ensure_rng(seed)
+        self._trace: List[Tuple[Params, float]] = []
+
+    @property
+    def parameters(self) -> List[TunableParameter]:
+        return self.env.action_space.parameters
+
+    def measure(self, params: Params) -> float:
+        """Apply ``params`` and return the mean objective over one epoch."""
+        if self.env.sim is None:
+            self.env.reset()
+        self.env.set_params(params)
+        rewards = self.env.run_ticks(self.epoch_ticks)
+        score = float(np.mean(rewards))
+        self._trace.append((dict(params), score))
+        return score
+
+    def _quantize(self, params: Params) -> Params:
+        """Snap each value onto its parameter's step grid, clamped."""
+        out: Params = {}
+        for p in self.parameters:
+            v = params[p.name]
+            snapped = p.low + round((v - p.low) / p.step) * p.step
+            out[p.name] = p.clamp(snapped)
+        return out
+
+    def _random_params(self) -> Params:
+        return self._quantize(
+            {
+                p.name: float(self.rng.uniform(p.low, p.high))
+                for p in self.parameters
+            }
+        )
+
+    @abc.abstractmethod
+    def tune(self, budget: int) -> TuneResult:
+        """Spend ``budget`` epoch evaluations; return the best found."""
+
+    def _result(self) -> TuneResult:
+        if not self._trace:
+            raise RuntimeError("tune() has not evaluated anything")
+        best_params, best_score = max(self._trace, key=lambda t: t[1])
+        return TuneResult(
+            best_params=dict(best_params),
+            best_score=best_score,
+            evaluations=list(self._trace),
+        )

@@ -1,0 +1,76 @@
+"""(μ+λ) evolution strategy over the parameter box (§5's "evolutionary
+algorithms", cf. Saboori et al., ICDCS '08).
+
+A small real-valued ES: keep the μ best settings seen, breed λ children
+by Gaussian mutation (σ a fraction of each parameter's range, decayed
+each generation), evaluate, and select the best μ of parents+children.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.baselines.base import BaselineTuner, Params, TuneResult
+from repro.util.validation import check_in_range, check_positive
+
+
+class EvolutionStrategy(BaselineTuner):
+    """(μ+λ)-ES with per-parameter Gaussian mutation."""
+
+    name = "evolution-strategy"
+
+    def __init__(
+        self,
+        env,
+        epoch_ticks: int = 60,
+        seed: int = 0,
+        mu: int = 3,
+        lam: int = 6,
+        sigma_fraction: float = 0.25,
+        sigma_decay: float = 0.8,
+    ):
+        super().__init__(env, epoch_ticks, seed)
+        check_positive("mu", mu)
+        check_positive("lam", lam)
+        check_in_range("sigma_fraction", sigma_fraction, 0.0, 1.0, low_inclusive=False)
+        check_in_range("sigma_decay", sigma_decay, 0.0, 1.0, low_inclusive=False)
+        self.mu = int(mu)
+        self.lam = int(lam)
+        self.sigma_fraction = float(sigma_fraction)
+        self.sigma_decay = float(sigma_decay)
+
+    def _mutate(self, parent: Params, sigma_frac: float) -> Params:
+        child: Params = {}
+        for p in self.parameters:
+            sigma = sigma_frac * (p.high - p.low)
+            child[p.name] = parent[p.name] + float(self.rng.normal(0.0, sigma))
+        return self._quantize(child)
+
+    def tune(self, budget: int) -> TuneResult:
+        check_positive("budget", budget)
+        # Initial population: the defaults plus random draws.
+        population: List[Tuple[Params, float]] = []
+        spent = 0
+        seeds = [self.env.action_space.defaults()] + [
+            self._random_params() for _ in range(self.mu - 1)
+        ]
+        for params in seeds:
+            if spent >= budget:
+                break
+            population.append((params, self.measure(params)))
+            spent += 1
+        sigma_frac = self.sigma_fraction
+        while spent < budget:
+            population.sort(key=lambda t: t[1], reverse=True)
+            parents = population[: self.mu]
+            children: List[Tuple[Params, float]] = []
+            for k in range(self.lam):
+                if spent >= budget:
+                    break
+                parent = parents[k % len(parents)][0]
+                child = self._mutate(parent, sigma_frac)
+                children.append((child, self.measure(child)))
+                spent += 1
+            population = parents + children
+            sigma_frac *= self.sigma_decay
+        return self._result()

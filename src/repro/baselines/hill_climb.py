@@ -1,0 +1,57 @@
+"""Coordinate hill climbing with adaptive step multiplier.
+
+Classic tweak-benchmark search (§5's "hill climbing"): from the current
+setting, try ±k·step moves on each parameter in turn, move to the first
+improvement; when a full sweep yields no improvement, halve the
+multiplier; stop when the multiplier reaches 1 and a sweep fails (or
+the budget runs out).  Measurement noise makes strict improvement a
+noisy comparison — exactly the fragility the paper attributes to
+search-based tuners.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTuner, Params, TuneResult
+from repro.util.validation import check_positive
+
+
+class HillClimb(BaselineTuner):
+    """Greedy coordinate ascent from the default setting."""
+
+    name = "hill-climb"
+
+    def __init__(self, env, epoch_ticks: int = 60, seed: int = 0, initial_multiplier: int = 8):
+        super().__init__(env, epoch_ticks, seed)
+        check_positive("initial_multiplier", initial_multiplier)
+        self.initial_multiplier = int(initial_multiplier)
+
+    def tune(self, budget: int) -> TuneResult:
+        check_positive("budget", budget)
+        current: Params = self.env.action_space.defaults()
+        current_score = self.measure(current)
+        spent = 1
+        multiplier = self.initial_multiplier
+        while spent < budget and multiplier >= 1:
+            improved = False
+            for p in self.parameters:
+                for direction in (+1, -1):
+                    if spent >= budget:
+                        break
+                    candidate = dict(current)
+                    candidate[p.name] = p.clamp(
+                        candidate[p.name] + direction * multiplier * p.step
+                    )
+                    candidate = self._quantize(candidate)
+                    if candidate == current:
+                        continue
+                    score = self.measure(candidate)
+                    spent += 1
+                    if score > current_score:
+                        current, current_score = candidate, score
+                        improved = True
+                        break  # restart sweep from the better point
+                if improved or spent >= budget:
+                    break
+            if not improved:
+                multiplier //= 2
+        return self._result()

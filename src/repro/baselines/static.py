@@ -1,0 +1,25 @@
+"""The untuned baseline: default parameter values, measured.
+
+Every figure in the paper compares against "Baseline uses default
+Lustre settings"; this tuner simply measures that configuration so the
+comparison harness can treat all conditions uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTuner, TuneResult
+from repro.util.validation import check_positive
+
+
+class StaticBaseline(BaselineTuner):
+    """Measures the defaults; performs no search."""
+
+    name = "static-default"
+
+    def tune(self, budget: int = 1) -> TuneResult:
+        """``budget`` repeated measurements of the default setting."""
+        check_positive("budget", budget)
+        defaults = self.env.action_space.defaults()
+        for _ in range(budget):
+            self.measure(defaults)
+        return self._result()

@@ -1,0 +1,162 @@
+"""Command-line interface: the artifact's daemon scripts, collapsed.
+
+The released CAPES artifact drives its daemons with shell scripts
+(``intfdaemon_service.sh conf.py start``, ``dqldaemon_service.sh``,
+``ma_service.sh``); in the simulated reproduction there is one process,
+so the equivalent surface is a single CLI over a conf.py:
+
+    python -m repro.cli train    --config conf.py --ticks 1500 \
+                                 --checkpoint model.npz
+    python -m repro.cli evaluate --config conf.py --ticks 300 \
+                                 --checkpoint model.npz
+    python -m repro.cli baseline --config conf.py --ticks 300
+    python -m repro.cli sweep    --config conf.py --window 1,2,4,8,16
+
+``train`` runs an online training session and saves the model;
+``evaluate`` reloads it and measures tuned throughput; ``baseline``
+measures the untouched system; ``sweep`` does a static parameter sweep
+(the tweak-benchmark loop CAPES replaces, useful for ground truth).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.capes import CAPES
+from repro.core.config import load_config
+from repro.stats import analyze
+
+#: ThroughputObjective unit is 100 MB/s.
+MBPS_PER_UNIT = 100.0
+
+
+def _build(args: argparse.Namespace) -> CAPES:
+    return CAPES(load_config(args.config))
+
+
+def _summarize(label: str, rewards: np.ndarray) -> None:
+    s = analyze(rewards, trim=False)
+    print(
+        f"{label}: {s.mean * MBPS_PER_UNIT:.1f} "
+        f"± {s.ci_halfwidth * MBPS_PER_UNIT:.1f} MB/s "
+        f"(n={s.n_effective}, 95% CI)"
+    )
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    capes = _build(args)
+    print(f"training for {args.ticks} ticks...")
+    result = capes.train(args.ticks)
+    _summarize("throughput during training", result.rewards)
+    if len(result.losses):
+        print(
+            f"prediction error: first {result.losses[0]:.5f} -> "
+            f"last-100 mean {np.mean(result.losses[-100:]):.5f}"
+        )
+    print(f"final parameters: {result.final_params}")
+    if args.checkpoint:
+        capes.save(args.checkpoint)
+        print(f"model saved to {args.checkpoint}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    capes = _build(args)
+    capes.session.ensure_started()
+    if args.checkpoint:
+        capes.load(args.checkpoint)
+        print(f"model loaded from {args.checkpoint}")
+    result = capes.evaluate(args.ticks)
+    _summarize("tuned throughput", result.rewards)
+    print(f"final parameters: {result.final_params}")
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    capes = _build(args)
+    rewards = capes.measure_baseline(args.ticks)
+    _summarize("baseline throughput", rewards)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    windows = [int(w) for w in args.window.split(",")]
+    config = load_config(args.config)
+    rows = []
+    for w in windows:
+        from repro.env.tuning_env import StorageTuningEnv
+
+        env = StorageTuningEnv(config.env)
+        env.reset()
+        env.set_params({"max_rpcs_in_flight": w})
+        env.run_ticks(args.settle)
+        rewards = env.run_ticks(args.ticks)
+        s = analyze(rewards, trim=False)
+        rows.append((w, s))
+        env.close()
+    print(f"{'window':>8} {'throughput':>16}")
+    for w, s in rows:
+        print(
+            f"{w:>8} {s.mean * MBPS_PER_UNIT:>10.1f} "
+            f"± {s.ci_halfwidth * MBPS_PER_UNIT:.1f} MB/s"
+        )
+    best = max(rows, key=lambda r: r[1].mean)
+    print(f"best window: {best[0]}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="CAPES reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, default_ticks: int) -> None:
+        p.add_argument("--config", required=True, help="conf.py path")
+        p.add_argument(
+            "--ticks",
+            type=int,
+            default=default_ticks,
+            help="session length in action ticks (simulated seconds)",
+        )
+
+    p = sub.add_parser("train", help="run an online training session")
+    common(p, 1500)
+    p.add_argument("--checkpoint", default=None, help="save model here")
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("evaluate", help="measure tuned performance")
+    common(p, 300)
+    p.add_argument("--checkpoint", default=None, help="load model from here")
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("baseline", help="measure untuned performance")
+    common(p, 300)
+    p.set_defaults(fn=cmd_baseline)
+
+    p = sub.add_parser("sweep", help="static congestion-window sweep")
+    common(p, 60)
+    p.add_argument(
+        "--window",
+        default="1,2,4,8,16,32",
+        help="comma-separated window values",
+    )
+    p.add_argument(
+        "--settle", type=int, default=15, help="settling ticks per value"
+    )
+    p.set_defaults(fn=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

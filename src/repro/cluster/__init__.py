@@ -1,0 +1,63 @@
+"""Lustre-like distributed storage cluster model.
+
+This package is the paper's *target system*, rebuilt as a discrete-event
+simulation (see DESIGN.md §2 for the substitution argument).  It models
+the specific mechanisms the CAPES evaluation exercises:
+
+- **Object Storage Servers (OSS)** with a rotating-disk service model:
+  seek + rotational + transfer time, an elevator scheduler that sorts and
+  merges queued requests (deeper queues ⇒ cheaper per-request service,
+  with diminishing returns), and a congestion-collapse regime when the
+  inbound queue grows past the server's comfortable depth.
+- **Object Storage Clients (OSC)**, one per client⇄server pair, each with
+  a ``max_rpcs_in_flight`` congestion window (the paper's first tunable),
+  a client-wide token-bucket I/O rate limit (the second tunable), and a
+  write-back page cache with a dirty-byte cap.
+- **A shared network fabric** of serial full-duplex links: messages incur
+  serialisation delay at NIC bandwidth plus propagation latency, and the
+  aggregate fabric throughput is capped, mirroring the evaluation
+  system's ~500 MB/s gigabit aggregate.
+- **File striping** (stripe count = number of servers, 1 MB stripes by
+  default) so every client talks to every server in parallel, exactly as
+  Lustre distributes load.
+
+The top-level entry point is :class:`~repro.cluster.cluster.Cluster`,
+built from a :class:`~repro.cluster.cluster.ClusterConfig`.
+"""
+
+from repro.cluster.client import ClientNode, OSC, WriteCache
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.disk import DiskModel, HDDModel, SSDModel
+from repro.cluster.filesystem import FileLayout, StripedFileSystem
+from repro.cluster.metrics import Counter, MetricRegistry
+from repro.cluster.network import Fabric, Link
+from repro.cluster.noise import NoiseConfig, NoiseTraffic
+from repro.cluster.rpc import Reply, Request, RequestKind
+from repro.cluster.server import ServerNode
+from repro.cluster.trace import LatencySummary, RequestTracer, RequestTraceRecord
+
+__all__ = [
+    "NoiseConfig",
+    "NoiseTraffic",
+    "RequestTracer",
+    "RequestTraceRecord",
+    "LatencySummary",
+    "Cluster",
+    "ClusterConfig",
+    "ClientNode",
+    "OSC",
+    "WriteCache",
+    "DiskModel",
+    "HDDModel",
+    "SSDModel",
+    "FileLayout",
+    "StripedFileSystem",
+    "Counter",
+    "MetricRegistry",
+    "Fabric",
+    "Link",
+    "Request",
+    "Reply",
+    "RequestKind",
+    "ServerNode",
+]

@@ -1,0 +1,307 @@
+"""Client node: Object Storage Clients, write cache, tunable knobs.
+
+Each client maintains one :class:`OSC` per server it talks to (§4.1 of
+the paper: four servers, stripe count four, so four OSCs per client).
+The two tunables CAPES adjusts live here:
+
+- ``max_rpcs_in_flight`` — per-OSC congestion window, a
+  :class:`~repro.sim.resources.Resource` whose capacity is resized at
+  runtime by control actions;
+- the **I/O rate limit** — a client-wide
+  :class:`~repro.sim.resources.TokenBucket` (requests/second) that every
+  outgoing data RPC must pass.
+
+Writes are asynchronous: they land in a per-OSC write-back cache
+(bounded by ``max_dirty_bytes``) and a flusher pipeline pushes them to
+the server subject to rate limit and window.  Reads and metadata
+operations are synchronous RPCs.  This asymmetry — writes can fill deep
+server queues, synchronous reads cannot — is what makes congestion-window
+tuning matter far more for write-heavy workloads (Figure 2).
+
+Each OSC also maintains the paper's secondary performance indicators:
+Ack EWMA (gaps between replies), Send EWMA (gaps between the send times
+of replied requests) and the Process-Time ratio (current PT / minimum PT
+seen), the three congestion signals CAPES patched into the Lustre client.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, Optional, Tuple
+
+from repro.cluster.metrics import Counter, MetricRegistry
+from repro.cluster.network import Fabric
+from repro.cluster.rpc import Reply, Request, RequestKind
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource, Store, TokenBucket
+from repro.util.ewma import EWMA
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+
+#: EWMA weight for the Ack/Send gap indicators; matches the fast-moving
+#: congestion trackers in ASCAR, the paper's predecessor system.
+GAP_EWMA_ALPHA = 0.125
+
+
+class WriteCache:
+    """Bounded dirty-byte accounting with FIFO blocking reservations."""
+
+    def __init__(self, sim: Simulator, max_dirty_bytes: int):
+        check_positive("max_dirty_bytes", max_dirty_bytes)
+        self.sim = sim
+        self.max_dirty = int(max_dirty_bytes)
+        self.dirty = 0
+        self._waiters: Deque[Tuple[int, Event]] = deque()
+
+    def reserve(self, size: int) -> Event:
+        """Claim ``size`` dirty bytes; blocks (FIFO) while the cache is full."""
+        if size <= 0:
+            raise ValueError(f"write size must be > 0, got {size}")
+        if size > self.max_dirty:
+            raise ValueError(
+                f"single write of {size} B exceeds cache capacity "
+                f"{self.max_dirty} B; split it first"
+            )
+        ev = self.sim.event()
+        if not self._waiters and self.dirty + size <= self.max_dirty:
+            self.dirty += size
+            ev.succeed()
+        else:
+            self._waiters.append((size, ev))
+        return ev
+
+    def commit(self, size: int) -> None:
+        """Mark ``size`` bytes clean (flushed to stable storage)."""
+        if size > self.dirty:
+            raise ValueError(f"commit({size}) exceeds dirty bytes {self.dirty}")
+        self.dirty -= size
+        while self._waiters and self.dirty + self._waiters[0][0] <= self.max_dirty:
+            sz, ev = self._waiters.popleft()
+            self.dirty += sz
+            ev.succeed()
+
+
+class OSC:
+    """Object Storage Client: the client's endpoint for one server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client_id: int,
+        server: "object",  # ServerNode; duck-typed to avoid import cycle
+        fabric: Fabric,
+        metrics: MetricRegistry,
+        rate_bucket: TokenBucket,
+        window_capacity: int = 8,
+        max_dirty_bytes: int = 32 * MiB,
+    ):
+        self.sim = sim
+        self.client_id = client_id
+        self.server = server
+        self.server_id = server.server_id
+        self.node_id = f"client-{client_id}"
+        self.fabric = fabric
+        self.metrics = metrics
+        self.rate_bucket = rate_bucket
+        self.window = Resource(sim, capacity=window_capacity)
+        self.cache = WriteCache(sim, max_dirty_bytes)
+        self._flush_queue: Store = Store(sim)
+        self._pending: Dict[int, Event] = {}
+
+        # Secondary performance indicators (paper §4.1, items 7-9).
+        self.ack_ewma = EWMA(GAP_EWMA_ALPHA)
+        self.send_ewma = EWMA(GAP_EWMA_ALPHA)
+        self._last_reply_time: Optional[float] = None
+        self._last_replied_send: Optional[float] = None
+        self._min_pt: Optional[float] = None
+        self._last_pt: float = 0.0
+
+        # Completion counters; monitoring agents read per-tick deltas.
+        self.read_bytes_done = Counter()
+        self.write_bytes_done = Counter()
+        self.rpcs_sent = Counter()
+
+        sim.spawn(self._flusher(), name=f"{self.node_id}->s{self.server_id}.flush")
+
+    # -- public I/O API (used by the striped filesystem) -----------------
+    def read(self, obj_id: int, offset: int, size: int) -> Generator:
+        """Synchronous read; completes when the data has arrived."""
+        reply = yield from self._data_rpc(RequestKind.READ, obj_id, offset, size)
+        self.read_bytes_done.add(size)
+        self.metrics.add("cluster.bytes_read", size)
+        self.metrics.add(f"client.{self.client_id}.bytes_read", size)
+        return reply
+
+    def write(self, obj_id: int, offset: int, size: int) -> Generator:
+        """Write-back write; completes once the cache accepted the bytes."""
+        yield self.cache.reserve(size)
+        self._flush_queue.put((obj_id, offset, size))
+        return None
+
+    def meta(self, obj_id: int) -> Generator:
+        """Synchronous metadata operation (stat/create/delete)."""
+        reply = yield from self._data_rpc(RequestKind.META, obj_id, 0, 0)
+        self.metrics.add(f"client.{self.client_id}.meta_ops", 1)
+        return reply
+
+    def flush_barrier(self) -> Generator:
+        """Wait until every currently dirty byte has been committed."""
+        while self.cache.dirty > 0 or len(self._flush_queue) > 0:
+            yield self.sim.timeout(0.01)
+
+    # -- flusher pipeline --------------------------------------------------
+    def _flusher(self):
+        while True:
+            chunk = yield self._flush_queue.get()
+            yield self.rate_bucket.acquire(1.0)
+            yield self.window.acquire()
+            self.sim.spawn(
+                self._flush_one(*chunk),
+                name=f"{self.node_id}->s{self.server_id}.wr",
+            )
+
+    def _flush_one(self, obj_id: int, offset: int, size: int):
+        try:
+            reply = yield from self._rpc_exchange(
+                RequestKind.WRITE, obj_id, offset, size
+            )
+        finally:
+            self.window.release()
+        self.cache.commit(size)
+        self.write_bytes_done.add(size)
+        self.metrics.add("cluster.bytes_written", size)
+        self.metrics.add(f"client.{self.client_id}.bytes_written", size)
+        return reply
+
+    # -- shared RPC plumbing -----------------------------------------------
+    def _data_rpc(self, kind: RequestKind, obj_id: int, offset: int, size: int):
+        yield self.rate_bucket.acquire(1.0)
+        yield self.window.acquire()
+        try:
+            reply = yield from self._rpc_exchange(kind, obj_id, offset, size)
+        finally:
+            self.window.release()
+        return reply
+
+    def _rpc_exchange(self, kind: RequestKind, obj_id: int, offset: int, size: int):
+        req = Request(
+            kind=kind,
+            obj_id=obj_id,
+            offset=offset,
+            size=size,
+            client_id=self.client_id,
+            server_id=self.server_id,
+        )
+        req.send_time = self.sim.now
+        self.rpcs_sent.add(1)
+        done = self.sim.event()
+        self._pending[req.req_id] = done
+        sent = self.fabric.send(
+            self.node_id, self.server.node_id, req.wire_size, req
+        )
+        sent.add_callback(lambda e: self.server.deliver(e.value))
+        reply: Reply = yield done
+        return reply
+
+    def on_reply(self, reply: Reply) -> None:
+        """Fabric delivery callback: update PIs, wake the waiter."""
+        now = self.sim.now
+        if self._last_reply_time is not None:
+            self.ack_ewma.update(now - self._last_reply_time)
+        self._last_reply_time = now
+        st = reply.request.send_time
+        if self._last_replied_send is not None:
+            self.send_ewma.update(st - self._last_replied_send)
+        self._last_replied_send = st
+        pt = reply.process_time
+        if pt > 0:
+            self._last_pt = pt
+            if self._min_pt is None or pt < self._min_pt:
+                self._min_pt = pt
+        waiter = self._pending.pop(reply.request.req_id, None)
+        if waiter is None:
+            raise KeyError(f"reply for unknown request {reply.request.req_id}")
+        waiter.succeed(reply)
+
+    # -- indicators -----------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self.window.in_use
+
+    @property
+    def pt_ratio(self) -> float:
+        """Current process time / shortest process time seen so far."""
+        if self._min_pt is None or self._min_pt <= 0:
+            return 1.0
+        return self._last_pt / self._min_pt
+
+    @property
+    def ping_latency(self) -> float:
+        """RTT estimate including current wire backlog (the ping PI)."""
+        return self.fabric.ping_rtt_estimate(self.node_id, self.server.node_id)
+
+
+class ClientNode:
+    """One compute/application node with an OSC per server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client_id: int,
+        servers,
+        fabric: Fabric,
+        metrics: MetricRegistry,
+        window_capacity: int = 8,
+        io_rate_limit: float = 10_000.0,
+        rate_burst: float = 64.0,
+        max_dirty_bytes: int = 32 * MiB,
+    ):
+        self.sim = sim
+        self.client_id = client_id
+        self.node_id = f"client-{client_id}"
+        self.metrics = metrics
+        fabric.register(self.node_id)
+        self.rate_bucket = TokenBucket(sim, rate=io_rate_limit, capacity=rate_burst)
+        self._window_capacity = int(window_capacity)
+        self.oscs: Dict[int, OSC] = {}
+        for server in servers:
+            osc = OSC(
+                sim,
+                client_id,
+                server,
+                fabric,
+                metrics,
+                self.rate_bucket,
+                window_capacity=window_capacity,
+                max_dirty_bytes=max_dirty_bytes,
+            )
+            self.oscs[server.server_id] = osc
+            server.register_client(client_id, self._on_reply)
+
+    def _on_reply(self, reply: Reply) -> None:
+        self.oscs[reply.request.server_id].on_reply(reply)
+
+    # -- tunable parameters (the paper's two knobs) ------------------------
+    @property
+    def max_rpcs_in_flight(self) -> int:
+        return self._window_capacity
+
+    def set_max_rpcs_in_flight(self, value: int) -> None:
+        check_positive("max_rpcs_in_flight", value)
+        self._window_capacity = int(value)
+        for osc in self.oscs.values():
+            osc.window.set_capacity(int(value))
+
+    @property
+    def io_rate_limit(self) -> float:
+        return self.rate_bucket.rate
+
+    def set_io_rate_limit(self, value: float) -> None:
+        check_positive("io_rate_limit", value)
+        self.rate_bucket.set_rate(float(value))
+
+    # -- convenience ----------------------------------------------------------
+    def flush_barrier(self) -> Generator:
+        """Wait until all OSC write caches have fully drained."""
+        for osc in self.oscs.values():
+            yield from osc.flush_barrier()

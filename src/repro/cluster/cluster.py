@@ -1,0 +1,156 @@
+"""Top-level cluster assembly.
+
+:class:`ClusterConfig` captures the testbed of §4.2 (four servers, five
+clients, gigabit fabric with a ~1:1 network-to-storage bandwidth ratio,
+7200-RPM disks) as defaults, scaled down easily for fast experiments.
+:class:`Cluster` wires servers, clients, fabric and metrics onto one
+simulator and exposes the *tuning surface* CAPES manipulates — setting
+``max_rpcs_in_flight`` and the I/O rate limit uniformly across clients,
+exactly as the paper does ("All clients use the same parameter values
+for all connections").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional
+
+from repro.cluster.client import ClientNode
+from repro.cluster.disk import DiskModel, HDDModel, SSDModel
+from repro.cluster.filesystem import FileLayout, StripedFileSystem
+from repro.cluster.metrics import MetricRegistry
+from repro.cluster.network import Fabric
+from repro.cluster.server import ServerNode
+from repro.sim.engine import Simulator
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build a cluster; defaults follow §4.2."""
+
+    n_servers: int = 4
+    n_clients: int = 5
+    stripe_size: int = MiB
+    disk_kind: Literal["hdd", "ssd"] = "hdd"
+    nic_mbps: float = 117.0
+    net_latency_s: float = 0.0002
+    # Client-side tunables (defaults = untuned Lustre baseline).
+    max_rpcs_in_flight: int = 8
+    io_rate_limit: float = 10_000.0
+    rate_burst: float = 64.0
+    max_dirty_bytes: int = 32 * MiB
+    # Server knobs.
+    batch_max: int = 16
+    collapse_threshold: int = 24
+    collapse_coeff_ms: float = 0.18
+    # HDD parameters (ignored for SSD).
+    seq_read_mbps: float = 113.0
+    seq_write_mbps: float = 106.0
+    min_seek_ms: float = 0.5
+    max_seek_ms: float = 15.0
+    rpm: float = 7200.0
+    meta_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("n_servers", self.n_servers)
+        check_positive("n_clients", self.n_clients)
+        check_positive("max_rpcs_in_flight", self.max_rpcs_in_flight)
+        check_positive("io_rate_limit", self.io_rate_limit)
+
+    def make_disk(self) -> DiskModel:
+        if self.disk_kind == "hdd":
+            return HDDModel(
+                seq_read_mbps=self.seq_read_mbps,
+                seq_write_mbps=self.seq_write_mbps,
+                min_seek_ms=self.min_seek_ms,
+                max_seek_ms=self.max_seek_ms,
+                rpm=self.rpm,
+                meta_ms=self.meta_ms,
+            )
+        if self.disk_kind == "ssd":
+            return SSDModel()
+        raise ValueError(f"unknown disk_kind {self.disk_kind!r}")
+
+
+class Cluster:
+    """The assembled target system: the 'environment' in RL terms."""
+
+    def __init__(self, sim: Simulator, config: Optional[ClusterConfig] = None):
+        self.sim = sim
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        self.metrics = MetricRegistry()
+        self.fabric = Fabric(sim, nic_mbps=cfg.nic_mbps, latency_s=cfg.net_latency_s)
+        self.servers: List[ServerNode] = [
+            ServerNode(
+                sim,
+                sid,
+                cfg.make_disk(),
+                self.fabric,
+                self.metrics,
+                batch_max=cfg.batch_max,
+                collapse_threshold=cfg.collapse_threshold,
+                collapse_coeff_ms=cfg.collapse_coeff_ms,
+            )
+            for sid in range(cfg.n_servers)
+        ]
+        self.clients: List[ClientNode] = [
+            ClientNode(
+                sim,
+                cid,
+                self.servers,
+                self.fabric,
+                self.metrics,
+                window_capacity=cfg.max_rpcs_in_flight,
+                io_rate_limit=cfg.io_rate_limit,
+                rate_burst=cfg.rate_burst,
+                max_dirty_bytes=cfg.max_dirty_bytes,
+            )
+            for cid in range(cfg.n_clients)
+        ]
+        self.layout = FileLayout(cfg.n_servers, stripe_size=cfg.stripe_size)
+        self.filesystems: Dict[int, StripedFileSystem] = {
+            c.client_id: StripedFileSystem(c, self.layout) for c in self.clients
+        }
+
+    # -- tuning surface --------------------------------------------------
+    def set_max_rpcs_in_flight(self, value: int) -> None:
+        """Apply the congestion-window parameter to every client."""
+        for c in self.clients:
+            c.set_max_rpcs_in_flight(value)
+
+    def set_io_rate_limit(self, value: float) -> None:
+        """Apply the I/O rate limit (requests/s) to every client."""
+        for c in self.clients:
+            c.set_io_rate_limit(value)
+
+    def get_parameter(self, name: str) -> float:
+        if name == "max_rpcs_in_flight":
+            return float(self.clients[0].max_rpcs_in_flight)
+        if name == "io_rate_limit":
+            return float(self.clients[0].io_rate_limit)
+        raise KeyError(f"unknown tunable parameter {name!r}")
+
+    def set_parameter(self, name: str, value: float) -> None:
+        if name == "max_rpcs_in_flight":
+            self.set_max_rpcs_in_flight(int(round(value)))
+        elif name == "io_rate_limit":
+            self.set_io_rate_limit(float(value))
+        else:
+            raise KeyError(f"unknown tunable parameter {name!r}")
+
+    # -- aggregate measurements -------------------------------------------
+    def total_bytes_read(self) -> float:
+        return self.metrics.value("cluster.bytes_read")
+
+    def total_bytes_written(self) -> float:
+        return self.metrics.value("cluster.bytes_written")
+
+    def total_bytes(self) -> float:
+        return self.total_bytes_read() + self.total_bytes_written()
+
+    def fs(self, client_id: int) -> StripedFileSystem:
+        """Filesystem facade for one client (what workloads drive)."""
+        return self.filesystems[client_id]

@@ -1,0 +1,111 @@
+"""File striping: how one logical file spreads across the servers.
+
+The paper uses Lustre's stripe count of four (all four servers) with a
+1 MB stripe size, so every client's large I/O fans out to every server.
+:class:`StripedFileSystem` performs the extent → (server, chunk) split
+and drives the client's OSCs; :class:`FileLayout` is the pure mapping
+(kept separate so it can be property-tested without a simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from repro.cluster.client import ClientNode
+from repro.sim.process import AllOf
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+
+#: One stripe-aligned piece of a logical extent.
+Chunk = Tuple[int, int, int]  # (server_index, offset, size)
+
+
+class FileLayout:
+    """Pure striping arithmetic (round-robin, Lustre RAID-0 layout)."""
+
+    def __init__(self, n_servers: int, stripe_size: int = MiB):
+        check_positive("n_servers", n_servers)
+        check_positive("stripe_size", stripe_size)
+        self.n_servers = int(n_servers)
+        self.stripe_size = int(stripe_size)
+
+    def server_of(self, offset: int) -> int:
+        """Which server stores the byte at ``offset``."""
+        return (offset // self.stripe_size) % self.n_servers
+
+    def split(self, offset: int, size: int) -> List[Chunk]:
+        """Split extent ``[offset, offset+size)`` at stripe boundaries."""
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if size <= 0:
+            raise ValueError(f"size must be > 0, got {size}")
+        chunks: List[Chunk] = []
+        pos = offset
+        remaining = size
+        while remaining > 0:
+            stripe_end = (pos // self.stripe_size + 1) * self.stripe_size
+            take = min(remaining, stripe_end - pos)
+            chunks.append((self.server_of(pos), pos, take))
+            pos += take
+            remaining -= take
+        return chunks
+
+
+class StripedFileSystem:
+    """Per-client filesystem facade over the OSCs.
+
+    All methods are simulation generators: application processes drive
+    them with ``yield from``.  Reads fan chunks out to the involved OSCs
+    concurrently and wait for all; writes reserve cache space chunk by
+    chunk (back-pressure applies in offset order, like page-cache
+    dirtying); metadata operations go to the metadata server (server 0,
+    standing in for Lustre's MDS).
+    """
+
+    def __init__(self, client: ClientNode, layout: FileLayout):
+        self.client = client
+        self.layout = layout
+        server_ids = sorted(client.oscs)
+        if len(server_ids) != layout.n_servers:
+            raise ValueError(
+                f"layout expects {layout.n_servers} servers; client has "
+                f"{len(server_ids)} OSCs"
+            )
+        self._server_ids = server_ids  # index in layout -> server id
+
+    def _osc(self, server_index: int):
+        return self.client.oscs[self._server_ids[server_index]]
+
+    # -- data ops -----------------------------------------------------------
+    def read(self, obj_id: int, offset: int, size: int) -> Generator:
+        """Read an extent; completes when every chunk has arrived."""
+        chunks = self.layout.split(offset, size)
+        if len(chunks) == 1:
+            sidx, off, sz = chunks[0]
+            yield from self._osc(sidx).read(obj_id, off, sz)
+            return size
+        procs = [
+            self.client.sim.spawn(
+                self._osc(sidx).read(obj_id, off, sz),
+                name=f"read.{obj_id}.{off}",
+            )
+            for sidx, off, sz in chunks
+        ]
+        yield AllOf(self.client.sim, procs)
+        return size
+
+    def write(self, obj_id: int, offset: int, size: int) -> Generator:
+        """Write an extent; completes once all chunks are cache-resident."""
+        for sidx, off, sz in self.layout.split(offset, size):
+            yield from self._osc(sidx).write(obj_id, off, sz)
+        return size
+
+    # -- metadata ops --------------------------------------------------------
+    def create(self, obj_id: int) -> Generator:
+        yield from self._osc(0).meta(obj_id)
+
+    def delete(self, obj_id: int) -> Generator:
+        yield from self._osc(0).meta(obj_id)
+
+    def stat(self, obj_id: int) -> Generator:
+        yield from self._osc(0).meta(obj_id)

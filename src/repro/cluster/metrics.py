@@ -1,0 +1,70 @@
+"""Cluster-side metric counters and per-tick rate derivation.
+
+Monitoring agents (:mod:`repro.telemetry`) read *rates* once per sampling
+tick; the cluster maintains *cumulative* counters.  :class:`Counter`
+supports delta extraction against a remembered mark so each agent can
+derive its own per-tick rates without the cluster knowing about ticks —
+this mirrors the paper's advice (§3.1) that accumulative statuses should
+be converted into rates before entering the DNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Counter:
+    """Monotone cumulative counter with per-reader marks."""
+
+    __slots__ = ("_value", "_marks")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._marks: Dict[str, float] = {}
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def add(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"counters are monotone; got add({amount})")
+        self._value += amount
+
+    def delta(self, reader: str) -> float:
+        """Change since this reader's last call (first call: since 0)."""
+        last = self._marks.get(reader, 0.0)
+        self._marks[reader] = self._value
+        return self._value - last
+
+    def peek_delta(self, reader: str) -> float:
+        """Like :meth:`delta` but without advancing the mark."""
+        return self._value - self._marks.get(reader, 0.0)
+
+
+class MetricRegistry:
+    """Flat namespace of counters, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = Counter()
+            self._counters[name] = c
+        return c
+
+    def add(self, name: str, amount: float) -> None:
+        self.counter(name).add(amount)
+
+    def value(self, name: str) -> float:
+        return self.counter(name).value
+
+    def names(self):
+        return sorted(self._counters)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Point-in-time copy of every counter value."""
+        return {name: c.value for name, c in self._counters.items()}

@@ -1,0 +1,155 @@
+"""Request-level tracing: per-RPC latency records and percentiles.
+
+The paper tunes for aggregate throughput but §6 proposes latency as a
+co-objective; validating that needs request-level visibility.  The
+tracer hooks the client's reply path and records, per completed data
+RPC: kind, size, queueing time at the server, service (process) time
+and end-to-end latency.  Percentile summaries feed the latency
+analyses in the ablation benches and the multi-objective example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.rpc import Reply, RequestKind
+
+
+@dataclass(frozen=True)
+class RequestTraceRecord:
+    """One completed RPC, timestamped along its path."""
+
+    kind: str
+    client_id: int
+    server_id: int
+    size: int
+    send_time: float
+    complete_time: float
+    process_time: float
+
+    @property
+    def latency(self) -> float:
+        """End-to-end: client send to client receipt of the reply."""
+        return self.complete_time - self.send_time
+
+
+@dataclass
+class LatencySummary:
+    """Percentile summary over a set of trace records."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_latencies(cls, lats: np.ndarray) -> "LatencySummary":
+        if lats.size == 0:
+            raise ValueError("no samples to summarise")
+        return cls(
+            count=int(lats.size),
+            mean=float(lats.mean()),
+            p50=float(np.percentile(lats, 50)),
+            p90=float(np.percentile(lats, 90)),
+            p99=float(np.percentile(lats, 99)),
+            max=float(lats.max()),
+        )
+
+
+class RequestTracer:
+    """Records every completed data RPC on a cluster.
+
+    Wraps each OSC's ``on_reply`` so installation is one call and the
+    hot path stays a plain Python function call.  ``detach`` restores
+    the original handlers.
+    """
+
+    def __init__(self, cluster: Cluster, max_records: int = 1_000_000):
+        if max_records <= 0:
+            raise ValueError(f"max_records must be > 0, got {max_records}")
+        self.cluster = cluster
+        self.max_records = int(max_records)
+        self.records: List[RequestTraceRecord] = []
+        self.dropped = 0
+        self._originals: Dict[tuple, object] = {}
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self) -> "RequestTracer":
+        if self._attached:
+            raise RuntimeError("tracer already attached")
+        for client in self.cluster.clients:
+            for osc in client.oscs.values():
+                key = (client.client_id, osc.server_id)
+                original = osc.on_reply
+                self._originals[key] = original
+
+                def hooked(reply: Reply, _orig=original) -> None:
+                    self._record(reply)
+                    _orig(reply)
+
+                osc.on_reply = hooked  # type: ignore[method-assign]
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        for client in self.cluster.clients:
+            for osc in client.oscs.values():
+                key = (client.client_id, osc.server_id)
+                osc.on_reply = self._originals[key]  # type: ignore[method-assign]
+        self._originals.clear()
+        self._attached = False
+
+    def __enter__(self) -> "RequestTracer":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- recording ----------------------------------------------------------
+    def _record(self, reply: Reply) -> None:
+        req = reply.request
+        if req.kind is RequestKind.PING:
+            return
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(
+            RequestTraceRecord(
+                kind=req.kind.value,
+                client_id=req.client_id,
+                server_id=req.server_id,
+                size=req.size,
+                send_time=req.send_time,
+                complete_time=self.cluster.sim.now,
+                process_time=reply.process_time,
+            )
+        )
+
+    # -- analysis ------------------------------------------------------------
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def latencies(self, kind: Optional[str] = None) -> np.ndarray:
+        recs: Iterable[RequestTraceRecord] = self.records
+        if kind is not None:
+            recs = (r for r in self.records if r.kind == kind)
+        return np.array([r.latency for r in recs])
+
+    def summary(self, kind: Optional[str] = None) -> LatencySummary:
+        return LatencySummary.from_latencies(self.latencies(kind))
+
+    def per_server_counts(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for r in self.records:
+            out[r.server_id] = out.get(r.server_id, 0) + 1
+        return out

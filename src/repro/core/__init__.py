@@ -1,0 +1,36 @@
+"""CAPES control plane: the paper's primary contribution, assembled.
+
+- :mod:`actions` — tunable-parameter descriptions and the discrete
+  action space (one increase and one decrease action per parameter plus
+  NULL, §3.7);
+- :mod:`checker` — the Action Checker that vetoes egregiously bad
+  actions before broadcast;
+- :mod:`control` — per-client Control Agents that apply parameter
+  changes;
+- :mod:`interface_daemon` — the Interface Daemon: ingests monitoring
+  messages, writes the Replay DB, broadcasts checked actions, and
+  relays workload-change notifications;
+- :mod:`session` — training and evaluation session drivers with
+  checkpointing;
+- :mod:`capes` — the top-level facade a user instantiates.
+"""
+
+from repro.core.actions import ActionSpace, TunableParameter
+from repro.core.capes import CAPES, CapesConfig
+from repro.core.checker import ActionChecker
+from repro.core.control import ControlAgent
+from repro.core.interface_daemon import InterfaceDaemon
+from repro.core.session import CapesSession, EvalResult, TrainResult
+
+__all__ = [
+    "TunableParameter",
+    "ActionSpace",
+    "ActionChecker",
+    "ControlAgent",
+    "InterfaceDaemon",
+    "CapesSession",
+    "TrainResult",
+    "EvalResult",
+    "CAPES",
+    "CapesConfig",
+]

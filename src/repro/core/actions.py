@@ -1,0 +1,138 @@
+"""Tunable parameters and the discrete action space (§3.7).
+
+"At a fixed rate (every action tick), CAPES decides on an action that
+either increases or decreases one parameter by a step size.  The valid
+range and tuning step size are customizable for each target system. ...
+We also include a NULL action that performs no action for a step.
+Thus, the total number of actions we are training the DNN for is
+2 × number_of_tunable_parameters + 1."
+
+Action indices: 0 is NULL; parameter *i* owns indices ``2i+1``
+(increase) and ``2i+2`` (decrease).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.util.validation import check_positive
+
+#: Read/write access to the live value of a named parameter.
+Getter = Callable[[str], float]
+Setter = Callable[[str, float], None]
+
+
+@dataclass(frozen=True)
+class TunableParameter:
+    """One knob: name, valid range, tuning step, and untuned default."""
+
+    name: str
+    low: float
+    high: float
+    step: float
+    default: float
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ValueError(
+                f"{self.name}: low ({self.low}) must be < high ({self.high})"
+            )
+        check_positive(f"{self.name}.step", self.step)
+        if not self.low <= self.default <= self.high:
+            raise ValueError(
+                f"{self.name}: default {self.default} outside "
+                f"[{self.low}, {self.high}]"
+            )
+
+    def clamp(self, value: float) -> float:
+        return min(self.high, max(self.low, value))
+
+
+#: The paper's two Lustre knobs with sensible simulation ranges.
+def lustre_parameters(
+    window_default: float = 8,
+    rate_default: float = 10_000.0,
+) -> List[TunableParameter]:
+    return [
+        TunableParameter(
+            "max_rpcs_in_flight", low=1, high=64, step=1, default=window_default
+        ),
+        TunableParameter(
+            "io_rate_limit",
+            low=50.0,
+            high=10_000.0,
+            step=250.0,
+            default=rate_default,
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class ActionEffect:
+    """What applying an action did (or would do)."""
+
+    action: int
+    parameter: Optional[str]  # None for NULL
+    old_value: Optional[float]
+    new_value: Optional[float]
+
+    @property
+    def is_null(self) -> bool:
+        return self.parameter is None
+
+
+class ActionSpace:
+    """Discrete action space over a list of tunable parameters."""
+
+    NULL_ACTION = 0
+
+    def __init__(self, parameters: Sequence[TunableParameter]):
+        if not parameters:
+            raise ValueError("need at least one tunable parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in {names}")
+        self.parameters: List[TunableParameter] = list(parameters)
+
+    @property
+    def n_actions(self) -> int:
+        """2 × number_of_tunable_parameters + 1."""
+        return 2 * len(self.parameters) + 1
+
+    def decode(self, action: int) -> Tuple[Optional[TunableParameter], int]:
+        """Return ``(parameter, direction)``; NULL decodes to (None, 0)."""
+        if not 0 <= action < self.n_actions:
+            raise ValueError(
+                f"action {action} out of range [0, {self.n_actions})"
+            )
+        if action == self.NULL_ACTION:
+            return None, 0
+        idx, rem = divmod(action - 1, 2)
+        return self.parameters[idx], (+1 if rem == 0 else -1)
+
+    def describe(self, action: int) -> str:
+        param, direction = self.decode(action)
+        if param is None:
+            return "NULL"
+        arrow = "+" if direction > 0 else "-"
+        return f"{param.name} {arrow}{param.step:g}"
+
+    def propose(self, action: int, get: Getter) -> ActionEffect:
+        """Compute the effect of ``action`` against current values."""
+        param, direction = self.decode(action)
+        if param is None:
+            return ActionEffect(action, None, None, None)
+        old = get(param.name)
+        new = param.clamp(old + direction * param.step)
+        return ActionEffect(action, param.name, old, new)
+
+    def apply(self, action: int, get: Getter, set_: Setter) -> ActionEffect:
+        """Apply ``action`` through the getter/setter pair, clamped."""
+        effect = self.propose(action, get)
+        if not effect.is_null and effect.new_value != effect.old_value:
+            set_(effect.parameter, effect.new_value)
+        return effect
+
+    def defaults(self) -> dict[str, float]:
+        return {p.name: p.default for p in self.parameters}

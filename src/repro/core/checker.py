@@ -1,0 +1,61 @@
+"""The Action Checker (§3.7, Figure 1).
+
+"Before broadcast, the Interface Daemon will call an Action checker to
+rule out egregiously bad actions, such as setting the CPU clock rate
+to 0. ... if there are known bad parameter values, they can be shielded
+from the target system."
+
+Rules are predicates over ``(parameter_name, proposed_value)``; a veto
+turns the action into NULL (recorded so the training data reflects what
+actually happened).  Range clamping already lives in the action space —
+the checker is for *domain* knowledge, e.g. the appendix's "the RPC
+congestion window size for Lustre should not be smaller than eight".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.actions import ActionEffect, ActionSpace
+
+#: Returns True when the proposed value is acceptable.
+Rule = Callable[[str, float], bool]
+
+
+@dataclass
+class ActionChecker:
+    """Chain of veto rules applied before an action is broadcast."""
+
+    rules: List[Rule] = field(default_factory=list)
+    vetoes: int = 0
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def add_minimum(self, parameter: str, minimum: float) -> None:
+        """Convenience: forbid values of ``parameter`` below ``minimum``."""
+        self.rules.append(
+            lambda name, value: name != parameter or value >= minimum
+        )
+
+    def add_maximum(self, parameter: str, maximum: float) -> None:
+        self.rules.append(
+            lambda name, value: name != parameter or value <= maximum
+        )
+
+    def check(self, effect: ActionEffect) -> bool:
+        """True if the proposed effect passes every rule."""
+        if effect.is_null:
+            return True
+        assert effect.parameter is not None and effect.new_value is not None
+        for rule in self.rules:
+            if not rule(effect.parameter, effect.new_value):
+                self.vetoes += 1
+                return False
+        return True
+
+    def filter(self, space: ActionSpace, action: int, get) -> int:
+        """Return ``action`` if acceptable, else the NULL action."""
+        effect = space.propose(action, get)
+        return action if self.check(effect) else ActionSpace.NULL_ACTION

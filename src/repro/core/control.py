@@ -1,0 +1,54 @@
+"""Control Agents (§3.7).
+
+"A Control Agent will listen for inbound Action Messages from the
+Interface Daemon and will change the system parameters accordingly."
+
+One agent per client node; the Interface Daemon broadcasts the decided
+parameter change to all of them (the paper applies the same values on
+every client).  Each agent knows how to map parameter names onto its
+client's setters and keeps a small audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.cluster.client import ClientNode
+
+
+@dataclass
+class ControlAgent:
+    """Applies parameter values to one client node."""
+
+    client: ClientNode
+    applied: List[Tuple[str, float]] = field(default_factory=list)
+
+    def _setters(self) -> Dict[str, Callable[[float], None]]:
+        return {
+            "max_rpcs_in_flight": lambda v: self.client.set_max_rpcs_in_flight(
+                int(round(v))
+            ),
+            "io_rate_limit": lambda v: self.client.set_io_rate_limit(float(v)),
+        }
+
+    def supported_parameters(self) -> List[str]:
+        return sorted(self._setters())
+
+    def apply(self, name: str, value: float) -> None:
+        """Set ``name`` to ``value`` on this agent's client."""
+        setter = self._setters().get(name)
+        if setter is None:
+            raise KeyError(
+                f"control agent for client {self.client.client_id} cannot "
+                f"set unknown parameter {name!r}"
+            )
+        setter(value)
+        self.applied.append((name, float(value)))
+
+    def current(self, name: str) -> float:
+        if name == "max_rpcs_in_flight":
+            return float(self.client.max_rpcs_in_flight)
+        if name == "io_rate_limit":
+            return float(self.client.io_rate_limit)
+        raise KeyError(f"unknown parameter {name!r}")

@@ -1,0 +1,162 @@
+"""The Interface Daemon (§3.3, Figure 1).
+
+The traffic hub of CAPES: receives wire messages from every Monitoring
+Agent, reconstructs per-client PI frames, assembles them into
+cluster-wide tick records in the Replay DB, runs decided actions
+through the Action Checker, broadcasts accepted actions to the Control
+Agents, and records them — "these actions are also stored within the
+Replay DB, as part of Experience Replay".
+
+It is also the only Replay-DB writer, matching the paper's locking
+argument, and it keeps a short ring of assembled frames so the DRL
+engine can read the *current* observation without a DB round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.actions import ActionEffect, ActionSpace
+from repro.core.checker import ActionChecker
+from repro.core.control import ControlAgent
+from repro.replaydb.db import ReplayDB
+from repro.telemetry.wire import DifferentialDecoder
+from repro.util.ringbuffer import RingBuffer
+
+
+class InterfaceDaemon:
+    """Message hub between monitoring agents, Replay DB and controls."""
+
+    def __init__(
+        self,
+        n_clients: int,
+        client_frame_width: int,
+        db: ReplayDB,
+        action_space: ActionSpace,
+        control_agents: Sequence[ControlAgent],
+        checker: Optional[ActionChecker] = None,
+        obs_ticks: int = 10,
+        extra_frame_width: int = 0,
+        extra_frame_provider=None,
+    ):
+        """``extra_frame_provider(tick) -> ndarray`` appends additional
+        columns to every stored cluster frame — the hook that carries
+        the optional server-side PIs (§6) and date/time features (§3.1)
+        without the daemon knowing their semantics."""
+        if n_clients <= 0:
+            raise ValueError(f"n_clients must be > 0, got {n_clients}")
+        if (extra_frame_width > 0) != (extra_frame_provider is not None):
+            raise ValueError(
+                "extra_frame_width and extra_frame_provider must be "
+                "given together"
+            )
+        expected = n_clients * client_frame_width + extra_frame_width
+        if db.frame_width != expected:
+            raise ValueError(
+                f"replay DB frame width {db.frame_width} != n_clients × "
+                f"client frame width + extra = {expected}"
+            )
+        self.extra_frame_width = int(extra_frame_width)
+        self.extra_frame_provider = extra_frame_provider
+        self.n_clients = int(n_clients)
+        self.client_frame_width = int(client_frame_width)
+        self.db = db
+        self.action_space = action_space
+        self.checker = checker or ActionChecker()
+        self.control_agents = list(control_agents)
+        self._decoders: Dict[int, DifferentialDecoder] = {
+            cid: DifferentialDecoder(client_frame_width)
+            for cid in range(n_clients)
+        }
+        # Frames received for the tick currently being assembled.
+        self._pending: Dict[int, Dict[int, np.ndarray]] = {}
+        self._recent = RingBuffer(obs_ticks, shape=expected)
+        self.ticks_stored = 0
+        self.ticks_incomplete = 0
+        self.actions_broadcast = 0
+
+    # -- monitoring ingest ------------------------------------------------
+    def ingest(self, client_id: int, message: bytes) -> None:
+        """Decode one Monitoring Agent message and buffer its frame."""
+        if client_id not in self._decoders:
+            raise KeyError(f"unknown client {client_id}")
+        tick, frame = self._decoders[client_id].decode(message)
+        self._pending.setdefault(tick, {})[client_id] = frame
+
+    def finish_tick(self, tick: int) -> bool:
+        """Close out ``tick``: store its record if every client reported.
+
+        Returns True when the tick was stored.  A tick with any client
+        missing is dropped entirely — this is what the replay sampler's
+        missing-entry tolerance exists to absorb.
+        """
+        frames = self._pending.pop(tick, {})
+        # Drop any stale partial assemblies older than the tick being
+        # closed; they can never complete.
+        for old in [t for t in self._pending if t < tick]:
+            del self._pending[old]
+            self.ticks_incomplete += 1
+        if len(frames) < self.n_clients:
+            self.ticks_incomplete += 1
+            return False
+        parts = [frames[cid] for cid in range(self.n_clients)]
+        if self.extra_frame_provider is not None:
+            extra = np.asarray(
+                self.extra_frame_provider(tick), dtype=np.float64
+            )
+            if extra.shape != (self.extra_frame_width,):
+                raise ValueError(
+                    f"extra frame provider returned shape {extra.shape}, "
+                    f"expected ({self.extra_frame_width},)"
+                )
+            parts.append(extra)
+        cluster_frame = np.concatenate(parts)
+        self.db.put_observation(tick, cluster_frame)
+        self._recent.append(cluster_frame)
+        self.ticks_stored += 1
+        return True
+
+    def set_reward(self, tick: int, reward: float) -> None:
+        """Attach the objective value measured over ``tick``."""
+        self.db.set_reward(tick, reward)
+
+    # -- observations for the DRL engine ------------------------------------
+    def current_observation(self) -> Optional[np.ndarray]:
+        """Stacked observation ending at the newest stored tick.
+
+        Until a full stack has accumulated the earliest frame is
+        repeated backwards (the warm-up padding choice; recorded here
+        because training data from the DB never pads — the sampler
+        rejects short windows instead).
+        """
+        if len(self._recent) == 0:
+            return None
+        frames = self._recent.view()
+        need = self._recent.capacity - len(frames)
+        if need > 0:
+            pad = np.repeat(frames[:1], need, axis=0)
+            frames = np.concatenate([pad, frames], axis=0)
+        return frames.reshape(-1)
+
+    # -- actions ---------------------------------------------------------------
+    def perform_action(self, tick: int, action: int) -> ActionEffect:
+        """Check, broadcast, apply and record ``action`` decided at ``tick``.
+
+        A vetoed action degrades to NULL, and the *recorded* action is
+        what was actually performed, keeping replay data truthful.
+        """
+        get = self.control_agents[0].current
+        action = self.checker.filter(self.action_space, action, get)
+        effect = self.action_space.propose(action, get)
+        if not effect.is_null and effect.new_value != effect.old_value:
+            for agent in self.control_agents:
+                agent.apply(effect.parameter, effect.new_value)
+            self.actions_broadcast += 1
+        self.db.put_action(tick, action)
+        return effect
+
+    def parameter_values(self) -> Dict[str, float]:
+        get = self.control_agents[0].current
+        return {p.name: get(p.name) for p in self.action_space.parameters}

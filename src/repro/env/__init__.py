@@ -1,0 +1,12 @@
+"""The storage-tuning environment: cluster + workload + action plumbing.
+
+:class:`~repro.env.tuning_env.StorageTuningEnv` packages a simulated
+cluster, a running workload, the monitoring agents, Interface Daemon,
+Replay DB and action space behind a gym-style ``reset()`` / ``step()``
+interface.  Both the CAPES DQN sessions and the search-based baselines
+drive the same environment, so comparisons are apples to apples.
+"""
+
+from repro.env.tuning_env import EnvConfig, StorageTuningEnv
+
+__all__ = ["EnvConfig", "StorageTuningEnv"]

@@ -1,0 +1,54 @@
+"""Pure-NumPy deep-learning substrate (the TensorFlow substitute).
+
+CAPES's prototype built its Q-network in TensorFlow 1.0; this package
+provides the pieces the paper actually uses, implemented from scratch on
+NumPy with explicit forward/backward passes:
+
+- dense layers with Xavier/He initialisation (:mod:`layers`,
+  :mod:`initializers`);
+- tanh / ReLU / identity activations (:mod:`activations`);
+- an MLP container with parameter access for target-network syncing
+  (:mod:`network`);
+- MSE and Huber losses (:mod:`losses`);
+- SGD, Momentum, RMSProp and **Adam** optimizers (:mod:`optimizers`) —
+  Adam with the paper's 1e-4 learning rate is the default;
+- ``.npz`` checkpointing (:mod:`checkpoint`) for the session save/load
+  behaviour the artifact appendix describes.
+
+Everything is float64 and vectorised; the per-minibatch cost is a
+handful of matrix multiplies, exactly the regime the HPC guides'
+vectorisation advice targets.
+"""
+
+from repro.nn.activations import Activation, Identity, ReLU, Tanh
+from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.initializers import he_uniform, xavier_uniform, zeros
+from repro.nn.layers import Dense, Layer, Parameter
+from repro.nn.losses import huber_loss, mse_loss
+from repro.nn.network import MLP
+from repro.nn.normalization import BatchNorm1d
+from repro.nn.optimizers import SGD, Adam, Momentum, Optimizer, RMSProp
+
+__all__ = [
+    "BatchNorm1d",
+    "Activation",
+    "Identity",
+    "ReLU",
+    "Tanh",
+    "xavier_uniform",
+    "he_uniform",
+    "zeros",
+    "Dense",
+    "Layer",
+    "Parameter",
+    "mse_loss",
+    "huber_loss",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "RMSProp",
+    "Adam",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,36 @@
+"""Weight initialisation schemes.
+
+Xavier/Glorot uniform is the right default for the tanh MLP the paper
+uses; He uniform is provided for ReLU variants explored in ablations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng=None) -> np.ndarray:
+    """Glorot & Bengio (2010): U(-a, a) with a = sqrt(6 / (fan_in+fan_out))."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be > 0, got ({fan_in}, {fan_out})")
+    rng = ensure_rng(rng)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def he_uniform(fan_in: int, fan_out: int, rng=None) -> np.ndarray:
+    """He et al. (2015): U(-a, a) with a = sqrt(6 / fan_in), for ReLU."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be > 0, got ({fan_in}, {fan_out})")
+    rng = ensure_rng(rng)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def zeros(fan_in: int, fan_out: int, rng=None) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros((fan_in, fan_out))

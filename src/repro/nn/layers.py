@@ -1,0 +1,94 @@
+"""Trainable layers: parameters and the dense (fully connected) layer."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nn.initializers import xavier_uniform
+
+
+class Parameter:
+    """A weight tensor together with its accumulated gradient."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class; concrete layers define forward/backward/parameters."""
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Affine map ``y = x @ W + b`` with cached input for backprop.
+
+    Gradients accumulate into the parameters (callers zero them between
+    steps) so gradient checking and multi-loss setups compose naturally.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        name: str = "dense",
+        weight_init: Callable = xavier_uniform,
+        rng=None,
+    ):
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError(f"bad dims ({in_dim}, {out_dim})")
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.name = name
+        self.W = Parameter(f"{name}.W", weight_init(in_dim, out_dim, rng))
+        self.b = Parameter(f"{name}.b", np.zeros(out_dim))
+        self._x: Optional[np.ndarray] = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.W, self.b]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_dim:
+            raise ValueError(
+                f"{self.name}: expected input (batch, {self.in_dim}), "
+                f"got {x.shape}"
+            )
+        self._x = x
+        return x @ self.W.value + self.b.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError(f"{self.name}: backward() before forward()")
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        if grad_out.shape != (self._x.shape[0], self.out_dim):
+            raise ValueError(
+                f"{self.name}: bad grad shape {grad_out.shape}, expected "
+                f"({self._x.shape[0]}, {self.out_dim})"
+            )
+        self.W.grad += self._x.T @ grad_out
+        self.b.grad += grad_out.sum(axis=0)
+        return grad_out @ self.W.value.T

@@ -1,0 +1,45 @@
+"""Loss functions returning (value, gradient-wrt-prediction) pairs."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error over all elements — Equation 1's loss.
+
+    Returns the scalar loss and dL/dpred.
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    n = diff.size
+    return float((diff**2).mean()), (2.0 / n) * diff
+
+
+def huber_loss(
+    pred: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> Tuple[float, np.ndarray]:
+    """Huber loss — the DQN literature's standard error clipping.
+
+    Quadratic within ``delta`` of the target, linear outside; gradients
+    saturate at ±delta/n, which keeps early bootstrapped targets from
+    blowing up the optimiser.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    absd = np.abs(diff)
+    quad = absd <= delta
+    vals = np.where(quad, 0.5 * diff**2, delta * (absd - 0.5 * delta))
+    grads = np.where(quad, diff, delta * np.sign(diff))
+    n = diff.size
+    return float(vals.mean()), grads / n

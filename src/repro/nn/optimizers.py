@@ -1,0 +1,146 @@
+"""First-order optimisers over :class:`~repro.nn.layers.Parameter` lists.
+
+The paper trains with Adam at learning rate 1e-4 (Table 1); SGD,
+Momentum and RMSProp are provided for the optimiser ablation.  Each
+optimiser owns per-parameter state keyed by position, so it must always
+be stepped with the same parameter list.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+from repro.util.validation import check_in_range, check_positive
+
+
+class Optimizer(abc.ABC):
+    """Base: validates the learning rate and tracks step count."""
+
+    def __init__(self, lr: float):
+        check_positive("lr", lr)
+        self.lr = float(lr)
+        self.steps = 0
+
+    def step(self, params: Sequence[Parameter]) -> None:
+        """Apply one update from each parameter's accumulated gradient."""
+        self._update(list(params))
+        self.steps += 1
+
+    @abc.abstractmethod
+    def _update(self, params: List[Parameter]) -> None: ...
+
+    # -- optimiser-state checkpointing ------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Flat dict of state tensors for checkpointing (may be empty)."""
+        return {}
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        pass
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent."""
+
+    def _update(self, params: List[Parameter]) -> None:
+        for p in params:
+            p.value -= self.lr * p.grad
+
+
+class Momentum(Optimizer):
+    """Classical momentum (Polyak)."""
+
+    def __init__(self, lr: float, momentum: float = 0.9):
+        super().__init__(lr)
+        check_in_range("momentum", momentum, 0.0, 1.0, high_inclusive=False)
+        self.momentum = float(momentum)
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _update(self, params: List[Parameter]) -> None:
+        for i, p in enumerate(params):
+            v = self._v.get(i)
+            if v is None:
+                v = np.zeros_like(p.value)
+            v = self.momentum * v - self.lr * p.grad
+            self._v[i] = v
+            p.value += v
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton)."""
+
+    def __init__(self, lr: float, rho: float = 0.99, eps: float = 1e-8):
+        super().__init__(lr)
+        check_in_range("rho", rho, 0.0, 1.0, high_inclusive=False)
+        check_positive("eps", eps)
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self._sq: Dict[int, np.ndarray] = {}
+
+    def _update(self, params: List[Parameter]) -> None:
+        for i, p in enumerate(params):
+            sq = self._sq.get(i)
+            if sq is None:
+                sq = np.zeros_like(p.value)
+            sq = self.rho * sq + (1.0 - self.rho) * p.grad**2
+            self._sq[i] = sq
+            p.value -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction — the paper's choice."""
+
+    def __init__(
+        self,
+        lr: float = 1e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(lr)
+        check_in_range("beta1", beta1, 0.0, 1.0, high_inclusive=False)
+        check_in_range("beta2", beta2, 0.0, 1.0, high_inclusive=False)
+        check_positive("eps", eps)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _update(self, params: List[Parameter]) -> None:
+        t = self.steps + 1
+        bc1 = 1.0 - self.beta1**t
+        bc2 = 1.0 - self.beta2**t
+        for i, p in enumerate(params):
+            m = self._m.get(i)
+            v = self._v.get(i)
+            if m is None:
+                m = np.zeros_like(p.value)
+                v = np.zeros_like(p.value)
+            m = self.beta1 * m + (1.0 - self.beta1) * p.grad
+            v = self.beta2 * v + (1.0 - self.beta2) * p.grad**2
+            self._m[i] = m
+            self._v[i] = v
+            p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {"adam.steps": np.array([self.steps])}
+        for i, m in self._m.items():
+            out[f"adam.m.{i}"] = m
+        for i, v in self._v.items():
+            out[f"adam.v.{i}"] = v
+        return out
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._m.clear()
+        self._v.clear()
+        for key, arr in arrays.items():
+            if key == "adam.steps":
+                self.steps = int(arr[0])
+            elif key.startswith("adam.m."):
+                self._m[int(key.rsplit(".", 1)[1])] = np.array(arr)
+            elif key.startswith("adam.v."):
+                self._v[int(key.rsplit(".", 1)[1])] = np.array(arr)

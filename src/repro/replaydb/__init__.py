@@ -1,0 +1,33 @@
+"""Experience-replay database (§3.5).
+
+The paper keeps system status and actions "in two tables that are
+indexed by t" in a SQLite database with write-ahead logging, cached
+in memory as NumPy arrays for training speed (artifact appendix A.2.3:
+"the cache data is stored in a memory-efficient manner using NumPy
+arrays").  This package reproduces that split:
+
+- :mod:`db` — the durable SQLite store (stdlib ``sqlite3``, WAL mode);
+- :mod:`cache` — the in-memory ring of frames/actions/rewards that
+  training actually reads;
+- :mod:`sampler` — Algorithm 1: uniform-timestamp minibatch
+  construction with per-observation completeness checking and the 20 %
+  missing-entry tolerance of Table 1.
+
+:class:`~repro.replaydb.db.ReplayDB` is the façade combining all three.
+"""
+
+from repro.replaydb.cache import ReplayCache
+from repro.replaydb.prioritized import PrioritizedMinibatch, PrioritizedSampler
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import TickRecord, Transition
+from repro.replaydb.sampler import MinibatchSampler
+
+__all__ = [
+    "PrioritizedSampler",
+    "PrioritizedMinibatch",
+    "ReplayDB",
+    "ReplayCache",
+    "MinibatchSampler",
+    "TickRecord",
+    "Transition",
+]

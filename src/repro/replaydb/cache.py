@@ -1,0 +1,145 @@
+"""In-memory replay cache: NumPy ring over per-tick records.
+
+Training never touches SQLite on the hot path — the DQN trainer samples
+from this cache, which stores frames, actions and rewards in
+preallocated arrays (one row per tick).  The paper sizes the cache to
+hold the whole database ("the node that the Replay DB runs on should
+have plenty of RAM, ideally to keep the whole database in memory");
+here the capacity is explicit and eviction is oldest-first.
+
+Ticks may arrive with gaps (dropped monitoring messages).  The cache is
+indexed by tick number, not by arrival order, and tracks a validity
+mask so the sampler can honour the missing-entry tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.replaydb.records import TickRecord
+from repro.util.validation import check_positive
+
+
+class ReplayCache:
+    """Tick-indexed ring of (frame, action, reward) rows."""
+
+    def __init__(self, frame_width: int, capacity: int = 250_000):
+        check_positive("frame_width", frame_width)
+        check_positive("capacity", capacity)
+        self.frame_width = int(frame_width)
+        self.capacity = int(capacity)
+        self._frames = np.zeros((capacity, frame_width), dtype=np.float64)
+        self._actions = np.full(capacity, -1, dtype=np.int64)
+        self._rewards = np.zeros(capacity, dtype=np.float64)
+        self._valid = np.zeros(capacity, dtype=bool)
+        self._min_tick: Optional[int] = None
+        self._max_tick: Optional[int] = None
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def min_tick(self) -> Optional[int]:
+        return self._min_tick
+
+    @property
+    def max_tick(self) -> Optional[int]:
+        return self._max_tick
+
+    def _slot(self, tick: int) -> int:
+        return tick % self.capacity
+
+    def put(self, record: TickRecord) -> None:
+        """Insert or update the row for ``record.tick``.
+
+        Ticks older than ``max_tick - capacity`` are rejected — they
+        would alias a newer slot in the ring.
+        """
+        frame = np.asarray(record.frame, dtype=np.float64)
+        if frame.shape != (self.frame_width,):
+            raise ValueError(
+                f"frame shape {frame.shape} != ({self.frame_width},)"
+            )
+        tick = int(record.tick)
+        if tick < 0:
+            raise ValueError(f"tick must be >= 0, got {tick}")
+        if self._max_tick is not None and tick <= self._max_tick - self.capacity:
+            raise ValueError(
+                f"tick {tick} too old for ring of capacity {self.capacity} "
+                f"(newest is {self._max_tick})"
+            )
+        slot = self._slot(tick)
+        if not self._valid[slot]:
+            self._count += 1
+        self._frames[slot] = frame
+        self._actions[slot] = record.action
+        self._rewards[slot] = record.reward
+        self._valid[slot] = True
+        if self._max_tick is None or tick > self._max_tick:
+            self._max_tick = tick
+        if self._min_tick is None or tick < self._min_tick:
+            self._min_tick = tick
+        # Evicted region: any slot between old min and the ring horizon.
+        horizon = self._max_tick - self.capacity + 1
+        if self._min_tick is not None and self._min_tick < horizon:
+            self._min_tick = horizon
+
+    def set_action(self, tick: int, action: int) -> None:
+        """Attach the action taken at ``tick`` (arrives separately)."""
+        slot = self._slot(int(tick))
+        if not self._valid[slot]:
+            raise KeyError(f"no frame stored for tick {tick}")
+        self._actions[slot] = int(action)
+
+    def set_reward(self, tick: int, reward: float) -> None:
+        slot = self._slot(int(tick))
+        if not self._valid[slot]:
+            raise KeyError(f"no frame stored for tick {tick}")
+        self._rewards[slot] = float(reward)
+
+    def has(self, tick: int) -> bool:
+        if tick < 0 or self._max_tick is None:
+            return False
+        if tick > self._max_tick or tick <= self._max_tick - self.capacity:
+            return False
+        return bool(self._valid[self._slot(tick)])
+
+    def get(self, tick: int) -> TickRecord:
+        if not self.has(tick):
+            raise KeyError(f"tick {tick} not in cache")
+        slot = self._slot(tick)
+        return TickRecord(
+            tick=tick,
+            frame=self._frames[slot].copy(),
+            action=int(self._actions[slot]),
+            reward=float(self._rewards[slot]),
+        )
+
+    def window(self, first_tick: int, n_ticks: int) -> tuple[np.ndarray, np.ndarray]:
+        """Frames for ``[first_tick, first_tick + n_ticks)`` plus validity.
+
+        Missing ticks come back as zero rows with ``valid=False`` — the
+        observation builder decides whether the gap budget allows using
+        the window (missing-entry tolerance).
+        """
+        if n_ticks <= 0:
+            raise ValueError(f"n_ticks must be > 0, got {n_ticks}")
+        frames = np.zeros((n_ticks, self.frame_width), dtype=np.float64)
+        valid = np.zeros(n_ticks, dtype=bool)
+        for i, tick in enumerate(range(first_tick, first_tick + n_ticks)):
+            if self.has(tick):
+                frames[i] = self._frames[self._slot(tick)]
+                valid[i] = True
+        return frames, valid
+
+    def nbytes(self) -> int:
+        """Resident memory of the cache arrays (Table 2's in-memory size)."""
+        return (
+            self._frames.nbytes
+            + self._actions.nbytes
+            + self._rewards.nbytes
+            + self._valid.nbytes
+        )

@@ -1,0 +1,138 @@
+"""Durable replay store: SQLite with write-ahead logging (§4.1).
+
+"The Replay DB is a SQLite database using Write-Ahead-Logging for
+optimal concurrent write/read performance."  Observations and actions
+live in two tables indexed by tick, exactly as §3.5 describes; rewards
+are stored with the observations (the objective value measured over the
+tick).  :class:`ReplayDB` wraps the SQLite store together with the
+in-memory :class:`~repro.replaydb.cache.ReplayCache`; writers go through
+the façade so both layers stay consistent, and training reads only ever
+hit the cache.
+
+An in-memory database (``path=":memory:"``) is the default for
+simulation runs; pass a real path to persist across sessions, which is
+how Figure 4's multi-session experiment reloads its history.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.replaydb.cache import ReplayCache
+from repro.replaydb.records import TickRecord
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS observations (
+    tick   INTEGER PRIMARY KEY,
+    frame  BLOB NOT NULL,
+    reward REAL NOT NULL DEFAULT 0.0
+);
+CREATE TABLE IF NOT EXISTS actions (
+    tick   INTEGER PRIMARY KEY,
+    action INTEGER NOT NULL
+);
+"""
+
+
+class ReplayDB:
+    """SQLite-backed replay database with a NumPy read cache."""
+
+    def __init__(
+        self,
+        frame_width: int,
+        path: str = ":memory:",
+        cache_capacity: int = 250_000,
+    ):
+        self.frame_width = int(frame_width)
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        # WAL needs a real file; in-memory databases silently keep their
+        # default journal, which is fine for simulation runs.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self.cache = ReplayCache(frame_width, capacity=cache_capacity)
+        self._load_existing()
+
+    # -- persistence ------------------------------------------------------
+    def _load_existing(self) -> None:
+        """Warm the cache from whatever the database already holds."""
+        rows = self._conn.execute(
+            "SELECT o.tick, o.frame, o.reward, a.action FROM observations o "
+            "LEFT JOIN actions a ON a.tick = o.tick ORDER BY o.tick"
+        ).fetchall()
+        for tick, blob, reward, action in rows:
+            frame = np.frombuffer(blob, dtype=np.float64)
+            if frame.shape != (self.frame_width,):
+                raise ValueError(
+                    f"stored frame at tick {tick} has width {frame.shape}, "
+                    f"database was created with a different PI layout"
+                )
+            self.cache.put(
+                TickRecord(
+                    tick=tick,
+                    frame=frame.copy(),
+                    action=-1 if action is None else int(action),
+                    reward=float(reward),
+                )
+            )
+
+    # -- writer API (used by the Interface Daemon) -------------------------
+    def put_observation(self, tick: int, frame: np.ndarray, reward: float = 0.0) -> None:
+        frame = np.ascontiguousarray(frame, dtype=np.float64)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO observations (tick, frame, reward) "
+            "VALUES (?, ?, ?)",
+            (int(tick), frame.tobytes(), float(reward)),
+        )
+        self.cache.put(TickRecord(tick=int(tick), frame=frame, reward=float(reward)))
+
+    def put_action(self, tick: int, action: int) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO actions (tick, action) VALUES (?, ?)",
+            (int(tick), int(action)),
+        )
+        if self.cache.has(int(tick)):
+            self.cache.set_action(int(tick), int(action))
+
+    def set_reward(self, tick: int, reward: float) -> None:
+        self._conn.execute(
+            "UPDATE observations SET reward = ? WHERE tick = ?",
+            (float(reward), int(tick)),
+        )
+        if self.cache.has(int(tick)):
+            self.cache.set_reward(int(tick), float(reward))
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.commit()
+        self._conn.close()
+
+    # -- reader API -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    def record_count(self) -> int:
+        """Durable row count (Table 2's 'number of records')."""
+        (n,) = self._conn.execute("SELECT COUNT(*) FROM observations").fetchone()
+        return int(n)
+
+    def on_disk_bytes(self) -> int:
+        """Approximate database size (page_count × page_size)."""
+        (pages,) = self._conn.execute("PRAGMA page_count").fetchone()
+        (size,) = self._conn.execute("PRAGMA page_size").fetchone()
+        return int(pages) * int(size)
+
+    def in_memory_bytes(self) -> int:
+        return self.cache.nbytes()
+
+    def __enter__(self) -> "ReplayDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

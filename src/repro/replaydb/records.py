@@ -1,0 +1,52 @@
+"""Record types stored in and sampled from the replay database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TickRecord:
+    """Everything the system learned about one sampling tick.
+
+    ``frame`` is the cluster-wide PI vector (all clients concatenated in
+    client order); ``action`` is the action index taken at this tick
+    (-1 when no action was recorded, e.g. monitoring-only operation);
+    ``reward`` is the objective value measured over this tick.
+    """
+
+    tick: int
+    frame: np.ndarray
+    action: int = -1
+    reward: float = 0.0
+
+
+@dataclass
+class Transition:
+    """One training sample w_t = (s_t, s_{t+1}, a_t, r_t) — §3.5.
+
+    ``s_t`` / ``s_next`` are stacked observations (S ticks × features,
+    flattened); ``reward`` is the objective measured at t+1, i.e. the
+    immediate consequence of acting at t.
+    """
+
+    tick: int
+    s_t: np.ndarray
+    s_next: np.ndarray
+    action: int
+    reward: float
+
+
+@dataclass
+class Minibatch:
+    """Vectorised batch of transitions ready for the DNN trainer."""
+
+    s_t: np.ndarray  # (n, obs_dim)
+    s_next: np.ndarray  # (n, obs_dim)
+    actions: np.ndarray  # (n,) int64
+    rewards: np.ndarray  # (n,) float64
+
+    def __len__(self) -> int:
+        return self.s_t.shape[0]

@@ -1,0 +1,148 @@
+"""Algorithm 1: minibatch construction from the replay database.
+
+Reproduces the paper's sampler faithfully:
+
+1. uniformly generate candidate timestamps;
+2. for each, check that the Replay DB "contains enough data" at that
+   timestamp — here, that the stacked observation windows for s_t and
+   s_{t+1} are present, allowing up to ``missing_tolerance`` of their
+   frames to be absent (Table 1: 20 %), and that an action was recorded
+   at t;
+3. keep collecting until the batch holds exactly n samples.
+
+Missing frames inside an accepted window are filled by carrying the
+most recent earlier frame forward (a sensible imputation for slowly
+varying system state), or zeros when nothing precedes them.
+
+The reward of a transition at tick t is the objective measured at
+t+1 — "we can measure the change of I/O throughput at the next second
+to use it as the reward" (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.replaydb.cache import ReplayCache
+from repro.replaydb.records import Minibatch, Transition
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_in_range, check_positive
+
+
+class SamplerStarvedError(RuntimeError):
+    """Raised when the DB cannot possibly satisfy a batch request."""
+
+
+def _impute_forward(frames: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Carry the last valid row forward over gaps (in place on a copy)."""
+    out = frames.copy()
+    last: Optional[np.ndarray] = None
+    for i in range(out.shape[0]):
+        if valid[i]:
+            last = out[i]
+        elif last is not None:
+            out[i] = last
+    return out
+
+
+class MinibatchSampler:
+    """Uniform-timestamp transition sampler over a :class:`ReplayCache`."""
+
+    def __init__(
+        self,
+        cache: ReplayCache,
+        obs_ticks: int = 10,
+        missing_tolerance: float = 0.20,
+        seed=None,
+    ):
+        check_positive("obs_ticks", obs_ticks)
+        check_in_range("missing_tolerance", missing_tolerance, 0.0, 1.0)
+        self.cache = cache
+        self.obs_ticks = int(obs_ticks)
+        self.missing_tolerance = float(missing_tolerance)
+        self.rng = ensure_rng(seed)
+
+    @property
+    def obs_dim(self) -> int:
+        """Flattened observation size (S ticks × frame width)."""
+        return self.obs_ticks * self.cache.frame_width
+
+    # -- single transitions ------------------------------------------------
+    def observation_at(self, tick: int) -> Optional[np.ndarray]:
+        """Stacked observation s_t ending at ``tick``, or None if the
+        window misses more frames than tolerated."""
+        first = tick - self.obs_ticks + 1
+        if first < 0:
+            return None
+        frames, valid = self.cache.window(first, self.obs_ticks)
+        missing = int((~valid).sum())
+        if missing > self.missing_tolerance * self.obs_ticks:
+            return None
+        if missing:
+            frames = _impute_forward(frames, valid)
+        return frames.reshape(-1)
+
+    def transition_at(self, tick: int) -> Optional[Transition]:
+        """Build w_t = (s_t, s_{t+1}, a_t, r_{t+1}) or None if incomplete."""
+        if not self.cache.has(tick) or not self.cache.has(tick + 1):
+            return None
+        rec = self.cache.get(tick)
+        if rec.action < 0:
+            return None  # no action recorded at t (monitoring-only tick)
+        s_t = self.observation_at(tick)
+        if s_t is None:
+            return None
+        s_next = self.observation_at(tick + 1)
+        if s_next is None:
+            return None
+        reward = self.cache.get(tick + 1).reward
+        return Transition(
+            tick=tick, s_t=s_t, s_next=s_next, action=rec.action, reward=reward
+        )
+
+    # -- Algorithm 1 -----------------------------------------------------------
+    def eligible_range(self) -> Optional[tuple[int, int]]:
+        """Inclusive tick range candidates are drawn from, or None."""
+        lo, hi = self.cache.min_tick, self.cache.max_tick
+        if lo is None or hi is None:
+            return None
+        first = max(lo + self.obs_ticks - 1, 0)
+        last = hi - 1  # t+1 must exist
+        if last < first:
+            return None
+        return first, last
+
+    def sample_minibatch(self, n: int, max_attempts: int = 200) -> Minibatch:
+        """ConstructMinibatch(n) — keep drawing until n samples collected."""
+        check_positive("n", n)
+        rng_range = self.eligible_range()
+        if rng_range is None:
+            raise SamplerStarvedError(
+                "replay DB does not yet span one full observation window"
+            )
+        first, last = rng_range
+        collected: list[Transition] = []
+        needed = n
+        attempts = 0
+        while needed > 0:
+            attempts += 1
+            if attempts > max_attempts:
+                raise SamplerStarvedError(
+                    f"could not fill a minibatch of {n} after {max_attempts} "
+                    f"rounds; too many incomplete timestamps"
+                )
+            ticks = self.rng.integers(first, last + 1, size=needed)
+            for t in ticks:
+                tr = self.transition_at(int(t))
+                if tr is not None:
+                    collected.append(tr)
+            needed = n - len(collected)
+        collected = collected[:n]
+        return Minibatch(
+            s_t=np.stack([t.s_t for t in collected]),
+            s_next=np.stack([t.s_next for t in collected]),
+            actions=np.array([t.action for t in collected], dtype=np.int64),
+            rewards=np.array([t.reward for t in collected], dtype=np.float64),
+        )

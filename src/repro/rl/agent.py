@@ -1,0 +1,140 @@
+"""The DQN agent: ε-greedy acting + experience-replay training.
+
+Brings together the Q-network, its slowly tracking target copy, the
+Adam optimiser, the ε schedule and the replay sampler.  ``train_step``
+implements Equation 1:
+
+    L(θ) = E_D[(r + γ·max_a' Q(s', a'; θ⁻) − Q(s, a; θ))²]
+
+followed by the per-minibatch soft target update.  The loss history is
+the paper's *prediction error* trace (Figure 5): "the difference between
+the neural network's predicted performance ... and the actual system
+performance one second later".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.network import MLP
+from repro.nn.optimizers import Adam, Optimizer
+from repro.replaydb.records import Minibatch
+from repro.replaydb.sampler import MinibatchSampler, SamplerStarvedError
+from repro.rl.epsilon import EpsilonSchedule
+from repro.rl.hyperparams import Hyperparameters
+from repro.rl.qnetwork import QNetwork
+from repro.rl.target import soft_update
+from repro.util.rng import ensure_rng
+
+
+class DQNAgent:
+    """Deep Q-learning agent over a discrete action space."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        n_actions: int,
+        hp: Optional[Hyperparameters] = None,
+        optimizer: Optional[Optimizer] = None,
+        loss: str = "mse",
+        double_dqn: bool = False,
+        use_batchnorm: bool = False,
+        rng=None,
+    ):
+        self.hp = hp or Hyperparameters()
+        #: Double-DQN target selection (van Hasselt et al., 2016).  Off
+        #: by default — the paper predates it — but exposed because the
+        #: vanilla max-operator's optimism bias is the classic cause of
+        #: runaway Q-values on short, noisy sessions (see the ablation
+        #: bench).
+        self.double_dqn = bool(double_dqn)
+        self.rng = ensure_rng(rng)
+        net = MLP.for_q_network(
+            obs_dim,
+            n_actions,
+            n_hidden_layers=self.hp.n_hidden_layers,
+            hidden_size=self.hp.hidden_layer_size,
+            use_batchnorm=use_batchnorm,
+            rng=self.rng,
+        )
+        self.online = QNetwork(net, loss=loss)
+        self.target = QNetwork(net.clone(), loss=loss)
+        self.optimizer = optimizer or Adam(lr=self.hp.adam_learning_rate)
+        self.epsilon = EpsilonSchedule(
+            initial=self.hp.epsilon_initial,
+            final=self.hp.epsilon_final,
+            anneal_ticks=self.hp.exploration_ticks,
+            bump_value=self.hp.epsilon_workload_bump,
+        )
+        self.loss_history: List[float] = []
+        self.train_steps = 0
+        self.actions_taken = 0
+        self.random_actions_taken = 0
+
+    @property
+    def n_actions(self) -> int:
+        return self.online.n_actions
+
+    @property
+    def obs_dim(self) -> int:
+        return self.online.obs_dim
+
+    # -- acting --------------------------------------------------------------
+    def act(self, obs: np.ndarray, greedy: bool = False) -> int:
+        """ε-greedy action for ``obs``; ``greedy=True`` skips exploration."""
+        self.actions_taken += 1
+        if not greedy:
+            eps = self.epsilon.step()
+            if self.rng.random() < eps:
+                self.random_actions_taken += 1
+                return int(self.rng.integers(self.n_actions))
+        # Single-observation inference: normalization layers (if any)
+        # must use running statistics, not the degenerate batch of one.
+        self.online.net.eval_mode()
+        try:
+            return self.online.best_action(obs)
+        finally:
+            self.online.net.train_mode()
+
+    def notify_workload_change(self) -> None:
+        """§3.6: bump ε when the Interface Daemon reports a new workload."""
+        self.epsilon.bump()
+
+    # -- training --------------------------------------------------------------
+    def bellman_targets(self, batch: Minibatch) -> np.ndarray:
+        """y = r + γ·max_a' Q(s', a'; θ⁻) — Equation 1's target.
+
+        With ``double_dqn`` the action is chosen by the online network
+        and only *valued* by the target network, removing the max
+        operator's optimism bias.
+        """
+        q_next = self.target.q_values(batch.s_next)  # (n, A)
+        if self.double_dqn:
+            chosen = np.argmax(self.online.q_values(batch.s_next), axis=1)
+            future = q_next[np.arange(len(batch)), chosen]
+        else:
+            future = q_next.max(axis=1)
+        return batch.rewards + self.hp.discount_rate * future
+
+    def train_step(self, batch: Minibatch) -> float:
+        """One SGD update on one minibatch; returns the prediction error."""
+        targets = self.bellman_targets(batch)
+        self.online.net.zero_grad()
+        loss = self.online.td_backward(batch.s_t, batch.actions, targets)
+        self.optimizer.step(self.online.net.parameters())
+        soft_update(
+            self.target.net, self.online.net, self.hp.target_network_update_rate
+        )
+        self.loss_history.append(loss)
+        self.train_steps += 1
+        return loss
+
+    def train_from_sampler(self, sampler: MinibatchSampler) -> Optional[float]:
+        """Sample one minibatch and train; None if the DB is too sparse."""
+        try:
+            batch = sampler.sample_minibatch(self.hp.minibatch_size)
+        except SamplerStarvedError:
+            return None
+        return self.train_step(batch)

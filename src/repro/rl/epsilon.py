@@ -1,0 +1,59 @@
+"""ε-greedy exploration schedule (§3.6).
+
+Linear anneal from ``initial`` to ``final`` over ``anneal_ticks`` steps.
+On a workload change the schedule is bumped up to ``bump_value`` ("so
+that the tuning agent can do some exploration while avoiding local
+maximums") and resumes annealing downward at the same per-tick rate.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_in_range, check_positive
+
+
+class EpsilonSchedule:
+    """Stateful exploration-rate schedule stepped once per action tick."""
+
+    def __init__(
+        self,
+        initial: float = 1.0,
+        final: float = 0.05,
+        anneal_ticks: int = 7200,
+        bump_value: float = 0.20,
+    ):
+        check_in_range("initial", initial, 0.0, 1.0)
+        check_in_range("final", final, 0.0, 1.0)
+        if final > initial:
+            raise ValueError(f"final ({final}) must be <= initial ({initial})")
+        check_positive("anneal_ticks", anneal_ticks)
+        check_in_range("bump_value", bump_value, 0.0, 1.0)
+        self.initial = float(initial)
+        self.final = float(final)
+        self.anneal_ticks = int(anneal_ticks)
+        self.bump_value = float(bump_value)
+        self._rate = (self.initial - self.final) / self.anneal_ticks
+        self._value = self.initial
+        self.ticks = 0
+        self.bumps = 0
+
+    @property
+    def value(self) -> float:
+        """Current probability of taking a random action."""
+        return self._value
+
+    def step(self) -> float:
+        """Advance one action tick; returns the ε to use *this* tick."""
+        current = self._value
+        self._value = max(self.final, self._value - self._rate)
+        self.ticks += 1
+        return current
+
+    def bump(self) -> None:
+        """Workload change: raise ε to the bump value (never lowers it)."""
+        if self._value < self.bump_value:
+            self._value = self.bump_value
+            self.bumps += 1
+
+    def freeze_final(self) -> None:
+        """Jump straight to the final ε (evaluation sessions)."""
+        self._value = self.final

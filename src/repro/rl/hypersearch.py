@@ -1,0 +1,123 @@
+"""Systematic hyperparameter search (§6 future work).
+
+"We will also need to use a systematic approach to hyperparameter
+optimization, such as using grid search."
+
+:class:`GridSearch` sweeps the cross product of per-field value lists
+over :class:`~repro.rl.hyperparams.Hyperparameters`; evaluation is a
+user callback (typically: run a compressed CAPES session, return the
+tuned throughput).  :class:`RandomSampler` draws configurations
+uniformly from the same grid when the cross product is too large —
+random search is the other method §2 names for hyperparameter
+optimization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.rl.hyperparams import Hyperparameters
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+#: Evaluates one configuration; higher return values are better.
+EvalFn = Callable[[Hyperparameters], float]
+
+
+@dataclass
+class SearchResult:
+    """Best configuration found plus the full evaluation trace."""
+
+    best: Hyperparameters
+    best_score: float
+    trace: List[Tuple[Dict[str, object], float]] = field(default_factory=list)
+
+    @property
+    def n_evaluated(self) -> int:
+        return len(self.trace)
+
+
+def _validate_grid(base: Hyperparameters, grid: Dict[str, Sequence]) -> None:
+    if not grid:
+        raise ValueError("grid must name at least one hyperparameter")
+    for name, values in grid.items():
+        if not hasattr(base, name):
+            raise KeyError(f"unknown hyperparameter {name!r}")
+        if len(values) == 0:
+            raise ValueError(f"grid for {name!r} is empty")
+
+
+class GridSearch:
+    """Exhaustive sweep over a per-field value grid."""
+
+    def __init__(self, base: Hyperparameters, grid: Dict[str, Sequence]):
+        _validate_grid(base, grid)
+        self.base = base
+        self.grid = {k: list(v) for k, v in grid.items()}
+
+    def configurations(self) -> Iterator[Hyperparameters]:
+        """All points of the grid, in deterministic field order."""
+        names = sorted(self.grid)
+        for combo in itertools.product(*(self.grid[n] for n in names)):
+            yield replace(self.base, **dict(zip(names, combo)))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        return n
+
+    def run(self, evaluate: EvalFn) -> SearchResult:
+        """Evaluate every grid point; return the argmax."""
+        best = None
+        best_score = -float("inf")
+        trace: List[Tuple[Dict[str, object], float]] = []
+        names = sorted(self.grid)
+        for hp in self.configurations():
+            score = float(evaluate(hp))
+            point = {n: getattr(hp, n) for n in names}
+            trace.append((point, score))
+            if score > best_score:
+                best, best_score = hp, score
+        assert best is not None
+        return SearchResult(best=best, best_score=best_score, trace=trace)
+
+
+class RandomSampler:
+    """Uniform random draws from the same grid specification."""
+
+    def __init__(
+        self,
+        base: Hyperparameters,
+        grid: Dict[str, Sequence],
+        seed=None,
+    ):
+        _validate_grid(base, grid)
+        self.base = base
+        self.grid = {k: list(v) for k, v in grid.items()}
+        self.rng = ensure_rng(seed)
+
+    def sample(self) -> Hyperparameters:
+        values = {
+            name: vals[int(self.rng.integers(len(vals)))]
+            for name, vals in self.grid.items()
+        }
+        return replace(self.base, **values)
+
+    def run(self, evaluate: EvalFn, budget: int) -> SearchResult:
+        check_positive("budget", budget)
+        best = None
+        best_score = -float("inf")
+        trace: List[Tuple[Dict[str, object], float]] = []
+        names = sorted(self.grid)
+        for _ in range(budget):
+            hp = self.sample()
+            score = float(evaluate(hp))
+            trace.append(({n: getattr(hp, n) for n in names}, score))
+            if score > best_score:
+                best, best_score = hp, score
+        assert best is not None
+        return SearchResult(best=best, best_score=best_score, trace=trace)

@@ -1,0 +1,117 @@
+"""Policy interpretability probes (§6).
+
+"DNN-based reinforcement learning does have a disadvantage in that it
+can be difficult to explain how the trained model works."  These probes
+make the learned policy legible after the fact:
+
+- :func:`policy_table` — sweep one tunable parameter across its range
+  inside otherwise-frozen observations and report the greedy action at
+  each value.  For the congestion window this reads like a control law
+  ("below 4: NULL/increase, above 5: decrease"), which is how the
+  Figure 2 policies were sanity-checked.
+- :func:`q_sensitivity` — mean |∂Q/∂input| per observation feature,
+  aggregated over a batch of real observations: which PIs the network
+  actually attends to (a gradient-based saliency, the standard
+  first-look tool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.actions import ActionSpace, TunableParameter
+from repro.rl.agent import DQNAgent
+
+
+@dataclass
+class PolicyRow:
+    """Greedy decision at one probed parameter value."""
+
+    value: float
+    action: int
+    action_label: str
+    q_values: np.ndarray
+
+
+def policy_table(
+    agent: DQNAgent,
+    action_space: ActionSpace,
+    base_obs: np.ndarray,
+    parameter: str,
+    feature_indices: Sequence[int],
+    feature_scale: float,
+    values: Optional[Sequence[float]] = None,
+) -> List[PolicyRow]:
+    """Greedy action as a function of one parameter's observed value.
+
+    ``base_obs`` is a real observation to perturb; ``feature_indices``
+    are the positions (within the flattened observation) holding that
+    parameter's PI — e.g. every OSC's ``max_rpcs_in_flight`` slot across
+    all stacked ticks — and ``feature_scale`` is the indicator's scale
+    divisor, so probe values are written in engineering units.
+    """
+    params = {p.name: p for p in action_space.parameters}
+    if parameter not in params:
+        raise KeyError(f"unknown tunable parameter {parameter!r}")
+    p: TunableParameter = params[parameter]
+    if values is None:
+        n_steps = int(round((p.high - p.low) / p.step))
+        stride = max(1, n_steps // 16)
+        values = [p.low + i * p.step for i in range(0, n_steps + 1, stride)]
+    base = np.asarray(base_obs, dtype=np.float64)
+    if base.ndim != 1:
+        raise ValueError(f"base_obs must be flat, got shape {base.shape}")
+    idx = np.asarray(list(feature_indices), dtype=np.int64)
+    if idx.size == 0 or idx.max() >= base.size:
+        raise ValueError("feature_indices empty or out of range")
+    rows: List[PolicyRow] = []
+    for v in values:
+        obs = base.copy()
+        obs[idx] = float(v) / feature_scale
+        q = agent.online.q_values(obs)
+        a = int(np.argmax(q))
+        rows.append(
+            PolicyRow(
+                value=float(v),
+                action=a,
+                action_label=action_space.describe(a),
+                q_values=np.asarray(q, dtype=np.float64),
+            )
+        )
+    return rows
+
+
+def format_policy_table(rows: Sequence[PolicyRow], parameter: str) -> str:
+    """Human-readable rendering of :func:`policy_table` output."""
+    lines = [f"{parameter:>12}  greedy action"]
+    for row in rows:
+        lines.append(f"{row.value:>12g}  {row.action_label}")
+    return "\n".join(lines)
+
+
+def q_sensitivity(agent: DQNAgent, observations: np.ndarray) -> np.ndarray:
+    """Mean absolute gradient of max-Q w.r.t. each input feature.
+
+    Returns a vector of ``obs_dim`` saliencies, averaged over the given
+    batch of observations.  Computed by backpropagating a one-hot
+    gradient through the greedy action's output.
+    """
+    obs = np.asarray(observations, dtype=np.float64)
+    if obs.ndim == 1:
+        obs = obs[None, :]
+    if obs.shape[1] != agent.obs_dim:
+        raise ValueError(
+            f"observations have width {obs.shape[1]}, agent expects "
+            f"{agent.obs_dim}"
+        )
+    net = agent.online.net
+    net.zero_grad()
+    q = net.forward(obs)  # (n, A)
+    grad_out = np.zeros_like(q)
+    grad_out[np.arange(len(obs)), np.argmax(q, axis=1)] = 1.0
+    grad_in = net.backward(grad_out)  # (n, obs_dim)
+    net.zero_grad()  # don't leak probe gradients into training
+    return np.abs(grad_in).mean(axis=0)

@@ -1,0 +1,32 @@
+"""Target-network soft updates (§3.4).
+
+"For each minibatch, we update the target network's θ⁻ using θ:
+θ⁻ = θ⁻ × (1 − α) + θ × α" — the slowly-tracking copy that stabilises
+the bootstrapped Bellman targets.
+"""
+
+from __future__ import annotations
+
+from repro.nn.network import MLP
+from repro.util.validation import check_in_range
+
+
+def soft_update(target: MLP, online: MLP, alpha: float) -> None:
+    """Blend ``online`` weights into ``target`` in place.
+
+    ``alpha=1`` copies outright (hard update); Table 1 uses 0.01.
+    """
+    check_in_range("alpha", alpha, 0.0, 1.0)
+    t_params = target.parameters()
+    o_params = online.parameters()
+    if len(t_params) != len(o_params):
+        raise ValueError(
+            f"network shapes differ: {len(t_params)} vs {len(o_params)} tensors"
+        )
+    for tp, op in zip(t_params, o_params):
+        if tp.value.shape != op.value.shape:
+            raise ValueError(
+                f"{tp.name}: shape {tp.value.shape} != {op.value.shape}"
+            )
+        tp.value *= 1.0 - alpha
+        tp.value += alpha * op.value

@@ -1,0 +1,40 @@
+"""Discrete-event simulation core.
+
+A small, deterministic, coroutine-style discrete-event engine in the
+spirit of SimPy, built from scratch because the reproduction may not use
+third-party simulation packages.  The Lustre-like cluster model
+(:mod:`repro.cluster`) and the workload generators
+(:mod:`repro.workloads`) are written as processes on top of this engine.
+
+Quick tour::
+
+    from repro.sim import Simulator, Timeout
+
+    sim = Simulator()
+
+    def hello(sim):
+        yield Timeout(1.0)
+        print("one simulated second elapsed at", sim.now)
+
+    sim.spawn(hello(sim))
+    sim.run(until=10.0)
+"""
+
+from repro.sim.engine import Event, Simulator, Timeout
+from repro.sim.errors import Interrupted, SimulationError
+from repro.sim.process import AllOf, AnyOf, Process
+from repro.sim.resources import Resource, Store, TokenBucket
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Store",
+    "TokenBucket",
+    "SimulationError",
+    "Interrupted",
+]

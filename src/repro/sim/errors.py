@@ -1,0 +1,21 @@
+"""Exception types raised by the simulation engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Generic engine failure (scheduling into the past, re-triggering an
+    already-fired event, deadlock detection, ...)."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process that another process interrupted.
+
+    Carries the ``cause`` the interrupter supplied, mirroring SimPy's
+    ``Interrupt``.  Cluster code uses this for cancelling in-flight RPCs
+    when a client is reconfigured mid-request.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause

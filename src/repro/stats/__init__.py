@@ -1,0 +1,45 @@
+"""Pilot-style measurement statistics (paper appendix B).
+
+Every throughput number in the paper carries a 95 % confidence interval
+computed only after the samples were validated to be i.i.d.; warm-up and
+cool-down phases were removed by changepoint detection.  This package
+reimplements that pipeline:
+
+- :func:`~repro.stats.pilot.autocorrelation` — lag-k sample
+  autocorrelation;
+- :func:`~repro.stats.pilot.subsession_merge` — merge adjacent samples
+  until |autocorrelation| drops below the 0.1 threshold;
+- :func:`~repro.stats.pilot.mean_ci` — Student-t confidence interval;
+- :func:`~repro.stats.pilot.analyze` — the full pipeline producing a
+  :class:`~repro.stats.pilot.MeasurementSummary`;
+- :mod:`~repro.stats.changepoint` — CUSUM changepoint detection and
+  warm-up/cool-down trimming;
+- :mod:`~repro.stats.summary` — comparison helpers (percent change,
+  Welch tests) used by the benchmark harness to print paper-style rows.
+"""
+
+from repro.stats.bootstrap import BootstrapCI, bootstrap_ci, bootstrap_ratio_ci
+from repro.stats.changepoint import detect_changepoint, trim_warmup_cooldown
+from repro.stats.pilot import (
+    MeasurementSummary,
+    analyze,
+    autocorrelation,
+    mean_ci,
+    subsession_merge,
+)
+from repro.stats.summary import compare_measurements, percent_change
+
+__all__ = [
+    "BootstrapCI",
+    "bootstrap_ci",
+    "bootstrap_ratio_ci",
+    "autocorrelation",
+    "subsession_merge",
+    "mean_ci",
+    "analyze",
+    "MeasurementSummary",
+    "detect_changepoint",
+    "trim_warmup_cooldown",
+    "percent_change",
+    "compare_measurements",
+]

@@ -1,0 +1,81 @@
+"""CUSUM changepoint detection and warm-up/cool-down trimming.
+
+Appendix B: "We used a changepoint detection algorithm to detect these
+non-stable phases and removes them from the result calculation."
+
+The detector is the classic cumulative-sum statistic: under a mean
+shift at k, S_k = Σ_{i≤k}(x_i − x̄) peaks near k.  Significance uses
+the standardized maximum |S_k| / (σ̂·√n); for i.i.d. noise this
+statistic converges to the supremum of a Brownian bridge, whose 95th
+percentile is ≈1.36 (the Kolmogorov statistic), giving a closed-form
+threshold with no bootstrap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: 95th percentile of sup|Brownian bridge| (Kolmogorov distribution).
+_BRIDGE_95 = 1.358
+
+
+def detect_changepoint(x: np.ndarray) -> Tuple[Optional[int], float]:
+    """Most likely mean-shift location and its standardized magnitude.
+
+    Returns ``(k, stat)`` where the shift separates ``x[:k+1]`` from
+    ``x[k+1:]``; ``k`` is None when no significant shift is found
+    (stat below the 95 % Brownian-bridge threshold, or degenerate
+    input).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.size
+    if n < 8:
+        return None, 0.0
+    sd = x.std(ddof=1)
+    if sd == 0.0 or not np.isfinite(sd):
+        return None, 0.0
+    cusum = np.cumsum(x - x.mean())
+    # Endpoints are pinned at ~0; interior max marks the shift.
+    k = int(np.argmax(np.abs(cusum[:-1])))
+    stat = float(np.abs(cusum[k]) / (sd * np.sqrt(n)))
+    if stat < _BRIDGE_95:
+        return None, stat
+    return k, stat
+
+
+def trim_warmup_cooldown(
+    x: np.ndarray,
+    max_trim_fraction: float = 0.3,
+    max_rounds: int = 4,
+) -> Tuple[np.ndarray, int, int]:
+    """Remove unstable prefix/suffix phases; returns ``(core, lo, hi)``
+    with ``core = x[lo:hi]``.
+
+    Iteratively: detect a changepoint; if it falls inside the leading
+    ``max_trim_fraction`` of the remaining window, drop the prefix
+    (warm-up); if inside the trailing fraction, drop the suffix
+    (cool-down); interior changepoints are left alone — a genuine
+    mid-run regime change is signal, not measurement artefact.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not 0.0 < max_trim_fraction < 0.5:
+        raise ValueError(
+            f"max_trim_fraction must be in (0, 0.5), got {max_trim_fraction}"
+        )
+    lo, hi = 0, x.size
+    for _ in range(max_rounds):
+        if hi - lo < 8:
+            break
+        k, _stat = detect_changepoint(x[lo:hi])
+        if k is None:
+            break
+        span = hi - lo
+        if k + 1 <= max_trim_fraction * span:
+            lo += k + 1  # warm-up
+        elif k + 1 >= (1.0 - max_trim_fraction) * span:
+            hi = lo + k + 1  # cool-down
+        else:
+            break
+    return x[lo:hi], lo, hi

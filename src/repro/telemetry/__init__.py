@@ -1,0 +1,71 @@
+"""Monitoring-side CAPES components.
+
+- :mod:`indicators` — the performance-indicator (PI) registry: the nine
+  per-OSC indicators §4.1 lists (window size, read/write throughput,
+  dirty bytes, cache size, ping latency, Ack EWMA, Send EWMA, PT ratio)
+  plus the rate limit and in-flight count, with fixed scale factors that
+  bring every input to O(1) before it reaches the DNN.
+- :mod:`monitor` — the per-client Monitoring Agent that samples a PI
+  frame every sampling tick.
+- :mod:`wire` — the differential, compressed wire protocol between
+  agents and the Interface Daemon ("only send out a performance
+  indicator when its data is different from the value of the previous
+  sampling tick", plus zlib compression); provides the message-size
+  measurements of Table 2.
+- :mod:`reward` — objective functions turning measured performance into
+  the scalar reward (single- and multi-objective, §3.2).
+"""
+
+from repro.telemetry.indicators import (
+    OSC_INDICATORS,
+    Indicator,
+    client_frame,
+    frame_labels,
+    frame_width,
+    osc_frame,
+)
+from repro.telemetry.monitor import MonitoringAgent
+from repro.telemetry.server_monitor import (
+    SERVER_INDICATORS,
+    ServerMonitoringAgent,
+    server_frame,
+    server_frame_width,
+)
+from repro.telemetry.timefeat import (
+    TIME_FEATURE_LABELS,
+    time_feature_width,
+    time_features,
+)
+from repro.telemetry.reward import (
+    CombinedObjective,
+    LatencyObjective,
+    Objective,
+    ThroughputObjective,
+    TickRewardSource,
+)
+from repro.telemetry.wire import DifferentialDecoder, DifferentialEncoder, WireStats
+
+__all__ = [
+    "SERVER_INDICATORS",
+    "ServerMonitoringAgent",
+    "server_frame",
+    "server_frame_width",
+    "TIME_FEATURE_LABELS",
+    "time_features",
+    "time_feature_width",
+    "Indicator",
+    "OSC_INDICATORS",
+    "osc_frame",
+    "client_frame",
+    "frame_width",
+    "frame_labels",
+    "MonitoringAgent",
+    "DifferentialEncoder",
+    "DifferentialDecoder",
+    "WireStats",
+    "Objective",
+    "ThroughputObjective",
+    "LatencyObjective",
+    "CombinedObjective",
+    "TickRewardSource",
+]

@@ -1,0 +1,102 @@
+"""Objective functions and per-tick reward measurement (§3.2).
+
+"We use the output of an objective function as the reward.  For
+single-objective tuning, the objective function equals the tuning
+objective measurement, such as throughput or latency.  It is also
+common to use an objective function that combines multiple objectives."
+
+:class:`TickRewardSource` measures the objective once per tick from the
+cluster's counters; the Interface Daemon stores the value alongside the
+tick's observation so the replay sampler can compute transition rewards
+(the reward of acting at tick *t* is the objective measured at *t+1* —
+"we can measure the change of I/O throughput at the next second").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+
+
+class Objective(abc.ABC):
+    """Maps one tick of system measurements to a scalar score."""
+
+    @abc.abstractmethod
+    def score(self, cluster: Cluster, tick_length: float) -> float:
+        """Higher is better.  Called exactly once per sampling tick."""
+
+
+class ThroughputObjective(Objective):
+    """Aggregate I/O throughput in ``scale`` units (default MB/s / 100).
+
+    The paper's primary objective: aggregated read+write throughput
+    across all clients.
+    """
+
+    READER = "reward-throughput"
+
+    def __init__(self, scale: float = 100.0 * MiB):
+        check_positive("scale", scale)
+        self.scale = float(scale)
+
+    def score(self, cluster: Cluster, tick_length: float) -> float:
+        rd = cluster.metrics.counter("cluster.bytes_read").delta(self.READER)
+        wr = cluster.metrics.counter("cluster.bytes_written").delta(self.READER)
+        return (rd + wr) / tick_length / self.scale
+
+
+class LatencyObjective(Objective):
+    """Negated mean ping latency across OSCs (lower latency = higher score)."""
+
+    def __init__(self, scale: float = 0.05):
+        check_positive("scale", scale)
+        self.scale = float(scale)
+
+    def score(self, cluster: Cluster, tick_length: float) -> float:
+        lats = [
+            osc.ping_latency
+            for client in cluster.clients
+            for osc in client.oscs.values()
+        ]
+        mean = sum(lats) / len(lats) if lats else 0.0
+        return -mean / self.scale
+
+
+class CombinedObjective(Objective):
+    """Weighted sum of objectives — the paper's multi-objective hook
+    ("tune for throughput and latency at the same time", §6)."""
+
+    def __init__(self, parts: Sequence[tuple[Objective, float]]):
+        if not parts:
+            raise ValueError("CombinedObjective needs at least one part")
+        self.parts = list(parts)
+
+    def score(self, cluster: Cluster, tick_length: float) -> float:
+        return sum(w * obj.score(cluster, tick_length) for obj, w in self.parts)
+
+
+class TickRewardSource:
+    """Samples the objective once per tick and remembers the last value."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        objective: Objective,
+        tick_length: float = 1.0,
+    ):
+        check_positive("tick_length", tick_length)
+        self.cluster = cluster
+        self.objective = objective
+        self.tick_length = float(tick_length)
+        self.last_value = 0.0
+        self.history: list[float] = []
+
+    def sample(self) -> float:
+        """Measure the objective for the tick that just ended."""
+        self.last_value = self.objective.score(self.cluster, self.tick_length)
+        self.history.append(self.last_value)
+        return self.last_value

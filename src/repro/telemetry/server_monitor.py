@@ -1,0 +1,146 @@
+"""Server-side performance indicators (§6 future work).
+
+"On the Lustre-specific evaluation system, there are many more things
+[that] can be done.  For instance, we can collect information from
+server nodes in addition to client nodes."
+
+Eight indicators per OSS, same scaling discipline as the client PIs:
+queue depth, in-service count, cumulative-rate reads/writes, RPC
+arrival rate, disk busy fraction, seek rate and minimum process time.
+A :class:`ServerMonitoringAgent` mirrors the client agent: one PI frame
+per sampling tick through the same differential wire codec, so enabling
+server monitoring is purely additive — the Interface Daemon treats the
+extra frames as more columns in the cluster frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cluster.metrics import Counter
+from repro.cluster.server import ServerNode
+from repro.sim.engine import Simulator
+from repro.telemetry.indicators import CLIP_BOUND
+from repro.telemetry.wire import DifferentialEncoder
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ServerIndicator:
+    """One server-side PI: reader plus fixed scale."""
+
+    name: str
+    scale: float
+    read: Callable[["ServerPIState", float], float]
+
+
+class ServerPIState:
+    """Per-server sampling state: rate marks over cumulative counters."""
+
+    def __init__(self, server: ServerNode):
+        self.server = server
+        self._last_busy = 0.0
+        self._last_seeks = 0
+        self._last_rpc_in = 0.0
+        self._last_read = 0.0
+        self._last_written = 0.0
+
+    def busy_fraction(self, tick_len: float) -> float:
+        busy = self.server.disk.stats.busy_time
+        frac = (busy - self._last_busy) / tick_len
+        self._last_busy = busy
+        return frac
+
+    def seek_rate(self, tick_len: float) -> float:
+        seeks = self.server.disk.stats.seeks
+        rate = (seeks - self._last_seeks) / tick_len
+        self._last_seeks = seeks
+        return rate
+
+    def _metric_rate(self, name: str, attr: str, tick_len: float) -> float:
+        value = self.server.metrics.value(
+            f"server.{self.server.server_id}.{name}"
+        )
+        last = getattr(self, attr)
+        setattr(self, attr, value)
+        return (value - last) / tick_len
+
+    def rpc_rate(self, tick_len: float) -> float:
+        return self._metric_rate("rpc_in", "_last_rpc_in", tick_len)
+
+    def read_rate(self, tick_len: float) -> float:
+        return self._metric_rate("bytes_read", "_last_read", tick_len)
+
+    def write_rate(self, tick_len: float) -> float:
+        return self._metric_rate("bytes_written", "_last_written", tick_len)
+
+
+SERVER_INDICATORS: List[ServerIndicator] = [
+    ServerIndicator(
+        "queue_depth", 64.0, lambda st, dt: float(st.server.queue_depth)
+    ),
+    ServerIndicator(
+        "in_service", 16.0, lambda st, dt: float(st.server._in_service)
+    ),
+    ServerIndicator("read_rate", 50.0 * MiB, lambda st, dt: st.read_rate(dt)),
+    ServerIndicator(
+        "write_rate", 50.0 * MiB, lambda st, dt: st.write_rate(dt)
+    ),
+    ServerIndicator("rpc_rate", 500.0, lambda st, dt: st.rpc_rate(dt)),
+    ServerIndicator(
+        "disk_busy", 1.0, lambda st, dt: st.busy_fraction(dt)
+    ),
+    ServerIndicator("seek_rate", 200.0, lambda st, dt: st.seek_rate(dt)),
+    ServerIndicator(
+        "min_process_time",
+        0.05,
+        lambda st, dt: st.server.min_process_time or 0.0,
+    ),
+]
+
+
+def server_frame_width() -> int:
+    """PIs per server (8)."""
+    return len(SERVER_INDICATORS)
+
+
+def server_frame(state: ServerPIState, tick_length: float) -> np.ndarray:
+    """Sample all indicators of one server, scaled and clipped."""
+    raw = np.array(
+        [ind.read(state, tick_length) / ind.scale for ind in SERVER_INDICATORS],
+        dtype=np.float64,
+    )
+    return np.clip(raw, -CLIP_BOUND, CLIP_BOUND)
+
+
+class ServerMonitoringAgent:
+    """Per-server monitoring agent (pull mode, like the client agents)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: ServerNode,
+        tick_length: float = 1.0,
+    ):
+        check_positive("tick_length", tick_length)
+        self.sim = sim
+        self.server = server
+        self.tick_length = float(tick_length)
+        self.state = ServerPIState(server)
+        self.encoder = DifferentialEncoder(server_frame_width())
+        self.ticks_sampled = 0
+
+    def sample_frame(self, tick: int) -> np.ndarray:
+        """Raw (decoded-equivalent) frame for this tick."""
+        self.ticks_sampled += 1
+        return server_frame(self.state, self.tick_length)
+
+    def sample_once(self, tick: int) -> bytes:
+        """Wire-encoded frame (when routed over the control network)."""
+        frame = server_frame(self.state, self.tick_length)
+        self.ticks_sampled += 1
+        return self.encoder.encode(tick, frame)

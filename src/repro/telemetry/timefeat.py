@@ -1,0 +1,74 @@
+"""Date/time performance indicators for cyclical workloads (§3.1).
+
+"Date and time should also be included if the workload is known to be
+cyclical, such as many enterprise workloads, however we should not
+include it as a single representation.  Instead, it is easier for the
+DNN to understand if we include the month, day of the week, hour, and
+minute as separate performance indicators."
+
+Simulated time starts at an arbitrary epoch; callers map seconds onto a
+calendar with a configurable epoch offset.  Each component is emitted
+twice, as sine and cosine of its phase — the standard encoding that
+keeps midnight adjacent to 23:59 (a raw 0-59 minute counter would put
+them maximally far apart).  A plain scaled copy is also included so the
+DNN can see absolute position within each period, mirroring the paper's
+"separate performance indicators" guidance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+#: Calendar months vary; the cyclical encoding uses a 30-day period.
+SECONDS_PER_MONTH = 30 * SECONDS_PER_DAY
+
+#: Feature labels in emission order.
+TIME_FEATURE_LABELS: List[str] = [
+    "minute_frac",
+    "minute_sin",
+    "minute_cos",
+    "hour_frac",
+    "hour_sin",
+    "hour_cos",
+    "day_of_week_frac",
+    "day_of_week_sin",
+    "day_of_week_cos",
+    "month_frac",
+    "month_sin",
+    "month_cos",
+]
+
+
+def time_feature_width() -> int:
+    return len(TIME_FEATURE_LABELS)
+
+
+def _phase_triplet(t: float, period: float) -> tuple[float, float, float]:
+    frac = (t % period) / period
+    angle = 2.0 * math.pi * frac
+    return frac, math.sin(angle), math.cos(angle)
+
+
+def time_features(t_seconds: float, epoch_offset: float = 0.0) -> np.ndarray:
+    """The 12-float time feature vector for simulated time ``t_seconds``.
+
+    ``epoch_offset`` places simulated t=0 at an arbitrary calendar
+    instant (e.g. ``3 * SECONDS_PER_DAY + 9 * SECONDS_PER_HOUR`` for
+    "Thursday 09:00").
+    """
+    t = float(t_seconds) + float(epoch_offset)
+    if not math.isfinite(t):
+        raise ValueError(f"non-finite time {t_seconds!r}")
+    out = []
+    out.extend(_phase_triplet(t, SECONDS_PER_HOUR))  # minute-of-hour
+    out.extend(_phase_triplet(t, SECONDS_PER_DAY))  # hour-of-day
+    out.extend(_phase_triplet(t, SECONDS_PER_WEEK))  # day-of-week
+    out.extend(_phase_triplet(t, SECONDS_PER_MONTH))  # day-of-month
+    return np.array(out, dtype=np.float64)

@@ -1,0 +1,128 @@
+"""Differential, compressed agent→daemon wire protocol.
+
+§3.3: "we use a differential communication protocol designed to only
+send out a performance indicator when its data is different from the
+value of the previous sampling tick.  In addition, all network
+communications are compressed."
+
+A message is the zlib-compressed concatenation of ``(uint16 index,
+float32 value)`` pairs for every indicator that changed since the last
+tick, prefixed by the tick number.  The decoder keeps the previous
+frame per sender and reconstructs the full frame.  Message sizes are
+tracked so the Table 2 "average message size per client" row can be
+measured on real traffic.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+_HEADER = struct.Struct("<qH")  # tick number, changed-entry count
+_ENTRY = struct.Struct("<Hf")  # indicator index, float32 value
+
+#: Values closer than this are "unchanged" — float32 wire precision.
+CHANGE_EPS = 1e-7
+
+
+@dataclass
+class WireStats:
+    """Cumulative protocol statistics (Table 2 inputs)."""
+
+    messages: int = 0
+    raw_bytes: int = 0
+    compressed_bytes: int = 0
+    entries_sent: int = 0
+
+    @property
+    def mean_message_size(self) -> float:
+        """Average compressed bytes per message."""
+        return self.compressed_bytes / self.messages if self.messages else 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        return (
+            self.raw_bytes / self.compressed_bytes
+            if self.compressed_bytes
+            else 1.0
+        )
+
+
+class DifferentialEncoder:
+    """Client side: turn PI frames into compact change messages."""
+
+    def __init__(self, frame_width: int):
+        if frame_width <= 0 or frame_width >= 2**16:
+            raise ValueError(f"frame_width out of range: {frame_width}")
+        self.frame_width = int(frame_width)
+        # Mirror of the decoder's state: the last *transmitted* values.
+        # Diffing against the previous frame instead would let sub-epsilon
+        # drift accumulate unsent and desynchronise the decoder.
+        self._sent: Optional[np.ndarray] = None
+        self.stats = WireStats()
+
+    def encode(self, tick: int, frame: np.ndarray) -> bytes:
+        """Encode ``frame`` for ``tick``; first frame is sent in full."""
+        frame = np.asarray(frame, dtype=np.float32)
+        if frame.shape != (self.frame_width,):
+            raise ValueError(
+                f"expected frame of shape ({self.frame_width},), got {frame.shape}"
+            )
+        if self._sent is None:
+            changed = np.arange(self.frame_width)
+            self._sent = frame.copy()
+        else:
+            changed = np.flatnonzero(
+                np.abs(frame - self._sent) > CHANGE_EPS
+            )
+            self._sent[changed] = frame[changed]
+        parts = [_HEADER.pack(tick, len(changed))]
+        for idx in changed:
+            parts.append(_ENTRY.pack(int(idx), float(frame[idx])))
+        raw = b"".join(parts)
+        msg = zlib.compress(raw, level=6)
+        self.stats.messages += 1
+        self.stats.raw_bytes += len(raw)
+        self.stats.compressed_bytes += len(msg)
+        self.stats.entries_sent += int(len(changed))
+        return msg
+
+    def reset(self) -> None:
+        """Forget the decoder-state mirror (forces a full resend)."""
+        self._sent = None
+
+
+class DifferentialDecoder:
+    """Daemon side: reconstruct full frames from change messages."""
+
+    def __init__(self, frame_width: int):
+        if frame_width <= 0 or frame_width >= 2**16:
+            raise ValueError(f"frame_width out of range: {frame_width}")
+        self.frame_width = int(frame_width)
+        self._state = np.zeros(frame_width, dtype=np.float32)
+        self._have_state = False
+
+    def decode(self, msg: bytes) -> tuple[int, np.ndarray]:
+        """Return ``(tick, full_frame)``; raises on malformed input."""
+        raw = zlib.decompress(msg)
+        if len(raw) < _HEADER.size:
+            raise ValueError("truncated wire message")
+        tick, count = _HEADER.unpack_from(raw, 0)
+        expect = _HEADER.size + count * _ENTRY.size
+        if len(raw) != expect:
+            raise ValueError(
+                f"malformed message: {len(raw)} bytes, expected {expect}"
+            )
+        off = _HEADER.size
+        for _ in range(count):
+            idx, value = _ENTRY.unpack_from(raw, off)
+            if idx >= self.frame_width:
+                raise ValueError(f"indicator index {idx} out of range")
+            self._state[idx] = value
+            off += _ENTRY.size
+        self._have_state = True
+        return tick, self._state.astype(np.float64).copy()

@@ -1,0 +1,46 @@
+"""Shared utilities for the CAPES reproduction.
+
+Small, dependency-free building blocks used by every other subpackage:
+seeded RNG discipline, exponentially weighted moving averages, byte/time
+unit helpers, fixed-capacity ring buffers, tick bookkeeping, and argument
+validation helpers.
+"""
+
+from repro.util.ewma import EWMA, IrregularEWMA
+from repro.util.ringbuffer import RingBuffer
+from repro.util.rng import RngMixin, derive_rng, ensure_rng
+from repro.util.timeline import TickClock
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_rate,
+    mb_per_s,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+__all__ = [
+    "EWMA",
+    "IrregularEWMA",
+    "RingBuffer",
+    "RngMixin",
+    "derive_rng",
+    "ensure_rng",
+    "TickClock",
+    "KiB",
+    "MiB",
+    "GiB",
+    "format_bytes",
+    "format_rate",
+    "mb_per_s",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+]

@@ -1,0 +1,115 @@
+"""Exponentially weighted moving averages.
+
+CAPES's secondary performance indicators (§4.1 of the paper) are EWMAs of
+inter-arrival gaps: *Ack EWMA* over gaps between server replies and *Send
+EWMA* over gaps between the original send times of the corresponding
+requests.  Two flavours are provided:
+
+- :class:`EWMA` — classic fixed-weight update ``m ← (1-a)·m + a·x``.
+- :class:`IrregularEWMA` — time-aware decay for irregularly spaced samples,
+  where the effective weight depends on the elapsed interval.  This is the
+  correct tool when samples arrive per-RPC rather than per-tick.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.util.validation import check_in_range, check_positive
+
+
+class EWMA:
+    """Fixed-weight exponentially weighted moving average.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of each new sample, in ``(0, 1]``.  ``alpha=1`` degenerates
+        to "last value".
+    initial:
+        Optional initial mean.  When omitted, the first observation seeds
+        the mean exactly (no bias toward zero).
+    """
+
+    __slots__ = ("alpha", "_mean", "_count")
+
+    def __init__(self, alpha: float, initial: Optional[float] = None):
+        check_in_range("alpha", alpha, 0.0, 1.0, low_inclusive=False)
+        self.alpha = float(alpha)
+        self._mean: Optional[float] = None if initial is None else float(initial)
+        self._count = 0 if initial is None else 1
+
+    def update(self, x: float) -> float:
+        """Fold ``x`` into the average and return the new mean."""
+        if self._mean is None:
+            self._mean = float(x)
+        else:
+            self._mean += self.alpha * (float(x) - self._mean)
+        self._count += 1
+        return self._mean
+
+    @property
+    def value(self) -> float:
+        """Current mean; 0.0 before any observation (a neutral PI value)."""
+        return 0.0 if self._mean is None else self._mean
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        self._mean = None
+        self._count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EWMA(alpha={self.alpha}, value={self.value:.6g}, n={self._count})"
+
+
+class IrregularEWMA:
+    """EWMA with decay proportional to elapsed time between samples.
+
+    The mean decays toward each new sample with weight
+    ``w = 1 - exp(-dt / tau)`` where ``tau`` is the time constant.  For
+    evenly spaced samples of period ``p`` this matches a fixed-weight EWMA
+    with ``alpha = 1 - exp(-p/tau)``.
+    """
+
+    __slots__ = ("tau", "_mean", "_last_t", "_count")
+
+    def __init__(self, tau: float):
+        check_positive("tau", tau)
+        self.tau = float(tau)
+        self._mean: Optional[float] = None
+        self._last_t: Optional[float] = None
+        self._count = 0
+
+    def update(self, t: float, x: float) -> float:
+        """Fold sample ``x`` observed at time ``t`` into the average."""
+        t = float(t)
+        if self._mean is None or self._last_t is None:
+            self._mean = float(x)
+        else:
+            dt = t - self._last_t
+            if dt < 0:
+                raise ValueError(
+                    f"samples must be time-ordered: got t={t} after {self._last_t}"
+                )
+            w = 1.0 - math.exp(-dt / self.tau)
+            self._mean += w * (float(x) - self._mean)
+        self._last_t = t
+        self._count += 1
+        return self._mean
+
+    @property
+    def value(self) -> float:
+        return 0.0 if self._mean is None else self._mean
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        self._mean = None
+        self._last_t = None
+        self._count = 0

@@ -1,0 +1,100 @@
+"""Fixed-capacity numeric ring buffer backed by a NumPy array.
+
+Used wherever CAPES keeps "the last N of something": observation stacks
+(10 sampling ticks per observation), throughput windows for reward
+computation, and the in-memory replay cache.  Appends are O(1) and the
+window view is materialised without Python-level loops, per the
+vectorisation guidance in the HPC coding guides.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class RingBuffer:
+    """Circular buffer over rows of fixed ``shape``.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of rows retained.
+    shape:
+        Shape of each row.  ``()`` stores scalars; ``(k,)`` stores
+        k-vectors (e.g. one PI frame per row).
+    dtype:
+        Storage dtype, ``float64`` by default.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        shape: Union[int, Sequence[int], tuple] = (),
+        dtype: np.dtype = np.float64,
+    ):
+        check_positive("capacity", capacity)
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.capacity = int(capacity)
+        self.row_shape = tuple(int(s) for s in shape)
+        self._data = np.zeros((self.capacity, *self.row_shape), dtype=dtype)
+        self._head = 0  # next write position
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self.capacity
+
+    def append(self, row: Union[float, np.ndarray]) -> None:
+        """Append one row, evicting the oldest when full."""
+        self._data[self._head] = row
+        self._head = (self._head + 1) % self.capacity
+        if self._size < self.capacity:
+            self._size += 1
+
+    def extend(self, rows: np.ndarray) -> None:
+        """Append many rows (first axis iterates rows)."""
+        for row in np.asarray(rows):
+            self.append(row)
+
+    def view(self) -> np.ndarray:
+        """Return retained rows, oldest first.  Always a copy."""
+        if self._size < self.capacity:
+            return self._data[: self._size].copy()
+        return np.concatenate(
+            (self._data[self._head :], self._data[: self._head]), axis=0
+        )
+
+    def last(self, n: Optional[int] = None) -> np.ndarray:
+        """Return the most recent ``n`` rows (default: all), oldest first."""
+        out = self.view()
+        if n is None:
+            return out
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return out[max(0, len(out) - n) :]
+
+    def newest(self) -> np.ndarray:
+        """Most recently appended row."""
+        if self._size == 0:
+            raise IndexError("newest() on empty RingBuffer")
+        return self._data[(self._head - 1) % self.capacity].copy()
+
+    def clear(self) -> None:
+        self._head = 0
+        self._size = 0
+
+    def mean(self) -> np.ndarray:
+        """Mean over retained rows (vectorised; no copy of the window)."""
+        if self._size == 0:
+            raise ValueError("mean() on empty RingBuffer")
+        if self._size < self.capacity:
+            return self._data[: self._size].mean(axis=0)
+        return self._data.mean(axis=0)

@@ -1,0 +1,51 @@
+"""Tick bookkeeping shared by monitoring, control and training loops.
+
+CAPES is tick-driven: one *sampling tick* per second feeds observations,
+and one *action tick* per second emits an action (Table 1 sets both to
+1 s).  :class:`TickClock` converts between simulated seconds and integer
+tick indices and answers "is this a tick boundary" queries so that the
+three loops (monitor, control, train) stay aligned without duplicating
+modular arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+class TickClock:
+    """Maps continuous simulation time onto integer tick indices.
+
+    Parameters
+    ----------
+    tick_length:
+        Tick period in simulated seconds (paper: 1.0 for both sampling
+        and action ticks).
+    offset:
+        Time of tick 0 (defaults to 0.0).
+    """
+
+    __slots__ = ("tick_length", "offset")
+
+    def __init__(self, tick_length: float = 1.0, offset: float = 0.0):
+        check_positive("tick_length", tick_length)
+        self.tick_length = float(tick_length)
+        self.offset = float(offset)
+
+    def tick_of(self, t: float) -> int:
+        """Index of the most recent tick boundary at or before time ``t``."""
+        return int((t - self.offset) // self.tick_length)
+
+    def time_of(self, tick: int) -> float:
+        """Simulated time of tick boundary ``tick``."""
+        return self.offset + tick * self.tick_length
+
+    def next_tick_time(self, t: float) -> float:
+        """Time of the first tick boundary strictly after ``t``."""
+        return self.time_of(self.tick_of(t) + 1)
+
+    def ticks_between(self, t0: float, t1: float) -> int:
+        """Number of tick boundaries in the half-open interval ``(t0, t1]``."""
+        if t1 < t0:
+            raise ValueError(f"t1 ({t1}) must be >= t0 ({t0})")
+        return self.tick_of(t1) - self.tick_of(t0)

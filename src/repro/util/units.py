@@ -1,0 +1,33 @@
+"""Byte and rate unit helpers.
+
+The cluster model works in bytes and seconds internally; these helpers
+exist so that configuration and reporting read like the paper ("1 MB
+stripe size", "113 MB/s sequential read") without magic numbers scattered
+through the code.  Following storage-industry convention — and the paper's
+own usage — "MB" here is the binary mebibyte.
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * 1024
+GiB: int = 1024 * 1024 * 1024
+
+
+def mb_per_s(x: float) -> float:
+    """Convert MB/s to bytes/s."""
+    return float(x) * MiB
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count, e.g. ``format_bytes(1536) == '1.5 KB'``."""
+    n = float(n)
+    for unit, div in (("GB", GiB), ("MB", MiB), ("KB", KiB)):
+        if abs(n) >= div:
+            return f"{n / div:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_rate(bytes_per_s: float) -> str:
+    """Human-readable throughput, e.g. ``'106.0 MB/s'``."""
+    return f"{format_bytes(bytes_per_s)}/s"

@@ -1,0 +1,49 @@
+"""Small argument-validation helpers with uniform error messages.
+
+Centralising these keeps constructor bodies short and error text
+consistent across the library, which in turn keeps tests for failure
+modes simple.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_finite(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value`` is a finite number."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: Number,
+    low: Number,
+    high: Number,
+    *,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the given interval."""
+    lo_ok = value >= low if low_inclusive else value > low
+    hi_ok = value <= high if high_inclusive else value < high
+    if not (lo_ok and hi_ok):
+        lb = "[" if low_inclusive else "("
+        rb = "]" if high_inclusive else ")"
+        raise ValueError(f"{name} must be in {lb}{low}, {high}{rb}, got {value!r}")

@@ -1,0 +1,48 @@
+"""Filebench-style synthetic workload generators (§4.3 of the paper).
+
+Three workload families drive the simulated cluster:
+
+- :class:`~repro.workloads.random_rw.RandomReadWrite` — per-client
+  threads doing fixed-ratio random reads and writes (the paper sweeps
+  9:1, 4:1, 1:1, 1:4, 1:9 read:write ratios);
+- :class:`~repro.workloads.fileserver.FileServer` — the Filebench
+  "fileserver" personality: create/append/whole-file-read/delete/stat
+  loops over a prepopulated file set, 32 instances per client;
+- :class:`~repro.workloads.seqwrite.SequentialWrite` — five concurrent
+  1 MB-write streams per client (HPC checkpoint / video surveillance).
+
+All workloads subclass :class:`~repro.workloads.base.Workload`, which
+handles spawning per-client application processes onto the simulator and
+exposes operation counters.  :class:`~repro.workloads.schedule.WorkloadSchedule`
+sequences multiple workloads over time and notifies listeners at phase
+changes — the hook CAPES uses to bump the exploration rate ε to 0.2
+whenever a new workload starts (§3.6).
+"""
+
+from repro.workloads.base import Workload, WorkloadStats
+from repro.workloads.fileserver import FileServer
+from repro.workloads.random_rw import RandomReadWrite
+from repro.workloads.replay import (
+    TraceOp,
+    TraceReplay,
+    load_trace_csv,
+    save_trace_csv,
+    synthesize_trace,
+)
+from repro.workloads.schedule import WorkloadPhase, WorkloadSchedule
+from repro.workloads.seqwrite import SequentialWrite
+
+__all__ = [
+    "TraceOp",
+    "TraceReplay",
+    "load_trace_csv",
+    "save_trace_csv",
+    "synthesize_trace",
+    "Workload",
+    "WorkloadStats",
+    "RandomReadWrite",
+    "FileServer",
+    "SequentialWrite",
+    "WorkloadPhase",
+    "WorkloadSchedule",
+]

@@ -1,0 +1,115 @@
+"""Workload base class: per-client application processes + accounting.
+
+A workload instance owns a set of generator functions ("instances" in
+Filebench terminology) that it spawns onto the simulator, one group per
+client.  Subclasses implement :meth:`instance` — an infinite loop of
+I/O operations against the client's striped filesystem.  Instances run
+until the simulation stops; workloads are driven, never drained.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.util.rng import derive_rng, ensure_rng
+
+
+@dataclass
+class WorkloadStats:
+    """Operation counters aggregated across all instances."""
+
+    reads: int = 0
+    writes: int = 0
+    metas: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def ops(self) -> int:
+        return self.reads + self.writes + self.metas
+
+
+class Workload(abc.ABC):
+    """Base for all synthetic workloads.
+
+    Parameters
+    ----------
+    cluster:
+        Target cluster; instances drive ``cluster.fs(client_id)``.
+    instances_per_client:
+        Number of concurrent application loops per client.
+    seed:
+        Seed for the workload's RNG tree; each instance derives an
+        independent child stream so per-instance behaviour is stable
+        regardless of scheduling order.
+    """
+
+    name: str = "workload"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        instances_per_client: int = 1,
+        seed: Optional[int] = 0,
+    ):
+        if instances_per_client <= 0:
+            raise ValueError(
+                f"instances_per_client must be > 0, got {instances_per_client}"
+            )
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.instances_per_client = int(instances_per_client)
+        self._root_rng = ensure_rng(seed)
+        self.stats = WorkloadStats()
+        self._procs: List[Process] = []
+        self._started = False
+
+    @abc.abstractmethod
+    def instance(self, client_id: int, instance_id: int, rng) -> Generator:
+        """One application loop (a simulation generator, usually infinite)."""
+
+    def start(self) -> None:
+        """Spawn every instance on every client."""
+        if self._started:
+            raise RuntimeError(f"workload {self.name!r} already started")
+        self._started = True
+        for client in self.cluster.clients:
+            for k in range(self.instances_per_client):
+                rng = derive_rng(
+                    self._root_rng, self.name, client.client_id, k
+                )
+                gen = self.instance(client.client_id, k, rng)
+                self._procs.append(
+                    self.sim.spawn(
+                        gen, name=f"{self.name}.c{client.client_id}.i{k}"
+                    )
+                )
+
+    def stop(self) -> None:
+        """Interrupt all still-running instances (phase change)."""
+        for p in self._procs:
+            if p.is_alive:
+                p.interrupt(cause="workload-stop")
+        self._procs.clear()
+        self._started = False
+
+    @property
+    def total_instances(self) -> int:
+        return self.instances_per_client * len(self.cluster.clients)
+
+    # -- accounting helpers for subclasses -------------------------------
+    def _did_read(self, nbytes: int) -> None:
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+
+    def _did_write(self, nbytes: int) -> None:
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+
+    def _did_meta(self) -> None:
+        self.stats.metas += 1

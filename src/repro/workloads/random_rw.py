@@ -1,0 +1,85 @@
+"""Random read/write workload with a fixed read:write ratio.
+
+The paper's Figure 2 sweep: "each client has five threads doing the same
+random read and write with a fixed ratio", ratios 9:1 through 1:9.  Each
+instance owns one large private file and issues fixed-size I/O at
+uniformly random aligned offsets; the op kind is drawn Bernoulli from
+the ratio.  Writes land in the client cache (asynchronous), reads are
+synchronous — the asymmetry that makes congestion-window tuning matter
+for the write-heavy end of the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.sim.errors import Interrupted
+from repro.util.units import GiB, KiB
+from repro.util.validation import check_positive
+from repro.workloads.base import Workload
+
+
+class RandomReadWrite(Workload):
+    """Fixed-ratio random I/O threads (Figure 2 workloads)."""
+
+    name = "random_rw"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        read_fraction: float,
+        io_size: int = 32 * KiB,
+        file_size: int = 4 * GiB,
+        instances_per_client: int = 5,
+        think_time: float = 0.0,
+        seed: Optional[int] = 0,
+    ):
+        super().__init__(cluster, instances_per_client, seed)
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {read_fraction}"
+            )
+        check_positive("io_size", io_size)
+        check_positive("file_size", file_size)
+        if io_size > file_size:
+            raise ValueError("io_size cannot exceed file_size")
+        self.read_fraction = float(read_fraction)
+        self.io_size = int(io_size)
+        self.file_size = int(file_size)
+        self.think_time = float(think_time)
+
+    @classmethod
+    def from_ratio(
+        cls, cluster: Cluster, read_parts: int, write_parts: int, **kw
+    ) -> "RandomReadWrite":
+        """Construct from the paper's R:W notation, e.g. ``(1, 9)`` for 1:9."""
+        total = read_parts + write_parts
+        if total <= 0 or read_parts < 0 or write_parts < 0:
+            raise ValueError(f"bad ratio {read_parts}:{write_parts}")
+        wl = cls(cluster, read_fraction=read_parts / total, **kw)
+        wl.name = f"random_rw_{read_parts}to{write_parts}"
+        return wl
+
+    def _obj_id(self, client_id: int, instance_id: int) -> int:
+        # Stable unique object per instance; offset 1000 keeps ids clear
+        # of the small ids tests use for scratch files.
+        return 1000 + client_id * 100 + instance_id
+
+    def instance(self, client_id: int, instance_id: int, rng) -> Generator:
+        fs = self.cluster.fs(client_id)
+        obj = self._obj_id(client_id, instance_id)
+        n_slots = self.file_size // self.io_size
+        try:
+            while True:
+                offset = int(rng.integers(0, n_slots)) * self.io_size
+                if rng.random() < self.read_fraction:
+                    yield from fs.read(obj, offset, self.io_size)
+                    self._did_read(self.io_size)
+                else:
+                    yield from fs.write(obj, offset, self.io_size)
+                    self._did_write(self.io_size)
+                if self.think_time > 0:
+                    yield self.sim.timeout(self.think_time)
+        except Interrupted:
+            return

@@ -1,0 +1,197 @@
+"""Trace-replay workload: drive the cluster from a recorded op stream.
+
+The paper's appendix recommends exploiting job information when
+workloads are scheduled; real deployments often have I/O traces rather
+than synthetic generators.  :class:`TraceReplay` replays a list of
+:class:`TraceOp` records (or a simple CSV) with either original timing
+("open loop") or as-fast-as-possible ("closed loop"), splitting the
+stream round-robin across clients.
+
+:func:`synthesize_trace` builds bursty, phase-switching traces — the
+dynamic-workload scenario CAPES targets ("it can run continuously to
+adapt to dynamically changing workloads") that static tuners handle
+poorly.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Generator, Iterable, List, Optional, Sequence, Union
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import Timeout
+from repro.sim.errors import Interrupted
+from repro.util.rng import ensure_rng
+from repro.util.units import KiB, MiB
+from repro.util.validation import check_nonnegative, check_positive
+from repro.workloads.base import Workload
+
+#: Operations a trace can carry.
+_OPS = ("read", "write", "stat", "create", "delete")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One trace record: do ``op`` at ``time`` on ``obj_id``."""
+
+    time: float
+    op: str
+    obj_id: int
+    offset: int = 0
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown trace op {self.op!r}; use one of {_OPS}")
+        check_nonnegative("time", self.time)
+        check_nonnegative("offset", self.offset)
+        if self.op in ("read", "write"):
+            check_positive("size", self.size)
+
+
+def load_trace_csv(path: Union[str, Path]) -> List[TraceOp]:
+    """Load ``time,op,obj_id,offset,size`` rows (header optional)."""
+    ops: List[TraceOp] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        for row in reader:
+            if not row or row[0].strip().lower() == "time":
+                continue
+            time_s, op, obj_id, offset, size = (x.strip() for x in row[:5])
+            ops.append(
+                TraceOp(
+                    time=float(time_s),
+                    op=op.lower(),
+                    obj_id=int(obj_id),
+                    offset=int(offset),
+                    size=int(size),
+                )
+            )
+    if not ops:
+        raise ValueError(f"trace {path} contains no operations")
+    return sorted(ops, key=lambda o: o.time)
+
+
+def save_trace_csv(path: Union[str, Path], ops: Sequence[TraceOp]) -> None:
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time", "op", "obj_id", "offset", "size"])
+        for op in ops:
+            writer.writerow([op.time, op.op, op.obj_id, op.offset, op.size])
+
+
+def synthesize_trace(
+    duration: float,
+    ops_per_second: float = 50.0,
+    phase_length: float = 60.0,
+    io_size: int = 32 * KiB,
+    file_size: int = 512 * MiB,
+    n_files: int = 32,
+    seed=0,
+) -> List[TraceOp]:
+    """Bursty trace alternating read-heavy and write-heavy phases.
+
+    Poisson arrivals; each ``phase_length`` window flips the dominant
+    op direction (90/10 split), producing the workload drift that
+    motivates continuous tuning.
+    """
+    check_positive("duration", duration)
+    check_positive("ops_per_second", ops_per_second)
+    check_positive("phase_length", phase_length)
+    rng = ensure_rng(seed)
+    ops: List[TraceOp] = []
+    t = 0.0
+    slots = max(1, file_size // io_size)
+    while t < duration:
+        t += float(rng.exponential(1.0 / ops_per_second))
+        if t >= duration:
+            break
+        phase = int(t // phase_length) % 2
+        read_fraction = 0.9 if phase == 0 else 0.1
+        obj = 700_000 + int(rng.integers(n_files))
+        offset = int(rng.integers(slots)) * io_size
+        if rng.random() < 0.02:
+            op = str(rng.choice(["stat", "create", "delete"]))
+            ops.append(TraceOp(time=t, op=op, obj_id=obj))
+        elif rng.random() < read_fraction:
+            ops.append(TraceOp(t, "read", obj, offset, io_size))
+        else:
+            ops.append(TraceOp(t, "write", obj, offset, io_size))
+    if not ops:
+        raise ValueError("duration/rate too small: empty trace")
+    return ops
+
+
+class TraceReplay(Workload):
+    """Replays a trace, sharded round-robin across clients.
+
+    ``paced=True`` honours the trace timestamps (open loop: a slow
+    system falls behind and queues build — realistic under overload);
+    ``paced=False`` issues each client's next op as soon as the
+    previous completes (closed loop).  ``loop=True`` restarts the trace
+    when exhausted so sessions of any length stay loaded.
+    """
+
+    name = "trace_replay"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        trace: Iterable[TraceOp],
+        paced: bool = True,
+        loop: bool = True,
+        seed: Optional[int] = 0,
+    ):
+        super().__init__(cluster, instances_per_client=1, seed=seed)
+        self.trace: List[TraceOp] = sorted(trace, key=lambda o: o.time)
+        if not self.trace:
+            raise ValueError("empty trace")
+        self.paced = bool(paced)
+        self.loop = bool(loop)
+        self.replayed = 0
+
+    def _shard(self, client_id: int) -> List[TraceOp]:
+        n = len(self.cluster.clients)
+        return [op for i, op in enumerate(self.trace) if i % n == client_id]
+
+    def _issue(self, fs, op: TraceOp) -> Generator:
+        if op.op == "read":
+            yield from fs.read(op.obj_id, op.offset, op.size)
+            self._did_read(op.size)
+        elif op.op == "write":
+            yield from fs.write(op.obj_id, op.offset, op.size)
+            self._did_write(op.size)
+        elif op.op == "stat":
+            yield from fs.stat(op.obj_id)
+            self._did_meta()
+        elif op.op == "create":
+            yield from fs.create(op.obj_id)
+            self._did_meta()
+        else:  # delete
+            yield from fs.delete(op.obj_id)
+            self._did_meta()
+        self.replayed += 1
+
+    def instance(self, client_id: int, instance_id: int, rng) -> Generator:
+        fs = self.cluster.fs(client_id)
+        shard = self._shard(client_id)
+        if not shard:
+            return
+        span = self.trace[-1].time
+        epoch = 0.0
+        try:
+            while True:
+                for op in shard:
+                    if self.paced:
+                        target = epoch + op.time
+                        delay = target - self.sim.now
+                        if delay > 0:
+                            yield Timeout(delay)
+                    yield from self._issue(fs, op)
+                if not self.loop:
+                    return
+                epoch = self.sim.now if not self.paced else epoch + span
+        except Interrupted:
+            return

@@ -1,0 +1,57 @@
+"""Five-stream concurrent sequential write (Figure 3, second workload).
+
+"Each instance does sequential write with 1 MB write size.  This
+benchmark simulates both HPC checkpoint and video surveillance
+workloads."  Five instances per client, each appending 1 MB records to
+its own stream file forever (wrapping at a configurable extent so the
+LBA space stays bounded).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.sim.errors import Interrupted
+from repro.util.units import GiB, MiB
+from repro.util.validation import check_positive
+from repro.workloads.base import Workload
+
+
+class SequentialWrite(Workload):
+    """Concurrent append streams with fixed record size."""
+
+    name = "seqwrite"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        record_size: int = MiB,
+        stream_extent: int = 8 * GiB,
+        instances_per_client: int = 5,
+        seed: Optional[int] = 0,
+    ):
+        super().__init__(cluster, instances_per_client, seed)
+        check_positive("record_size", record_size)
+        check_positive("stream_extent", stream_extent)
+        if record_size > stream_extent:
+            raise ValueError("record_size cannot exceed stream_extent")
+        self.record_size = int(record_size)
+        self.stream_extent = int(stream_extent)
+
+    def _obj_id(self, client_id: int, instance_id: int) -> int:
+        return 900_000 + client_id * 100 + instance_id
+
+    def instance(self, client_id: int, instance_id: int, rng) -> Generator:
+        fs = self.cluster.fs(client_id)
+        obj = self._obj_id(client_id, instance_id)
+        offset = 0
+        try:
+            while True:
+                yield from fs.write(obj, offset, self.record_size)
+                self._did_write(self.record_size)
+                offset += self.record_size
+                if offset + self.record_size > self.stream_extent:
+                    offset = 0  # wrap: keeps streams bounded but sequential
+        except Interrupted:
+            return

@@ -1,0 +1,119 @@
+"""Tests for the conf.py loader and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, make_parser
+from repro.core.config import ConfigError, load_config
+
+MINIMAL_CONF = """
+from repro.workloads import RandomReadWrite
+
+N_SERVERS = 2
+N_CLIENTS = 2
+HIDDEN_LAYER_SIZE = 8
+SAMPLING_TICKS_PER_OBSERVATION = 3
+EXPLORATION_TICKS = 20
+SEED = 7
+
+def WORKLOAD(cluster, seed):
+    return RandomReadWrite(
+        cluster, read_fraction=0.1, instances_per_client=2, seed=seed)
+"""
+
+
+@pytest.fixture
+def conf_path(tmp_path):
+    p = tmp_path / "conf.py"
+    p.write_text(MINIMAL_CONF)
+    return str(p)
+
+
+class TestLoadConfig:
+    def test_builds_capes_config(self, conf_path):
+        cfg = load_config(conf_path)
+        assert cfg.env.cluster.n_servers == 2
+        assert cfg.env.cluster.n_clients == 2
+        assert cfg.env.hp.hidden_layer_size == 8
+        assert cfg.env.hp.sampling_ticks_per_observation == 3
+        assert cfg.seed == 7
+        assert callable(cfg.env.workload_factory)
+
+    def test_defaults_fill_missing(self, conf_path):
+        cfg = load_config(conf_path)
+        assert cfg.env.hp.discount_rate == 0.99  # Table 1 default
+        assert cfg.train_steps_per_tick == 1
+        assert cfg.loss == "mse"
+
+    def test_missing_workload_rejected(self, tmp_path):
+        p = tmp_path / "conf.py"
+        p.write_text("N_SERVERS = 2\n")
+        with pytest.raises(ConfigError, match="WORKLOAD"):
+            load_config(p)
+
+    def test_unknown_name_rejected(self, tmp_path):
+        p = tmp_path / "conf.py"
+        p.write_text(
+            MINIMAL_CONF + "\nMAX_RPC_IN_FLIGHT = 4  # typo: missing S\n"
+        )
+        with pytest.raises(ConfigError, match="MAX_RPC_IN_FLIGHT"):
+            load_config(p)
+
+    def test_nonexistent_file(self):
+        with pytest.raises(ConfigError):
+            load_config("/nonexistent/conf.py")
+
+    def test_config_runs_end_to_end(self, conf_path):
+        from repro.core.capes import CAPES
+
+        capes = CAPES(load_config(conf_path))
+        result = capes.train(8)
+        assert result.n_ticks == 8
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = make_parser()
+        for cmd in ("train", "evaluate", "baseline", "sweep"):
+            args = parser.parse_args([cmd, "--config", "x.py"])
+            assert args.command == cmd
+
+    def test_train_and_evaluate_roundtrip(self, conf_path, tmp_path, capsys):
+        ckpt = str(tmp_path / "model.npz")
+        rc = main(
+            ["train", "--config", conf_path, "--ticks", "12", "--checkpoint", ckpt]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final parameters" in out
+        assert "model saved" in out
+
+        rc = main(
+            ["evaluate", "--config", conf_path, "--ticks", "6", "--checkpoint", ckpt]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tuned throughput" in out
+
+    def test_baseline_command(self, conf_path, capsys):
+        rc = main(["baseline", "--config", conf_path, "--ticks", "6"])
+        assert rc == 0
+        assert "baseline throughput" in capsys.readouterr().out
+
+    def test_sweep_command(self, conf_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                conf_path,
+                "--ticks",
+                "5",
+                "--settle",
+                "2",
+                "--window",
+                "4,8",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best window" in out

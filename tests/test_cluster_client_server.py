@@ -1,0 +1,274 @@
+"""Integration tests: OSC <-> server round trips, caches, tunables."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.client import WriteCache
+from repro.sim import Simulator, Timeout
+from repro.util.units import KiB, MiB
+
+
+def small_cluster(**overrides):
+    cfg = ClusterConfig(
+        n_servers=2,
+        n_clients=2,
+        **overrides,
+    )
+    sim = Simulator()
+    return sim, Cluster(sim, cfg)
+
+
+class TestWriteCache:
+    def test_reserve_within_capacity_immediate(self):
+        sim = Simulator()
+        c = WriteCache(sim, max_dirty_bytes=10)
+        done = []
+
+        def proc():
+            yield c.reserve(6)
+            done.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert done == [0.0] and c.dirty == 6
+
+    def test_reserve_blocks_until_commit(self):
+        sim = Simulator()
+        c = WriteCache(sim, max_dirty_bytes=10)
+        log = []
+
+        def writer():
+            yield c.reserve(8)
+            yield c.reserve(8)  # must wait for the commit below
+            log.append(sim.now)
+
+        def committer():
+            yield Timeout(3.0)
+            c.commit(8)
+
+        sim.spawn(writer())
+        sim.spawn(committer())
+        sim.run()
+        assert log == [3.0]
+
+    def test_fifo_reservations(self):
+        sim = Simulator()
+        c = WriteCache(sim, max_dirty_bytes=10)
+        order = []
+
+        def filler():
+            yield c.reserve(10)
+
+        def w(name, size, delay):
+            yield Timeout(delay)
+            yield c.reserve(size)
+            order.append(name)
+
+        sim.spawn(filler())
+        sim.spawn(w("big", 9, 0.1))
+        sim.spawn(w("small", 1, 0.2))
+
+        def committer():
+            yield Timeout(1.0)
+            c.commit(10)
+
+        sim.spawn(committer())
+        sim.run()
+        assert order == ["big", "small"]
+
+    def test_oversized_write_rejected(self):
+        sim = Simulator()
+        c = WriteCache(sim, max_dirty_bytes=10)
+        with pytest.raises(ValueError):
+            c.reserve(11)
+
+    def test_overcommit_rejected(self):
+        sim = Simulator()
+        c = WriteCache(sim, max_dirty_bytes=10)
+        with pytest.raises(ValueError):
+            c.commit(1)
+
+
+class TestReadPath:
+    def test_read_completes_and_counts_bytes(self):
+        sim, cluster = small_cluster()
+        fs = cluster.fs(0)
+
+        def app():
+            yield from fs.read(obj_id=1, offset=0, size=64 * KiB)
+
+        p = sim.spawn(app())
+        sim.run()
+        assert p.ok
+        assert cluster.total_bytes_read() == 64 * KiB
+
+    def test_multi_stripe_read_fans_out(self):
+        sim, cluster = small_cluster()
+        fs = cluster.fs(0)
+
+        def app():
+            yield from fs.read(obj_id=1, offset=0, size=3 * MiB)
+
+        sim.spawn(app())
+        sim.run()
+        # 3 MiB over 2 servers at 1 MiB stripes: both servers touched.
+        r0 = cluster.metrics.value("server.0.bytes_read")
+        r1 = cluster.metrics.value("server.1.bytes_read")
+        assert r0 > 0 and r1 > 0 and r0 + r1 == 3 * MiB
+
+    def test_read_updates_secondary_indicators(self):
+        sim, cluster = small_cluster()
+        fs = cluster.fs(0)
+
+        def app():
+            for i in range(5):
+                yield from fs.read(obj_id=1, offset=i * 32 * KiB, size=32 * KiB)
+
+        sim.spawn(app())
+        sim.run()
+        osc = cluster.clients[0].oscs[0]
+        assert osc.ack_ewma.count >= 1
+        assert osc.send_ewma.count >= 1
+        assert osc.pt_ratio >= 1.0
+
+
+class TestWritePath:
+    def test_write_returns_at_cache_speed_then_drains(self):
+        sim, cluster = small_cluster()
+        fs = cluster.fs(0)
+        cached_at = []
+
+        def app():
+            yield from fs.write(obj_id=1, offset=0, size=256 * KiB)
+            cached_at.append(sim.now)
+            yield from cluster.clients[0].flush_barrier()
+
+        p = sim.spawn(app())
+        sim.run()
+        assert p.ok
+        # Caching is quick relative to the disk flush.
+        assert cached_at[0] < sim.now
+        assert cluster.total_bytes_written() == 256 * KiB
+
+    def test_dirty_bytes_bounded_by_cache(self):
+        sim, cluster = small_cluster(max_dirty_bytes=1 * MiB)
+        fs = cluster.fs(0)
+
+        def app():
+            for i in range(32):
+                yield from fs.write(obj_id=1, offset=i * 512 * KiB, size=512 * KiB)
+            yield from cluster.clients[0].flush_barrier()
+
+        sim.spawn(app())
+        max_dirty_seen = 0
+
+        def probe():
+            nonlocal max_dirty_seen
+            while True:
+                yield Timeout(0.005)
+                for osc in cluster.clients[0].oscs.values():
+                    max_dirty_seen = max(max_dirty_seen, osc.cache.dirty)
+
+        probe_p = sim.spawn(probe())
+        sim.run(until=60.0)
+        assert max_dirty_seen <= 1 * MiB
+        assert cluster.total_bytes_written() == 16 * MiB
+
+
+class TestTunables:
+    def test_window_applies_to_all_oscs(self):
+        sim, cluster = small_cluster()
+        cluster.set_max_rpcs_in_flight(3)
+        for c in cluster.clients:
+            assert c.max_rpcs_in_flight == 3
+            for osc in c.oscs.values():
+                assert osc.window.capacity == 3
+
+    def test_rate_limit_applies(self):
+        sim, cluster = small_cluster()
+        cluster.set_io_rate_limit(123.0)
+        for c in cluster.clients:
+            assert c.io_rate_limit == 123.0
+
+    def test_get_set_parameter_roundtrip(self):
+        sim, cluster = small_cluster()
+        cluster.set_parameter("max_rpcs_in_flight", 5)
+        assert cluster.get_parameter("max_rpcs_in_flight") == 5.0
+        cluster.set_parameter("io_rate_limit", 250.0)
+        assert cluster.get_parameter("io_rate_limit") == 250.0
+
+    def test_unknown_parameter_rejected(self):
+        sim, cluster = small_cluster()
+        with pytest.raises(KeyError):
+            cluster.get_parameter("nope")
+        with pytest.raises(KeyError):
+            cluster.set_parameter("nope", 1)
+
+    def test_window_limits_inflight_rpcs(self):
+        sim, cluster = small_cluster(max_rpcs_in_flight=2)
+        fs = cluster.fs(0)
+
+        # Saturate with writes; in-flight per OSC must never exceed 2.
+        def app():
+            for i in range(64):
+                yield from fs.write(obj_id=1, offset=i * 128 * KiB, size=128 * KiB)
+
+        sim.spawn(app())
+        max_inflight = 0
+
+        def probe():
+            nonlocal max_inflight
+            while True:
+                yield Timeout(0.001)
+                for osc in cluster.clients[0].oscs.values():
+                    max_inflight = max(max_inflight, osc.in_flight)
+
+        sim.spawn(probe())
+        sim.run(until=5.0)
+        assert 0 < max_inflight <= 2
+
+    def test_rate_limit_throttles_throughput(self):
+        def run(rate):
+            sim, cluster = small_cluster(io_rate_limit=rate, rate_burst=1.0)
+            fs = cluster.fs(0)
+
+            def app():
+                i = 0
+                while True:
+                    yield from fs.write(
+                        obj_id=1, offset=i * 32 * KiB, size=32 * KiB
+                    )
+                    i += 1
+
+            sim.spawn(app())
+            sim.run(until=10.0)
+            return cluster.total_bytes_written()
+
+        slow = run(5.0)
+        fast = run(500.0)
+        assert slow < 0.5 * fast
+
+
+class TestMetaPath:
+    def test_meta_ops_complete(self):
+        sim, cluster = small_cluster()
+        fs = cluster.fs(1)
+
+        def app():
+            yield from fs.create(obj_id=7)
+            yield from fs.stat(obj_id=7)
+            yield from fs.delete(obj_id=7)
+
+        p = sim.spawn(app())
+        sim.run()
+        assert p.ok
+        assert cluster.metrics.value("client.1.meta_ops") == 3
+
+
+class TestPings:
+    def test_ping_latency_positive_and_grows_under_load(self):
+        sim, cluster = small_cluster()
+        osc = cluster.clients[0].oscs[0]
+        idle = osc.ping_latency
+        cluster.fabric.send("client-0", "server-0", 50 * MiB, None)
+        assert osc.ping_latency > idle > 0

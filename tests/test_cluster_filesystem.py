@@ -1,0 +1,95 @@
+"""Tests for striping arithmetic and metric counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.filesystem import FileLayout
+from repro.cluster.metrics import Counter, MetricRegistry
+from repro.util.units import MiB
+
+
+class TestFileLayout:
+    def test_server_of_round_robin(self):
+        l = FileLayout(n_servers=4, stripe_size=MiB)
+        assert [l.server_of(i * MiB) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_split_within_one_stripe(self):
+        l = FileLayout(4, MiB)
+        assert l.split(100, 1000) == [(0, 100, 1000)]
+
+    def test_split_across_boundary(self):
+        l = FileLayout(4, MiB)
+        chunks = l.split(MiB - 10, 20)
+        assert chunks == [(0, MiB - 10, 10), (1, MiB, 10)]
+
+    def test_split_large_extent_touches_all_servers(self):
+        l = FileLayout(4, MiB)
+        chunks = l.split(0, 8 * MiB)
+        assert len(chunks) == 8
+        assert {c[0] for c in chunks} == {0, 1, 2, 3}
+
+    def test_invalid_args(self):
+        l = FileLayout(2, MiB)
+        with pytest.raises(ValueError):
+            l.split(-1, 10)
+        with pytest.raises(ValueError):
+            l.split(0, 0)
+
+    @given(
+        offset=st.integers(min_value=0, max_value=2**32),
+        size=st.integers(min_value=1, max_value=64 * MiB),
+        n_servers=st.integers(min_value=1, max_value=8),
+    )
+    def test_split_partitions_extent(self, offset, size, n_servers):
+        """Property: chunks tile the extent exactly and respect stripes."""
+        l = FileLayout(n_servers, MiB)
+        chunks = l.split(offset, size)
+        assert sum(c[2] for c in chunks) == size
+        pos = offset
+        for sidx, off, sz in chunks:
+            assert off == pos
+            assert sidx == l.server_of(off)
+            # a chunk never crosses a stripe boundary
+            assert off // MiB == (off + sz - 1) // MiB
+            pos += sz
+
+
+class TestCounters:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.add(5)
+        with pytest.raises(ValueError):
+            c.add(-1)
+        assert c.value == 5
+
+    def test_delta_per_reader(self):
+        c = Counter()
+        c.add(10)
+        assert c.delta("a") == 10
+        c.add(5)
+        assert c.delta("a") == 5
+        assert c.delta("b") == 15  # b never read before
+
+    def test_peek_delta_does_not_advance(self):
+        c = Counter()
+        c.add(3)
+        assert c.peek_delta("r") == 3
+        assert c.peek_delta("r") == 3
+        assert c.delta("r") == 3
+        assert c.peek_delta("r") == 0
+
+    def test_registry_creates_on_demand(self):
+        m = MetricRegistry()
+        m.add("x.y", 2)
+        assert m.value("x.y") == 2
+        assert m.value("fresh") == 0
+        assert "x.y" in m.names()
+
+    def test_snapshot(self):
+        m = MetricRegistry()
+        m.add("a", 1)
+        m.add("b", 2)
+        snap = m.snapshot()
+        m.add("a", 1)
+        assert snap == {"a": 1, "b": 2}

@@ -1,0 +1,196 @@
+"""Tests for tunable parameters, action space, checker, control agents."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import ActionChecker, ActionSpace, ControlAgent, TunableParameter
+from repro.core.actions import lustre_parameters
+from repro.sim import Simulator
+
+
+def two_params():
+    return [
+        TunableParameter("alpha", low=0, high=10, step=1, default=5),
+        TunableParameter("beta", low=0, high=100, step=10, default=50),
+    ]
+
+
+class TestTunableParameter:
+    def test_clamp(self):
+        p = TunableParameter("x", 1, 9, 1, 5)
+        assert p.clamp(0) == 1
+        assert p.clamp(100) == 9
+        assert p.clamp(4) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TunableParameter("x", 5, 5, 1, 5)
+        with pytest.raises(ValueError):
+            TunableParameter("x", 1, 9, 0, 5)
+        with pytest.raises(ValueError):
+            TunableParameter("x", 1, 9, 1, 50)
+
+    def test_lustre_parameters(self):
+        params = lustre_parameters()
+        names = [p.name for p in params]
+        assert names == ["max_rpcs_in_flight", "io_rate_limit"]
+
+
+class TestActionSpace:
+    def test_size_is_2p_plus_1(self):
+        assert ActionSpace(two_params()).n_actions == 5
+        assert ActionSpace(two_params()[:1]).n_actions == 3
+
+    def test_decode_null(self):
+        s = ActionSpace(two_params())
+        param, direction = s.decode(0)
+        assert param is None and direction == 0
+
+    def test_decode_layout(self):
+        s = ActionSpace(two_params())
+        assert s.decode(1)[0].name == "alpha" and s.decode(1)[1] == +1
+        assert s.decode(2)[0].name == "alpha" and s.decode(2)[1] == -1
+        assert s.decode(3)[0].name == "beta" and s.decode(3)[1] == +1
+        assert s.decode(4)[0].name == "beta" and s.decode(4)[1] == -1
+
+    def test_decode_out_of_range(self):
+        s = ActionSpace(two_params())
+        with pytest.raises(ValueError):
+            s.decode(5)
+        with pytest.raises(ValueError):
+            s.decode(-1)
+
+    def test_describe(self):
+        s = ActionSpace(two_params())
+        assert s.describe(0) == "NULL"
+        assert s.describe(1) == "alpha +1"
+        assert s.describe(4) == "beta -10"
+
+    def test_apply_and_clamp(self):
+        s = ActionSpace(two_params())
+        values = {"alpha": 10.0, "beta": 50.0}
+        eff = s.apply(1, values.get, values.__setitem__)  # alpha + 1, at max
+        assert values["alpha"] == 10.0  # clamped, unchanged
+        assert eff.new_value == 10.0
+        eff = s.apply(2, values.get, values.__setitem__)
+        assert values["alpha"] == 9.0
+        assert eff.old_value == 10.0 and eff.new_value == 9.0
+
+    def test_null_apply_changes_nothing(self):
+        s = ActionSpace(two_params())
+        values = {"alpha": 5.0, "beta": 50.0}
+        eff = s.apply(0, values.get, values.__setitem__)
+        assert eff.is_null
+        assert values == {"alpha": 5.0, "beta": 50.0}
+
+    def test_duplicate_names_rejected(self):
+        p = two_params()[0]
+        with pytest.raises(ValueError):
+            ActionSpace([p, p])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ActionSpace([])
+
+    def test_defaults(self):
+        assert ActionSpace(two_params()).defaults() == {"alpha": 5, "beta": 50}
+
+    @given(actions=st.lists(st.integers(min_value=0, max_value=4), max_size=60))
+    def test_values_always_in_range(self, actions):
+        """Property: any action sequence keeps values within bounds."""
+        s = ActionSpace(two_params())
+        values = dict(s.defaults())
+        for a in actions:
+            s.apply(a, values.get, values.__setitem__)
+        assert 0 <= values["alpha"] <= 10
+        assert 0 <= values["beta"] <= 100
+
+    @given(a=st.integers(min_value=1, max_value=4))
+    def test_inverse_actions_cancel(self, a):
+        """Property: inc then dec (or vice versa) restores mid-range value."""
+        s = ActionSpace(two_params())
+        values = dict(s.defaults())
+        inverse = a + 1 if a % 2 == 1 else a - 1
+        before = dict(values)
+        s.apply(a, values.get, values.__setitem__)
+        s.apply(inverse, values.get, values.__setitem__)
+        assert values == before
+
+
+class TestActionChecker:
+    def test_no_rules_accepts_everything(self):
+        s = ActionSpace(two_params())
+        c = ActionChecker()
+        values = dict(s.defaults())
+        assert c.filter(s, 1, values.get) == 1
+
+    def test_minimum_rule_vetoes(self):
+        s = ActionSpace(two_params())
+        c = ActionChecker()
+        c.add_minimum("alpha", 5)
+        values = dict(s.defaults())  # alpha = 5
+        # decreasing alpha to 4 violates the floor -> NULL
+        assert c.filter(s, 2, values.get) == ActionSpace.NULL_ACTION
+        assert c.vetoes == 1
+        # increasing is fine
+        assert c.filter(s, 1, values.get) == 1
+
+    def test_maximum_rule(self):
+        s = ActionSpace(two_params())
+        c = ActionChecker()
+        c.add_maximum("beta", 50)
+        values = dict(s.defaults())
+        assert c.filter(s, 3, values.get) == ActionSpace.NULL_ACTION
+
+    def test_rules_scoped_to_parameter(self):
+        s = ActionSpace(two_params())
+        c = ActionChecker()
+        c.add_minimum("alpha", 9)
+        values = dict(s.defaults())
+        # beta actions unaffected by alpha's rule
+        assert c.filter(s, 4, values.get) == 4
+
+    def test_null_always_passes(self):
+        s = ActionSpace(two_params())
+        c = ActionChecker()
+        c.add_rule(lambda name, value: False)
+        values = dict(s.defaults())
+        assert c.filter(s, 0, values.get) == 0
+
+
+class TestControlAgent:
+    def test_applies_to_client(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(n_servers=1, n_clients=1))
+        agent = ControlAgent(cluster.clients[0])
+        agent.apply("max_rpcs_in_flight", 3)
+        assert cluster.clients[0].max_rpcs_in_flight == 3
+        agent.apply("io_rate_limit", 222.0)
+        assert cluster.clients[0].io_rate_limit == 222.0
+        assert agent.applied == [("max_rpcs_in_flight", 3.0), ("io_rate_limit", 222.0)]
+
+    def test_current_readback(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(n_servers=1, n_clients=1))
+        agent = ControlAgent(cluster.clients[0])
+        assert agent.current("max_rpcs_in_flight") == 8.0
+
+    def test_unknown_parameter(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(n_servers=1, n_clients=1))
+        agent = ControlAgent(cluster.clients[0])
+        with pytest.raises(KeyError):
+            agent.apply("nope", 1)
+        with pytest.raises(KeyError):
+            agent.current("nope")
+
+    def test_supported_parameters(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(n_servers=1, n_clients=1))
+        agent = ControlAgent(cluster.clients[0])
+        assert agent.supported_parameters() == [
+            "io_rate_limit",
+            "max_rpcs_in_flight",
+        ]

@@ -1,0 +1,192 @@
+"""Tests for the Interface Daemon and the tuning environment."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.core import ActionSpace
+from repro.core.actions import lustre_parameters
+from repro.env import EnvConfig, StorageTuningEnv
+from repro.rl import Hyperparameters
+from repro.workloads import RandomReadWrite
+
+FAST_HP = Hyperparameters(
+    hidden_layer_size=16,
+    sampling_ticks_per_observation=4,
+    exploration_ticks=50,
+)
+
+
+def make_env(drop=0.0, n_servers=2, n_clients=2, read_fraction=0.1, seed=0, perturb=0):
+    return StorageTuningEnv(
+        EnvConfig(
+            cluster=ClusterConfig(n_servers=n_servers, n_clients=n_clients),
+            workload_factory=lambda c, s: RandomReadWrite(
+                c, read_fraction=read_fraction, instances_per_client=2, seed=s
+            ),
+            hp=FAST_HP,
+            drop_probability=drop,
+            seed=seed,
+            perturb_seed=perturb,
+        )
+    )
+
+
+class TestEnvLifecycle:
+    def test_requires_workload_factory(self):
+        with pytest.raises(ValueError):
+            StorageTuningEnv(EnvConfig())
+
+    def test_step_before_reset_rejected(self):
+        env = make_env()
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_reset_returns_full_observation(self):
+        env = make_env()
+        obs = env.reset()
+        assert obs.shape == (env.obs_dim,)
+        assert np.isfinite(obs).all()
+        assert env.obs_dim == 4 * env.frame_dim
+
+    def test_step_advances_one_tick(self):
+        env = make_env()
+        env.reset()
+        t0 = env.sim.now
+        _obs, _r, info = env.step(0)
+        assert env.sim.now == t0 + 1.0
+        assert info["tick"] == env.tick
+
+    def test_action_changes_parameter(self):
+        env = make_env()
+        env.reset()
+        # action 2 = decrease max_rpcs_in_flight by 1
+        _obs, _r, info = env.step(2)
+        assert info["params"]["max_rpcs_in_flight"] == 7.0
+        assert not info["effect"].is_null
+
+    def test_reward_is_throughput_scaled(self):
+        env = make_env()
+        env.reset()
+        rewards = [env.step(0)[1] for _ in range(10)]
+        assert all(r >= 0 for r in rewards)
+        assert sum(rewards) > 0  # the workload moves bytes
+
+    def test_run_ticks_returns_rewards(self):
+        env = make_env()
+        env.reset()
+        r = env.run_ticks(5)
+        assert r.shape == (5,)
+
+    def test_set_params_and_readback(self):
+        env = make_env()
+        env.reset()
+        env.set_params({"max_rpcs_in_flight": 4, "io_rate_limit": 500.0})
+        assert env.current_params() == {
+            "max_rpcs_in_flight": 4.0,
+            "io_rate_limit": 500.0,
+        }
+
+    def test_set_unknown_param_rejected(self):
+        env = make_env()
+        env.reset()
+        with pytest.raises(KeyError):
+            env.set_params({"bogus": 1})
+
+    def test_reset_rebuilds_fresh_system(self):
+        env = make_env()
+        env.reset()
+        env.step(2)
+        assert env.current_params()["max_rpcs_in_flight"] == 7.0
+        env.reset()
+        assert env.current_params()["max_rpcs_in_flight"] == 8.0
+        assert env.tick == env.hp.sampling_ticks_per_observation
+
+    def test_determinism_same_seed(self):
+        def trace(seed):
+            env = make_env(seed=seed)
+            env.reset()
+            return [env.step(a % 5)[1] for a in range(8)]
+
+        assert trace(3) == trace(3)
+
+    def test_perturbed_env_differs_but_same_interface(self):
+        a = make_env(seed=1, perturb=0)
+        b = a.perturbed(7)
+        ra = a.reset()
+        rb = b.reset()
+        assert ra.shape == rb.shape
+        assert b.config.perturb_seed == 7
+
+
+class TestDaemonViaEnv:
+    def test_observations_flow_into_replay_db(self):
+        env = make_env()
+        env.reset()
+        for _ in range(6):
+            env.step(0)
+        assert env.db.record_count() >= 6
+        assert env.daemon.ticks_stored == env.tick
+
+    def test_actions_recorded(self):
+        env = make_env()
+        env.reset()
+        start_tick = env.tick
+        env.step(1)
+        rec = env.db.cache.get(start_tick)
+        assert rec.action == 1
+
+    def test_rewards_attached_to_records(self):
+        env = make_env()
+        env.reset()
+        env.step(0)
+        rec = env.db.cache.get(env.tick)
+        assert rec.reward == env.reward_source.last_value
+
+    def test_drops_create_missing_ticks(self):
+        env = make_env(drop=0.4, seed=2)
+        env.reset()
+        for _ in range(30):
+            env.step(0)
+        assert env.daemon.ticks_incomplete > 0
+        assert env.daemon.ticks_stored < env.tick
+
+    def test_sampler_works_despite_drops(self):
+        env = make_env(drop=0.1, seed=2)
+        env.reset()
+        for _ in range(40):
+            env.step(0)
+        sampler = env.make_sampler(seed=0)
+        mb = sampler.sample_minibatch(8)
+        assert len(mb) == 8
+
+    def test_checker_veto_records_null(self):
+        env = make_env()
+        env.checker.add_minimum("max_rpcs_in_flight", 8)
+        env.reset()
+        start_tick = env.tick
+        _o, _r, info = env.step(2)  # decrease below the floor -> veto
+        assert info["effect"].is_null
+        assert env.db.cache.get(start_tick).action == ActionSpace.NULL_ACTION
+        assert env.current_params()["max_rpcs_in_flight"] == 8.0
+
+    def test_wire_messages_really_flow(self):
+        env = make_env()
+        env.reset()
+        env.step(0)
+        stats = env.monitors[0].wire_stats
+        assert stats.messages == env.tick
+        assert stats.compressed_bytes > 0
+
+
+class TestObservationContent:
+    def test_observation_reflects_window_changes(self):
+        """The window PI inside the newest frame must track the action."""
+        env = make_env()
+        obs = env.reset()
+        frames = obs.reshape(env.hp.sampling_ticks_per_observation, -1)
+        # first indicator of first OSC of first client = window / 64
+        assert frames[-1][0] == pytest.approx(8 / 16.0)
+        obs, _r, _i = env.step(2)  # window 8 -> 7
+        frames = obs.reshape(env.hp.sampling_ticks_per_observation, -1)
+        assert frames[-1][0] == pytest.approx(7 / 16.0)

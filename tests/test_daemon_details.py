@@ -1,0 +1,154 @@
+"""Focused tests for Interface Daemon internals not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core import ActionChecker, ActionSpace, ControlAgent, InterfaceDaemon
+from repro.core.actions import TunableParameter
+from repro.cluster import Cluster, ClusterConfig
+from repro.replaydb import ReplayDB
+from repro.sim import Simulator
+from repro.telemetry import DifferentialEncoder
+
+
+def make_daemon(n_clients=2, fw=4, obs_ticks=3, extra_width=0, extra_provider=None):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(n_servers=1, n_clients=n_clients))
+    db = ReplayDB(n_clients * fw + extra_width)
+    space = ActionSpace(
+        [TunableParameter("max_rpcs_in_flight", 1, 64, 1, 8)]
+    )
+    controls = [ControlAgent(c) for c in cluster.clients]
+    daemon = InterfaceDaemon(
+        n_clients=n_clients,
+        client_frame_width=fw,
+        db=db,
+        action_space=space,
+        control_agents=controls,
+        obs_ticks=obs_ticks,
+        extra_frame_width=extra_width,
+        extra_frame_provider=extra_provider,
+    )
+    encoders = [DifferentialEncoder(fw) for _ in range(n_clients)]
+    return daemon, encoders, cluster
+
+
+def send_tick(daemon, encoders, tick, values=None, only=None):
+    for cid, enc in enumerate(encoders):
+        if only is not None and cid not in only:
+            continue
+        frame = np.full(enc.frame_width, float(tick if values is None else values))
+        daemon.ingest(cid, enc.encode(tick, frame))
+
+
+class TestFrameAssembly:
+    def test_complete_tick_stored(self):
+        daemon, encoders, _ = make_daemon()
+        send_tick(daemon, encoders, 1)
+        assert daemon.finish_tick(1)
+        assert daemon.ticks_stored == 1
+        assert daemon.db.cache.has(1)
+
+    def test_incomplete_tick_dropped(self):
+        daemon, encoders, _ = make_daemon()
+        send_tick(daemon, encoders, 1, only={0})
+        assert not daemon.finish_tick(1)
+        assert daemon.ticks_incomplete == 1
+        assert not daemon.db.cache.has(1)
+
+    def test_stale_partial_assemblies_purged(self):
+        daemon, encoders, _ = make_daemon()
+        send_tick(daemon, encoders, 1, only={0})  # never completes
+        send_tick(daemon, encoders, 2)
+        assert daemon.finish_tick(2)
+        # tick 1's orphan was discarded and counted
+        assert daemon.ticks_incomplete == 1
+        assert 1 not in daemon._pending
+
+    def test_unknown_client_rejected(self):
+        daemon, encoders, _ = make_daemon()
+        msg = encoders[0].encode(1, np.zeros(4))
+        with pytest.raises(KeyError):
+            daemon.ingest(99, msg)
+
+    def test_frame_order_is_client_order(self):
+        daemon, encoders, _ = make_daemon()
+        f0 = np.full(4, 10.0)
+        f1 = np.full(4, 20.0)
+        daemon.ingest(0, encoders[0].encode(1, f0))
+        daemon.ingest(1, encoders[1].encode(1, f1))
+        daemon.finish_tick(1)
+        stored = daemon.db.cache.get(1).frame
+        np.testing.assert_array_equal(stored[:4], f0)
+        np.testing.assert_array_equal(stored[4:], f1)
+
+
+class TestCurrentObservation:
+    def test_none_before_any_tick(self):
+        daemon, _enc, _ = make_daemon()
+        assert daemon.current_observation() is None
+
+    def test_padding_repeats_oldest_frame(self):
+        daemon, encoders, _ = make_daemon(obs_ticks=4)
+        send_tick(daemon, encoders, 1, values=7.0)
+        daemon.finish_tick(1)
+        obs = daemon.current_observation()
+        frames = obs.reshape(4, -1)
+        for row in frames:
+            np.testing.assert_array_equal(row, np.full(8, 7.0))
+
+    def test_window_slides(self):
+        daemon, encoders, _ = make_daemon(obs_ticks=2)
+        for t in (1, 2, 3):
+            send_tick(daemon, encoders, t, values=float(t))
+            daemon.finish_tick(t)
+        frames = daemon.current_observation().reshape(2, -1)
+        assert frames[0][0] == 2.0 and frames[1][0] == 3.0
+
+
+class TestExtraFrames:
+    def test_provider_columns_appended(self):
+        provider_calls = []
+
+        def provider(tick):
+            provider_calls.append(tick)
+            return np.array([99.0, 98.0])
+
+        daemon, encoders, _ = make_daemon(extra_width=2, extra_provider=provider)
+        send_tick(daemon, encoders, 1)
+        daemon.finish_tick(1)
+        stored = daemon.db.cache.get(1).frame
+        np.testing.assert_array_equal(stored[-2:], [99.0, 98.0])
+        assert provider_calls == [1]
+
+    def test_provider_shape_checked(self):
+        daemon, encoders, _ = make_daemon(
+            extra_width=2, extra_provider=lambda t: np.zeros(3)
+        )
+        send_tick(daemon, encoders, 1)
+        with pytest.raises(ValueError):
+            daemon.finish_tick(1)
+
+    def test_width_without_provider_rejected(self):
+        with pytest.raises(ValueError):
+            make_daemon(extra_width=2, extra_provider=None)
+
+
+class TestActionPath:
+    def test_clamped_noop_action_not_broadcast(self):
+        daemon, _enc, cluster = make_daemon()
+        cluster.set_max_rpcs_in_flight(64)  # already at the ceiling
+        before = daemon.actions_broadcast
+        effect = daemon.perform_action(1, 1)  # +1, clamps to 64
+        assert daemon.actions_broadcast == before
+        assert effect.new_value == effect.old_value == 64.0
+
+    def test_applied_to_every_control_agent(self):
+        daemon, _enc, cluster = make_daemon()
+        daemon.perform_action(1, 2)  # decrease window
+        for client in cluster.clients:
+            assert client.max_rpcs_in_flight == 7
+
+    def test_parameter_values_readback(self):
+        daemon, _enc, _ = make_daemon()
+        assert daemon.parameter_values() == {"max_rpcs_in_flight": 8.0}

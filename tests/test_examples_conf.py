@@ -1,0 +1,26 @@
+"""The shipped sample configuration must stay loadable and runnable."""
+
+import pytest
+
+from repro.core.capes import CAPES
+from repro.core.config import load_config
+
+CONF = "examples/conf_lustre.py"
+
+
+def test_sample_conf_loads():
+    cfg = load_config(CONF)
+    assert cfg.env.cluster.n_clients == 5
+    assert cfg.env.hp.adam_learning_rate == 5e-4
+    assert cfg.loss == "huber"
+    assert cfg.train_steps_per_tick == 4
+
+
+def test_sample_conf_builds_and_steps():
+    cfg = load_config(CONF)
+    # shrink for test speed: fewer obs ticks, tiny net
+    cfg.env.hp.hidden_layer_size = 8
+    cfg.env.hp.sampling_ticks_per_observation = 3
+    capes = CAPES(cfg)
+    result = capes.train(5)
+    assert result.n_ticks == 5

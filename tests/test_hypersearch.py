@@ -1,0 +1,87 @@
+"""Tests for the hyperparameter grid/random search (§6 future work)."""
+
+import pytest
+
+from repro.rl import GridSearch, Hyperparameters, RandomSampler
+
+
+def base_hp():
+    return Hyperparameters(hidden_layer_size=8)
+
+
+class TestGridSearch:
+    def test_size_is_cross_product(self):
+        gs = GridSearch(
+            base_hp(),
+            {"adam_learning_rate": [1e-4, 1e-3], "discount_rate": [0.9, 0.95, 0.99]},
+        )
+        assert gs.size == 6
+        assert len(list(gs.configurations())) == 6
+
+    def test_configurations_override_fields(self):
+        gs = GridSearch(base_hp(), {"minibatch_size": [8, 64]})
+        sizes = {hp.minibatch_size for hp in gs.configurations()}
+        assert sizes == {8, 64}
+        # untouched fields keep base values
+        for hp in gs.configurations():
+            assert hp.hidden_layer_size == 8
+
+    def test_run_returns_argmax(self):
+        gs = GridSearch(
+            base_hp(), {"discount_rate": [0.5, 0.9, 0.99]}
+        )
+        result = gs.run(lambda hp: hp.discount_rate)  # higher γ scores more
+        assert result.best.discount_rate == 0.99
+        assert result.best_score == 0.99
+        assert result.n_evaluated == 3
+
+    def test_trace_records_all_points(self):
+        gs = GridSearch(base_hp(), {"minibatch_size": [8, 16]})
+        result = gs.run(lambda hp: -hp.minibatch_size)
+        assert [p["minibatch_size"] for p, _s in result.trace] == [8, 16]
+        assert result.best.minibatch_size == 8
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            GridSearch(base_hp(), {"bogus": [1]})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearch(base_hp(), {})
+        with pytest.raises(ValueError):
+            GridSearch(base_hp(), {"minibatch_size": []})
+
+    def test_invalid_combinations_surface_validation(self):
+        gs = GridSearch(base_hp(), {"discount_rate": [1.5]})
+        with pytest.raises(ValueError):
+            list(gs.configurations())
+
+
+class TestRandomSampler:
+    def test_samples_come_from_grid(self):
+        rs = RandomSampler(
+            base_hp(), {"minibatch_size": [8, 16, 32]}, seed=0
+        )
+        for _ in range(20):
+            assert rs.sample().minibatch_size in (8, 16, 32)
+
+    def test_run_respects_budget(self):
+        rs = RandomSampler(base_hp(), {"minibatch_size": [8, 16]}, seed=1)
+        result = rs.run(lambda hp: float(hp.minibatch_size), budget=7)
+        assert result.n_evaluated == 7
+        assert result.best_score in (8.0, 16.0)
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            rs = RandomSampler(
+                base_hp(), {"minibatch_size": [8, 16, 32]}, seed=seed
+            )
+            return [rs.sample().minibatch_size for _ in range(10)]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_budget_validation(self):
+        rs = RandomSampler(base_hp(), {"minibatch_size": [8]}, seed=0)
+        with pytest.raises(ValueError):
+            rs.run(lambda hp: 0.0, budget=0)

@@ -1,0 +1,162 @@
+"""Tests for batch normalization and its MLP integration."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, BatchNorm1d
+from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.losses import mse_loss
+
+
+class TestBatchNorm1d:
+    def test_training_output_standardized(self):
+        bn = BatchNorm1d(3)
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(256, 3))
+        y = bn.forward(x)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(y.std(axis=0), 1.0, atol=1e-2)
+
+    def test_gamma_beta_affect_output(self):
+        bn = BatchNorm1d(2)
+        bn.gamma.value[...] = [2.0, 1.0]
+        bn.beta.value[...] = [0.0, 5.0]
+        x = np.random.default_rng(1).normal(size=(64, 2))
+        y = bn.forward(x)
+        assert y[:, 0].std() == pytest.approx(2.0, rel=0.05)
+        assert y[:, 1].mean() == pytest.approx(5.0, abs=1e-6)
+
+    def test_running_stats_track_data(self):
+        bn = BatchNorm1d(1, momentum=0.5)
+        x = np.full((16, 1), 10.0) + np.random.default_rng(2).normal(
+            0, 0.1, (16, 1)
+        )
+        for _ in range(20):
+            bn.forward(x)
+        assert bn.running_mean[0] == pytest.approx(10.0, abs=0.2)
+
+    def test_eval_mode_uses_running_stats(self):
+        bn = BatchNorm1d(1, momentum=1.0)
+        train_x = np.array([[0.0], [2.0]])  # mean 1, var 1
+        bn.forward(train_x)
+        bn.eval_mode()
+        y = bn.forward(np.array([[1.0]]))
+        assert y[0, 0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_single_sample_in_training_uses_running_stats(self):
+        bn = BatchNorm1d(2)
+        y = bn.forward(np.ones((1, 2)))
+        assert np.isfinite(y).all()
+
+    def test_backward_matches_finite_differences(self):
+        rng = np.random.default_rng(3)
+        bn = BatchNorm1d(3)
+        x = rng.normal(size=(8, 3))
+        target = rng.normal(size=(8, 3))
+
+        def loss_of(x_in):
+            bn2 = BatchNorm1d(3)
+            bn2.gamma.value[...] = bn.gamma.value
+            bn2.beta.value[...] = bn.beta.value
+            val, _ = mse_loss(bn2.forward(x_in), target)
+            return val
+
+        out = bn.forward(x)
+        _, dpred = mse_loss(out, target)
+        gin = bn.backward(dpred)
+        eps = 1e-6
+        for idx in [(0, 0), (3, 1), (7, 2)]:
+            up = x.copy()
+            up[idx] += eps
+            dn = x.copy()
+            dn[idx] -= eps
+            num = (loss_of(up) - loss_of(dn)) / (2 * eps)
+            assert gin[idx] == pytest.approx(num, rel=1e-4, abs=1e-8)
+
+    def test_gamma_beta_gradients(self):
+        rng = np.random.default_rng(4)
+        bn = BatchNorm1d(2)
+        x = rng.normal(size=(16, 2))
+        target = rng.normal(size=(16, 2))
+        out = bn.forward(x)
+        _, dpred = mse_loss(out, target)
+        bn.backward(dpred)
+        eps = 1e-6
+
+        def loss_with_gamma(g0):
+            bn2 = BatchNorm1d(2)
+            bn2.gamma.value[...] = bn.gamma.value
+            bn2.gamma.value[0] = g0
+            bn2.beta.value[...] = bn.beta.value
+            val, _ = mse_loss(bn2.forward(x), target)
+            return val
+
+        g0 = bn.gamma.value[0]
+        num = (loss_with_gamma(g0 + eps) - loss_with_gamma(g0 - eps)) / (2 * eps)
+        assert bn.gamma.grad[0] == pytest.approx(num, rel=1e-4)
+
+    def test_shape_validation(self):
+        bn = BatchNorm1d(3)
+        with pytest.raises(ValueError):
+            bn.forward(np.zeros((4, 2)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            BatchNorm1d(2).backward(np.ones((2, 2)))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(2, momentum=0.0)
+
+
+class TestMLPWithBatchNorm:
+    def test_parameters_include_gamma_beta(self):
+        plain = MLP([4, 8, 2], rng=0)
+        bn = MLP([4, 8, 2], use_batchnorm=True, rng=0)
+        assert len(bn.parameters()) == len(plain.parameters()) + 2
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        net = MLP([4, 16, 2], use_batchnorm=True, rng=1)
+        opt = Adam(lr=1e-2)
+        x = rng.normal(size=(64, 4))
+        target = np.stack([x[:, 0] + x[:, 1], x[:, 2] - x[:, 3]], axis=1)
+        first = None
+        for _ in range(200):
+            net.zero_grad()
+            loss, dpred = mse_loss(net.forward(x), target)
+            if first is None:
+                first = loss
+            net.backward(dpred)
+            opt.step(net.parameters())
+        assert loss < first * 0.2
+
+    def test_eval_mode_deterministic_single_obs(self):
+        net = MLP([4, 8, 2], use_batchnorm=True, rng=0)
+        net.forward(np.random.default_rng(0).normal(size=(32, 4)))
+        net.eval_mode()
+        x = np.ones(4)
+        np.testing.assert_array_equal(net.forward(x), net.forward(x))
+
+    def test_clone_copies_running_stats(self):
+        net = MLP([4, 8, 2], use_batchnorm=True, rng=0)
+        net.forward(np.random.default_rng(0).normal(3.0, 1.0, size=(64, 4)))
+        twin = net.clone()
+        net.eval_mode()
+        twin.eval_mode()
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        np.testing.assert_array_equal(net.forward(x), twin.forward(x))
+
+    def test_checkpoint_roundtrip_with_batchnorm(self, tmp_path):
+        net = MLP([4, 8, 2], use_batchnorm=True, rng=0)
+        net.forward(np.random.default_rng(0).normal(2.0, 1.0, size=(64, 4)))
+        path = tmp_path / "bn.npz"
+        save_checkpoint(path, net)
+        net2, _ = load_checkpoint(path)
+        assert net2.use_batchnorm
+        net.eval_mode()
+        net2.eval_mode()
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_array_equal(net.forward(x), net2.forward(x))

@@ -1,0 +1,102 @@
+"""Tests for the §4.2 background-noise traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, NoiseConfig, NoiseTraffic
+from repro.env import EnvConfig, StorageTuningEnv
+from repro.rl import Hyperparameters
+from repro.sim import Simulator
+from repro.workloads import RandomReadWrite
+
+FAST_HP = Hyperparameters(
+    hidden_layer_size=8, sampling_ticks_per_observation=3, exploration_ticks=20
+)
+
+
+class TestNoiseTraffic:
+    def make(self, **cfg):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(n_servers=2, n_clients=2))
+        noise = NoiseTraffic(cluster, NoiseConfig(**cfg), seed=0)
+        return sim, cluster, noise
+
+    def test_probes_arrive_at_expected_rate(self):
+        sim, cluster, noise = self.make(probe_rate=5.0, bulk_rate=0.0)
+        sim.run(until=60.0)
+        # Poisson(5/s × 60 s): within generous 3-sigma bounds
+        assert 200 <= noise.probes_sent <= 400
+
+    def test_bulk_transfers_occur(self):
+        sim, cluster, noise = self.make(probe_rate=0.0, bulk_rate=1.0)
+        sim.run(until=30.0)
+        assert noise.bulk_sent > 10
+
+    def test_zero_rates_spawn_nothing(self):
+        sim, cluster, noise = self.make(probe_rate=0.0, bulk_rate=0.0)
+        sim.run(until=5.0)
+        assert noise.probes_sent == 0 and noise.bulk_sent == 0
+
+    def test_noise_consumes_real_link_capacity(self):
+        sim, cluster, noise = self.make(probe_rate=0.0, bulk_rate=5.0)
+        sim.run(until=20.0)
+        ingress_bytes = sum(
+            cluster.fabric.ingress_link(s.node_id).stats.bytes
+            for s in cluster.servers
+        ) + sum(
+            cluster.fabric.ingress_link(c.node_id).stats.bytes
+            for c in cluster.clients
+        )
+        assert ingress_bytes > 0
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            sim = Simulator()
+            cluster = Cluster(sim, ClusterConfig(n_servers=1, n_clients=1))
+            noise = NoiseTraffic(cluster, seed=seed)
+            sim.run(until=30.0)
+            return (noise.probes_sent, noise.bulk_sent)
+
+        assert run(4) == run(4)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(probe_rate=-1.0)
+        with pytest.raises(ValueError):
+            NoiseConfig(probe_bytes=0)
+
+
+class TestNoiseInEnv:
+    def make_env(self, noise):
+        return StorageTuningEnv(
+            EnvConfig(
+                cluster=ClusterConfig(n_servers=2, n_clients=2),
+                workload_factory=lambda c, s: RandomReadWrite(
+                    c, read_fraction=0.1, instances_per_client=2, seed=s
+                ),
+                hp=FAST_HP,
+                enable_noise=noise,
+                seed=0,
+            )
+        )
+
+    def test_disabled_by_default(self):
+        env = self.make_env(False)
+        env.reset()
+        assert env.noise is None
+
+    def test_enabled_injects_traffic(self):
+        env = self.make_env(True)
+        env.reset()
+        env.run_ticks(20)
+        assert env.noise is not None
+        assert env.noise.probes_sent > 0
+
+    def test_training_robust_to_noise(self):
+        from repro.core import CapesSession
+
+        env = self.make_env(True)
+        session = CapesSession(env, seed=0)
+        result = session.train(12)
+        assert np.isfinite(result.losses).all()
+        assert result.rewards.sum() > 0

@@ -1,0 +1,208 @@
+"""Tests for the replay database: cache, SQLite store, Algorithm 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replaydb import MinibatchSampler, ReplayCache, ReplayDB, TickRecord
+from repro.replaydb.sampler import SamplerStarvedError
+
+
+def fill_db(db, n_ticks, fw, action=1, skip=()):
+    rng = np.random.default_rng(0)
+    for t in range(n_ticks):
+        if t in skip:
+            continue
+        db.put_observation(t, rng.normal(size=fw), reward=float(t))
+        db.put_action(t, action)
+
+
+class TestReplayCache:
+    def test_put_get_roundtrip(self):
+        c = ReplayCache(frame_width=3, capacity=10)
+        rec = TickRecord(tick=5, frame=np.array([1.0, 2.0, 3.0]), action=2, reward=0.5)
+        c.put(rec)
+        got = c.get(5)
+        np.testing.assert_array_equal(got.frame, rec.frame)
+        assert got.action == 2 and got.reward == 0.5
+
+    def test_has_and_missing(self):
+        c = ReplayCache(3, capacity=10)
+        assert not c.has(0)
+        c.put(TickRecord(0, np.zeros(3)))
+        assert c.has(0) and not c.has(1)
+
+    def test_eviction_by_ring(self):
+        c = ReplayCache(2, capacity=4)
+        for t in range(10):
+            c.put(TickRecord(t, np.full(2, float(t))))
+        assert not c.has(5)
+        assert c.has(6) and c.has(9)
+        assert c.min_tick == 6 and c.max_tick == 9
+
+    def test_too_old_tick_rejected(self):
+        c = ReplayCache(2, capacity=4)
+        c.put(TickRecord(10, np.zeros(2)))
+        with pytest.raises(ValueError):
+            c.put(TickRecord(3, np.zeros(2)))
+
+    def test_set_action_reward(self):
+        c = ReplayCache(2, capacity=4)
+        c.put(TickRecord(0, np.zeros(2)))
+        c.set_action(0, 3)
+        c.set_reward(0, 1.5)
+        got = c.get(0)
+        assert got.action == 3 and got.reward == 1.5
+
+    def test_set_on_missing_tick_raises(self):
+        c = ReplayCache(2, capacity=4)
+        with pytest.raises(KeyError):
+            c.set_action(0, 1)
+
+    def test_window_reports_validity(self):
+        c = ReplayCache(2, capacity=16)
+        for t in (0, 1, 3):
+            c.put(TickRecord(t, np.full(2, float(t))))
+        frames, valid = c.window(0, 4)
+        assert valid.tolist() == [True, True, False, True]
+        np.testing.assert_array_equal(frames[3], [3.0, 3.0])
+        np.testing.assert_array_equal(frames[2], [0.0, 0.0])
+
+    def test_frame_shape_checked(self):
+        c = ReplayCache(3, capacity=4)
+        with pytest.raises(ValueError):
+            c.put(TickRecord(0, np.zeros(2)))
+
+    def test_nbytes_positive(self):
+        assert ReplayCache(4, capacity=8).nbytes() > 0
+
+
+class TestReplayDB:
+    def test_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "replay.sqlite")
+        db = ReplayDB(4, path=path)
+        fill_db(db, 20, 4)
+        db.close()
+
+        db2 = ReplayDB(4, path=path)
+        assert db2.record_count() == 20
+        assert len(db2.cache) == 20
+        rec = db2.cache.get(7)
+        assert rec.action == 1 and rec.reward == 7.0
+        db2.close()
+
+    def test_wrong_width_on_reload_rejected(self, tmp_path):
+        path = str(tmp_path / "replay.sqlite")
+        db = ReplayDB(4, path=path)
+        fill_db(db, 3, 4)
+        db.close()
+        with pytest.raises(ValueError):
+            ReplayDB(5, path=path)
+
+    def test_set_reward_updates_both_layers(self):
+        db = ReplayDB(2)
+        db.put_observation(0, np.zeros(2))
+        db.set_reward(0, 9.0)
+        assert db.cache.get(0).reward == 9.0
+
+    def test_sizes_reported(self):
+        db = ReplayDB(4)
+        fill_db(db, 10, 4)
+        assert db.record_count() == 10
+        assert db.on_disk_bytes() > 0
+        assert db.in_memory_bytes() > 0
+
+    def test_context_manager(self, tmp_path):
+        with ReplayDB(2, path=str(tmp_path / "x.sqlite")) as db:
+            db.put_observation(0, np.zeros(2))
+        # closed without error
+
+
+class TestSampler:
+    def make(self, n_ticks=60, fw=3, obs_ticks=5, skip=(), tol=0.2):
+        db = ReplayDB(fw)
+        fill_db(db, n_ticks, fw, skip=skip)
+        return MinibatchSampler(
+            db.cache, obs_ticks=obs_ticks, missing_tolerance=tol, seed=0
+        )
+
+    def test_observation_shape(self):
+        s = self.make()
+        obs = s.observation_at(10)
+        assert obs.shape == (5 * 3,)
+        assert s.obs_dim == 15
+
+    def test_observation_too_early_is_none(self):
+        s = self.make(obs_ticks=5)
+        assert s.observation_at(3) is None
+
+    def test_minibatch_shapes(self):
+        s = self.make()
+        mb = s.sample_minibatch(8)
+        assert len(mb) == 8
+        assert mb.s_t.shape == (8, 15)
+        assert mb.s_next.shape == (8, 15)
+        assert mb.actions.shape == (8,)
+        assert mb.rewards.shape == (8,)
+
+    def test_reward_is_next_tick_objective(self):
+        s = self.make()
+        tr = s.transition_at(10)
+        assert tr is not None
+        # fill_db stores reward == tick, so r_t must equal t+1.
+        assert tr.reward == 11.0
+
+    def test_transition_requires_action(self):
+        db = ReplayDB(2)
+        for t in range(20):
+            db.put_observation(t, np.zeros(2))
+        # no actions recorded at all
+        s = MinibatchSampler(db.cache, obs_ticks=3, seed=0)
+        assert s.transition_at(10) is None
+        with pytest.raises(SamplerStarvedError):
+            s.sample_minibatch(4, max_attempts=5)
+
+    def test_empty_db_starves(self):
+        db = ReplayDB(2)
+        s = MinibatchSampler(db.cache, obs_ticks=3)
+        with pytest.raises(SamplerStarvedError):
+            s.sample_minibatch(1)
+
+    def test_missing_within_tolerance_accepted(self):
+        # 1 missing of 5 ticks = 20%, equal to tolerance -> accepted
+        s = self.make(skip=(8,), obs_ticks=5, tol=0.2)
+        assert s.observation_at(10) is not None
+
+    def test_missing_beyond_tolerance_rejected(self):
+        s = self.make(skip=(7, 8), obs_ticks=5, tol=0.2)
+        assert s.observation_at(10) is None
+
+    def test_imputation_carries_forward(self):
+        s = self.make(skip=(8,), obs_ticks=5, tol=0.2)
+        obs = s.observation_at(10).reshape(5, 3)
+        # window ticks 6..10; index 2 (tick 8) imputed from tick 7
+        np.testing.assert_array_equal(obs[2], obs[1])
+
+    def test_eligible_range(self):
+        s = self.make(n_ticks=30, obs_ticks=5)
+        first, last = s.eligible_range()
+        assert first == 4
+        assert last == 28  # t+1 must exist
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=16))
+    def test_minibatch_always_exact_size(self, n):
+        s = self.make(n_ticks=40)
+        assert len(s.sample_minibatch(n)) == n
+
+    def test_samples_are_uniformish(self):
+        """All eligible ticks should be hit over many draws."""
+        s = self.make(n_ticks=30, obs_ticks=5)
+        seen = set()
+        for _ in range(60):
+            mb = s.sample_minibatch(8)
+            # track via reward == t+1
+            seen.update(int(r - 1) for r in mb.rewards)
+        first, last = s.eligible_range()
+        assert len(seen) >= (last - first + 1) * 0.8

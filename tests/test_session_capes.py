@@ -1,0 +1,144 @@
+"""Integration tests: sessions, the CAPES facade, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import CAPES, CapesConfig, ClusterConfig, EnvConfig, hours
+from repro.core import CapesSession
+from repro.env import StorageTuningEnv
+from repro.rl import Hyperparameters
+from repro.workloads import RandomReadWrite
+
+FAST_HP = Hyperparameters(
+    hidden_layer_size=16,
+    sampling_ticks_per_observation=3,
+    exploration_ticks=30,
+)
+
+
+def fast_env_config(seed=0, read_fraction=0.1):
+    return EnvConfig(
+        cluster=ClusterConfig(n_servers=2, n_clients=2),
+        workload_factory=lambda c, s: RandomReadWrite(
+            c, read_fraction=read_fraction, instances_per_client=2, seed=s
+        ),
+        hp=FAST_HP,
+        seed=seed,
+    )
+
+
+class TestHoursHelper:
+    def test_conversion(self):
+        assert hours(2) == 7200
+        assert hours(0.5, tick_length=1.0) == 1800
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            hours(0.0)
+
+
+class TestCapesSession:
+    def test_train_produces_result(self):
+        session = CapesSession(StorageTuningEnv(fast_env_config()), seed=0)
+        result = session.train(25)
+        assert result.n_ticks == 25
+        assert result.rewards.shape == (25,)
+        assert result.epsilon_trace[0] > result.epsilon_trace[-1]
+        assert result.action_counts.sum() == 25
+        assert len(result.losses) > 0
+        assert "max_rpcs_in_flight" in result.final_params
+
+    def test_losses_are_finite(self):
+        session = CapesSession(StorageTuningEnv(fast_env_config()), seed=0)
+        result = session.train(20)
+        assert np.isfinite(result.losses).all()
+
+    def test_evaluate_after_train(self):
+        session = CapesSession(StorageTuningEnv(fast_env_config()), seed=0)
+        session.train(15)
+        ev = session.evaluate(10)
+        assert ev.n_ticks == 10
+        assert len(ev.params_trace) == 10
+        assert ev.mean_reward >= 0
+
+    def test_measure_baseline_runs_without_actions(self):
+        session = CapesSession(StorageTuningEnv(fast_env_config()), seed=0)
+        rewards = session.measure_baseline(10)
+        assert rewards.shape == (10,)
+        # no actions -> parameters unchanged
+        assert session.env.current_params()["max_rpcs_in_flight"] == 8.0
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        session = CapesSession(StorageTuningEnv(fast_env_config()), seed=0)
+        session.train(15)
+        path = tmp_path / "capes.npz"
+        session.save(path)
+
+        session2 = CapesSession(StorageTuningEnv(fast_env_config()), seed=1)
+        session2.load(path)
+        for a, b in zip(
+            session.agent.online.net.get_weights(),
+            session2.agent.online.net.get_weights(),
+        ):
+            np.testing.assert_array_equal(a, b)
+        assert session2.agent.epsilon.value == pytest.approx(
+            session.agent.epsilon.value
+        )
+
+    def test_checkpoint_topology_mismatch_rejected(self, tmp_path):
+        session = CapesSession(StorageTuningEnv(fast_env_config()), seed=0)
+        session.train(5)
+        path = tmp_path / "capes.npz"
+        session.save(path)
+        other_hp = Hyperparameters(
+            hidden_layer_size=8, sampling_ticks_per_observation=3
+        )
+        cfg = fast_env_config()
+        cfg.hp = other_hp
+        session3 = CapesSession(StorageTuningEnv(cfg), seed=0)
+        with pytest.raises(ValueError):
+            session3.load(path)
+
+    def test_restart_environment_keeps_agent(self, tmp_path):
+        session = CapesSession(StorageTuningEnv(fast_env_config()), seed=0)
+        session.train(10)
+        w_before = session.agent.online.net.get_weights()
+        session.restart_environment()
+        for a, b in zip(w_before, session.agent.online.net.get_weights()):
+            np.testing.assert_array_equal(a, b)
+        # environment is fresh
+        assert session.env.current_params()["max_rpcs_in_flight"] == 8.0
+
+
+class TestCapesFacade:
+    def test_end_to_end_workflow(self):
+        capes = CAPES(CapesConfig(env=fast_env_config(), seed=0))
+        train = capes.train(20)
+        baseline = capes.measure_baseline(8)
+        tuned = capes.evaluate(8)
+        assert train.n_ticks == 20
+        assert baseline.shape == (8,)
+        assert tuned.n_ticks == 8
+
+    def test_technical_measurements(self):
+        capes = CAPES(CapesConfig(env=fast_env_config(), seed=0))
+        capes.train(12)
+        m = capes.technical_measurements()
+        assert m["replay_records"] >= 12
+        assert m["model_bytes"] > 0
+        assert m["observation_size"] == capes.env.obs_dim
+        assert m["pis_per_client"] == 22  # 2 servers × 11 PIs
+        assert m["mean_message_bytes"] > 0
+
+    def test_save_load_via_facade(self, tmp_path):
+        capes = CAPES(CapesConfig(env=fast_env_config(), seed=0))
+        capes.train(10)
+        p = tmp_path / "m.npz"
+        capes.save(p)
+        capes2 = CAPES(CapesConfig(env=fast_env_config(), seed=5))
+        capes2.load(p)
+        x = np.zeros(capes.env.obs_dim)
+        np.testing.assert_array_equal(
+            capes.session.agent.online.q_values(x),
+            capes2.session.agent.online.q_values(x),
+        )

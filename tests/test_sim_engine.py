@@ -1,0 +1,158 @@
+"""Tests for the discrete-event engine core (repro.sim.engine)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Event, Simulator, SimulationError, Timeout
+
+
+class TestEvent:
+    def test_initially_pending(self):
+        sim = Simulator()
+        ev = sim.event()
+        assert not ev.triggered
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_carries_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(123)
+        sim.run()
+        assert ev.ok and ev.value == 123 and ev.processed
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_callback_after_processing_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+
+
+class TestSimulatorClock:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(2.5)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.timeout(delay, value=delay).add_callback(
+                lambda e: order.append(e.value)
+            )
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_ties_break_in_creation_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            t = sim.timeout(1.0, value=tag)
+            t.add_callback(lambda e: order.append(e.value))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_advances_exactly_to_bound(self):
+        sim = Simulator()
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_peek(self):
+        sim = Simulator()
+        assert sim.peek() == float("inf")
+        sim.timeout(3.0)
+        assert sim.peek() == 3.0
+
+    def test_call_at(self):
+        sim = Simulator()
+        hits = []
+        sim.call_at(2.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [2.0]
+
+    def test_call_at_past_raises(self):
+        sim = Simulator()
+        sim.timeout(2.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.timeout(1.0)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40))
+def test_clock_is_monotone_under_arbitrary_timeouts(delays):
+    """Property: processing order never moves the clock backwards."""
+    sim = Simulator()
+    observed = []
+    for d in delays:
+        sim.timeout(d).add_callback(lambda e: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0, max_value=50), min_size=1, max_size=30
+    ),
+    bound=st.floats(min_value=0, max_value=60),
+)
+def test_run_until_processes_exactly_events_within_bound(delays, bound):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.timeout(d, value=d).add_callback(lambda e: fired.append(e.value))
+    sim.run(until=bound)
+    assert sorted(fired) == sorted(d for d in delays if d <= bound)
+    assert sim.now == bound

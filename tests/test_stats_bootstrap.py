@@ -1,0 +1,75 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_ci, bootstrap_ratio_ci
+
+
+class TestBootstrapCI:
+    def test_mean_ci_contains_estimate(self):
+        x = np.random.default_rng(0).normal(10.0, 2.0, size=200)
+        ci = bootstrap_ci(x, seed=0)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate == pytest.approx(x.mean())
+
+    def test_interval_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(size=20), seed=0)
+        large = bootstrap_ci(rng.normal(size=2000), seed=0)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_custom_statistic(self):
+        x = np.random.default_rng(2).exponential(size=500)
+        ci = bootstrap_ci(x, statistic=np.median, seed=0)
+        assert ci.low <= np.median(x) <= ci.high
+
+    def test_deterministic_with_seed(self):
+        x = np.random.default_rng(3).normal(size=50)
+        a = bootstrap_ci(x, seed=9)
+        b = bootstrap_ci(x, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0]))
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(10) + np.arange(10), confidence=1.0)
+
+
+class TestBootstrapRatioCI:
+    def test_known_gain_recovered(self):
+        rng = np.random.default_rng(4)
+        base = rng.normal(10.0, 1.0, size=400)
+        tuned = rng.normal(14.5, 1.0, size=400)
+        ci = bootstrap_ratio_ci(base, tuned, seed=0)
+        assert ci.estimate == pytest.approx(0.45, abs=0.05)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.low > 0.3  # clearly positive gain
+
+    def test_no_gain_interval_straddles_zero(self):
+        rng = np.random.default_rng(5)
+        base = rng.normal(10.0, 2.0, size=100)
+        # A permutation of the same sample: gain is exactly zero by
+        # construction (two independent draws can differ by chance).
+        tuned = rng.permutation(base)
+        ci = bootstrap_ratio_ci(base, tuned, seed=0)
+        assert ci.estimate == pytest.approx(0.0, abs=1e-12)
+        assert ci.low < 0.0 < ci.high
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            bootstrap_ratio_ci(np.zeros(10), np.ones(10))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci(np.array([1.0]), np.ones(10))
+
+    def test_str_formatting(self):
+        rng = np.random.default_rng(6)
+        ci = bootstrap_ratio_ci(
+            rng.normal(10, 1, 50), rng.normal(12, 1, 50), seed=0
+        )
+        assert "bootstrap CI" in str(ci)

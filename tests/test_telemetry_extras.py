@@ -1,0 +1,172 @@
+"""Tests for server-side PIs, time features, and their env integration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.env import EnvConfig, StorageTuningEnv
+from repro.rl import Hyperparameters
+from repro.sim import Simulator
+from repro.telemetry import (
+    SERVER_INDICATORS,
+    ServerMonitoringAgent,
+    TIME_FEATURE_LABELS,
+    server_frame,
+    server_frame_width,
+    time_feature_width,
+    time_features,
+)
+from repro.telemetry.server_monitor import ServerPIState
+from repro.telemetry.timefeat import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_WEEK,
+)
+from repro.util.units import KiB
+from repro.workloads import RandomReadWrite
+
+FAST_HP = Hyperparameters(
+    hidden_layer_size=8, sampling_ticks_per_observation=3, exploration_ticks=20
+)
+
+
+def busy_cluster():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(n_servers=2, n_clients=2))
+    wl = RandomReadWrite(
+        cluster, read_fraction=0.2, instances_per_client=3, seed=0
+    )
+    wl.start()
+    return sim, cluster
+
+
+class TestServerIndicators:
+    def test_frame_width(self):
+        assert server_frame_width() == len(SERVER_INDICATORS) == 8
+
+    def test_frame_finite_and_clipped(self):
+        sim, cluster = busy_cluster()
+        sim.run(until=5.0)
+        state = ServerPIState(cluster.servers[0])
+        frame = server_frame(state, 1.0)
+        assert frame.shape == (8,)
+        assert np.isfinite(frame).all()
+        assert (np.abs(frame) <= 8.0).all()
+
+    def test_rates_are_deltas(self):
+        sim, cluster = busy_cluster()
+        sim.run(until=5.0)
+        state = ServerPIState(cluster.servers[0])
+        first = server_frame(state, 1.0)
+        # no time passes: second sample sees zero rates
+        second = server_frame(state, 1.0)
+        labels = [i.name for i in SERVER_INDICATORS]
+        for rate_pi in ("read_rate", "write_rate", "rpc_rate", "disk_busy"):
+            idx = labels.index(rate_pi)
+            assert second[idx] == 0.0
+
+    def test_queue_depth_reflects_load(self):
+        sim, cluster = busy_cluster()
+        sim.run(until=5.0)
+        depths = [s.queue_depth for s in cluster.servers]
+        assert max(depths) > 0
+
+    def test_agent_samples_and_encodes(self):
+        sim, cluster = busy_cluster()
+        sim.run(until=3.0)
+        agent = ServerMonitoringAgent(sim, cluster.servers[0])
+        frame = agent.sample_frame(1)
+        assert frame.shape == (8,)
+        msg = agent.sample_once(2)
+        assert isinstance(msg, bytes) and len(msg) > 0
+        assert agent.ticks_sampled == 2
+
+
+class TestTimeFeatures:
+    def test_width_and_labels(self):
+        assert time_feature_width() == len(TIME_FEATURE_LABELS) == 12
+        assert time_features(0.0).shape == (12,)
+
+    def test_periodicity(self):
+        np.testing.assert_allclose(
+            time_features(0.0), time_features(SECONDS_PER_WEEK * 30), atol=1e-6
+        )
+
+    def test_sin_cos_unit_circle(self):
+        f = time_features(12345.0)
+        for i in range(0, 12, 3):
+            assert f[i + 1] ** 2 + f[i + 2] ** 2 == pytest.approx(1.0)
+
+    def test_fracs_in_unit_interval(self):
+        for t in (0.0, 59.0, 3600.0, 86_400.0 * 3 + 7.5):
+            f = time_features(t)
+            for i in range(0, 12, 3):
+                assert 0.0 <= f[i] < 1.0
+
+    def test_midnight_adjacency(self):
+        """23:59:59 and 00:00:01 must be close in the cyclic encoding."""
+        before = time_features(SECONDS_PER_DAY - 1)
+        after = time_features(SECONDS_PER_DAY + 1)
+        hour_sin_cos = slice(4, 6)
+        assert np.linalg.norm(before[hour_sin_cos] - after[hour_sin_cos]) < 0.01
+
+    def test_epoch_offset_shifts(self):
+        np.testing.assert_allclose(
+            time_features(0.0, epoch_offset=SECONDS_PER_HOUR),
+            time_features(SECONDS_PER_HOUR),
+        )
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            time_features(float("nan"))
+
+
+class TestEnvIntegration:
+    def make_env(self, **extra):
+        return StorageTuningEnv(
+            EnvConfig(
+                cluster=ClusterConfig(n_servers=2, n_clients=2),
+                workload_factory=lambda c, s: RandomReadWrite(
+                    c, read_fraction=0.1, instances_per_client=2, seed=s
+                ),
+                hp=FAST_HP,
+                seed=0,
+                **extra,
+            )
+        )
+
+    def test_server_pis_extend_frame(self):
+        env = self.make_env(include_server_pis=True)
+        assert env.frame_dim == 2 * 22 + 2 * 8
+        obs = env.reset()
+        assert obs.shape == (env.obs_dim,)
+        assert np.isfinite(obs).all()
+
+    def test_time_features_extend_frame(self):
+        env = self.make_env(include_time_features=True)
+        assert env.frame_dim == 2 * 22 + 12
+        env.reset()
+        o, _r, _i = env.step(0)
+        assert np.isfinite(o).all()
+
+    def test_both_extras_compose(self):
+        env = self.make_env(
+            include_server_pis=True, include_time_features=True
+        )
+        assert env.frame_dim == 2 * 22 + 2 * 8 + 12
+        env.reset()
+        for _ in range(3):
+            o, _r, _i = env.step(0)
+        # time features live in the tail of the newest frame and move
+        frames = o.reshape(FAST_HP.sampling_ticks_per_observation, -1)
+        t_now = frames[-1][-12:]
+        t_prev = frames[-2][-12:]
+        assert not np.array_equal(t_now, t_prev)
+
+    def test_training_works_with_extras(self):
+        from repro.core import CapesSession
+
+        env = self.make_env(include_server_pis=True, include_time_features=True)
+        session = CapesSession(env, seed=0)
+        result = session.train(12)
+        assert np.isfinite(result.losses).all()

@@ -1,0 +1,217 @@
+"""Tests for the request tracer and the trace-replay workload."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, RequestTracer
+from repro.sim import Simulator
+from repro.util.units import KiB, MiB
+from repro.workloads import (
+    RandomReadWrite,
+    TraceOp,
+    TraceReplay,
+    load_trace_csv,
+    save_trace_csv,
+    synthesize_trace,
+)
+
+
+def build(n_servers=2, n_clients=2):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(n_servers=n_servers, n_clients=n_clients))
+    return sim, cluster
+
+
+class TestRequestTracer:
+    def test_records_completed_rpcs(self):
+        sim, cluster = build()
+        tracer = RequestTracer(cluster).attach()
+        wl = RandomReadWrite(cluster, read_fraction=0.5, seed=0)
+        wl.start()
+        sim.run(until=5.0)
+        assert len(tracer.records) > 0
+        r = tracer.records[0]
+        assert r.latency > 0
+        assert r.kind in ("read", "write")
+        tracer.detach()
+
+    def test_detach_stops_recording(self):
+        sim, cluster = build()
+        tracer = RequestTracer(cluster).attach()
+        wl = RandomReadWrite(cluster, read_fraction=0.5, seed=0)
+        wl.start()
+        sim.run(until=2.0)
+        tracer.detach()
+        n = len(tracer.records)
+        sim.run(until=4.0)
+        assert len(tracer.records) == n
+
+    def test_context_manager(self):
+        sim, cluster = build()
+        wl = RandomReadWrite(cluster, read_fraction=0.0, seed=0)
+        wl.start()
+        with RequestTracer(cluster) as tracer:
+            sim.run(until=3.0)
+        assert len(tracer.records) > 0
+
+    def test_double_attach_rejected(self):
+        sim, cluster = build()
+        tracer = RequestTracer(cluster).attach()
+        with pytest.raises(RuntimeError):
+            tracer.attach()
+
+    def test_summary_percentiles_ordered(self):
+        sim, cluster = build()
+        with RequestTracer(cluster) as tracer:
+            wl = RandomReadWrite(cluster, read_fraction=0.3, seed=1)
+            wl.start()
+            sim.run(until=10.0)
+        s = tracer.summary()
+        assert 0 < s.p50 <= s.p90 <= s.p99 <= s.max
+        assert s.count == len(tracer.records)
+
+    def test_kind_filter(self):
+        sim, cluster = build()
+        with RequestTracer(cluster) as tracer:
+            wl = RandomReadWrite(cluster, read_fraction=0.5, seed=2)
+            wl.start()
+            sim.run(until=8.0)
+        reads = tracer.latencies("read")
+        writes = tracer.latencies("write")
+        assert len(reads) + len(writes) == len(tracer.records)
+
+    def test_max_records_cap(self):
+        sim, cluster = build()
+        tracer = RequestTracer(cluster, max_records=5).attach()
+        wl = RandomReadWrite(cluster, read_fraction=0.5, seed=0)
+        wl.start()
+        sim.run(until=5.0)
+        assert len(tracer.records) == 5
+        assert tracer.dropped > 0
+
+    def test_per_server_counts(self):
+        sim, cluster = build()
+        with RequestTracer(cluster) as tracer:
+            wl = RandomReadWrite(cluster, read_fraction=0.2, seed=0)
+            wl.start()
+            sim.run(until=10.0)
+        counts = tracer.per_server_counts()
+        assert sum(counts.values()) == len(tracer.records)
+        assert set(counts) <= {0, 1}
+
+    def test_empty_summary_rejected(self):
+        sim, cluster = build()
+        tracer = RequestTracer(cluster)
+        with pytest.raises(ValueError):
+            tracer.summary()
+
+
+class TestTraceOps:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceOp(time=0.0, op="scribble", obj_id=1)
+        with pytest.raises(ValueError):
+            TraceOp(time=-1.0, op="read", obj_id=1, size=10)
+        with pytest.raises(ValueError):
+            TraceOp(time=0.0, op="read", obj_id=1, size=0)
+        TraceOp(time=0.0, op="stat", obj_id=1)  # metadata needs no size
+
+    def test_csv_roundtrip(self, tmp_path):
+        ops = [
+            TraceOp(0.5, "write", 7, 0, 4096),
+            TraceOp(1.0, "read", 7, 4096, 4096),
+            TraceOp(2.0, "stat", 7),
+        ]
+        path = tmp_path / "trace.csv"
+        save_trace_csv(path, ops)
+        loaded = load_trace_csv(path)
+        assert loaded == sorted(ops, key=lambda o: o.time)
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time,op,obj_id,offset,size\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)
+
+
+class TestSynthesizeTrace:
+    def test_generates_sorted_ops(self):
+        ops = synthesize_trace(duration=30.0, ops_per_second=20.0, seed=0)
+        times = [o.time for o in ops]
+        assert times == sorted(times)
+        assert times[-1] < 30.0
+        assert len(ops) > 300
+
+    def test_phases_flip_dominant_direction(self):
+        ops = synthesize_trace(
+            duration=120.0, ops_per_second=50.0, phase_length=60.0, seed=1
+        )
+        first = [o for o in ops if o.time < 60.0 and o.op in ("read", "write")]
+        second = [o for o in ops if o.time >= 60.0 and o.op in ("read", "write")]
+        r1 = sum(o.op == "read" for o in first) / len(first)
+        r2 = sum(o.op == "read" for o in second) / len(second)
+        assert r1 > 0.7 and r2 < 0.3
+
+    def test_deterministic(self):
+        a = synthesize_trace(10.0, seed=3)
+        b = synthesize_trace(10.0, seed=3)
+        assert a == b
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(0.0)
+
+
+class TestTraceReplay:
+    def test_replays_all_ops_closed_loop(self):
+        sim, cluster = build()
+        ops = [
+            TraceOp(float(i), "write", 10 + i % 3, (i % 8) * 32 * KiB, 32 * KiB)
+            for i in range(20)
+        ]
+        wl = TraceReplay(cluster, ops, paced=False, loop=False, seed=0)
+        wl.start()
+        sim.run(until=120.0)
+        assert wl.replayed == 20
+        assert wl.stats.writes == 20
+
+    def test_paced_replay_honours_timestamps(self):
+        sim, cluster = build()
+        ops = [TraceOp(5.0, "write", 1, 0, 32 * KiB)]
+        wl = TraceReplay(cluster, ops, paced=True, loop=False, seed=0)
+        wl.start()
+        sim.run(until=4.0)
+        assert wl.replayed == 0
+        sim.run(until=30.0)
+        assert wl.replayed == 1
+
+    def test_loop_restarts_trace(self):
+        sim, cluster = build()
+        ops = [TraceOp(0.1, "write", 1, 0, 32 * KiB)]
+        wl = TraceReplay(cluster, ops, paced=False, loop=True, seed=0)
+        wl.start()
+        sim.run(until=10.0)
+        assert wl.replayed > 3
+
+    def test_shards_split_across_clients(self):
+        sim, cluster = build(n_clients=2)
+        ops = [
+            TraceOp(float(i) * 0.01, "stat", 50 + i) for i in range(10)
+        ]
+        wl = TraceReplay(cluster, ops, paced=False, loop=False, seed=0)
+        assert len(wl._shard(0)) == 5
+        assert len(wl._shard(1)) == 5
+
+    def test_empty_trace_rejected(self):
+        sim, cluster = build()
+        with pytest.raises(ValueError):
+            TraceReplay(cluster, [], seed=0)
+
+    def test_synthesized_trace_end_to_end(self):
+        sim, cluster = build()
+        ops = synthesize_trace(duration=20.0, ops_per_second=30.0, seed=5)
+        wl = TraceReplay(cluster, ops, paced=True, loop=False, seed=0)
+        wl.start()
+        sim.run(until=40.0)
+        assert wl.replayed > len(ops) // 2
+        assert cluster.total_bytes() > 0

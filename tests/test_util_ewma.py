@@ -1,0 +1,122 @@
+"""Tests for repro.util.ewma."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import EWMA, IrregularEWMA
+
+
+class TestEWMA:
+    def test_first_sample_seeds_mean_exactly(self):
+        e = EWMA(alpha=0.3)
+        assert e.update(7.0) == 7.0
+        assert e.value == 7.0
+
+    def test_update_formula(self):
+        e = EWMA(alpha=0.5, initial=0.0)
+        assert e.update(10.0) == pytest.approx(5.0)
+        assert e.update(10.0) == pytest.approx(7.5)
+
+    def test_alpha_one_tracks_last_value(self):
+        e = EWMA(alpha=1.0)
+        e.update(3.0)
+        e.update(-2.0)
+        assert e.value == -2.0
+
+    def test_value_before_any_observation_is_zero(self):
+        assert EWMA(alpha=0.2).value == 0.0
+
+    def test_count_tracks_updates(self):
+        e = EWMA(alpha=0.2)
+        for i in range(5):
+            e.update(float(i))
+        assert e.count == 5
+
+    def test_initial_counts_as_observation(self):
+        e = EWMA(alpha=0.2, initial=1.0)
+        assert e.count == 1
+        assert e.value == 1.0
+
+    def test_reset(self):
+        e = EWMA(alpha=0.2)
+        e.update(5.0)
+        e.reset()
+        assert e.count == 0
+        assert e.value == 0.0
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_invalid_alpha_rejected(self, alpha):
+        with pytest.raises(ValueError):
+            EWMA(alpha=alpha)
+
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=1.0),
+        xs=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    )
+    def test_mean_stays_within_sample_hull(self, alpha, xs):
+        """Property: an EWMA is a convex combination of its inputs."""
+        e = EWMA(alpha=alpha)
+        for x in xs:
+            e.update(x)
+        assert min(xs) - 1e-6 <= e.value <= max(xs) + 1e-6
+
+    @given(xs=st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=30))
+    def test_constant_input_is_fixed_point(self, xs):
+        e = EWMA(alpha=0.37)
+        for _ in xs:
+            e.update(42.0)
+        assert e.value == pytest.approx(42.0)
+
+
+class TestIrregularEWMA:
+    def test_first_sample_seeds_mean(self):
+        e = IrregularEWMA(tau=1.0)
+        assert e.update(0.0, 5.0) == 5.0
+
+    def test_matches_fixed_weight_for_even_spacing(self):
+        tau, period = 2.0, 1.0
+        alpha = 1.0 - math.exp(-period / tau)
+        irr = IrregularEWMA(tau=tau)
+        fix = EWMA(alpha=alpha)
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=40)
+        t = 0.0
+        for x in xs:
+            irr.update(t, float(x))
+            fix.update(float(x))
+            t += period
+        assert irr.value == pytest.approx(fix.value, rel=1e-9)
+
+    def test_long_gap_converges_to_new_sample(self):
+        e = IrregularEWMA(tau=0.5)
+        e.update(0.0, 100.0)
+        e.update(1000.0, 1.0)
+        assert e.value == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_gap_leaves_mean_unchanged(self):
+        e = IrregularEWMA(tau=1.0)
+        e.update(1.0, 10.0)
+        e.update(1.0, 999.0)  # dt == 0 -> weight 0
+        assert e.value == pytest.approx(10.0)
+
+    def test_out_of_order_samples_rejected(self):
+        e = IrregularEWMA(tau=1.0)
+        e.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            e.update(4.0, 2.0)
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            IrregularEWMA(tau=0.0)
+
+    def test_reset(self):
+        e = IrregularEWMA(tau=1.0)
+        e.update(0.0, 3.0)
+        e.reset()
+        assert e.count == 0
+        e.update(0.0, 8.0)  # time may restart after reset
+        assert e.value == 8.0

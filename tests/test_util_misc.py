@@ -1,0 +1,132 @@
+"""Tests for repro.util.{rng,units,timeline,validation}."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    GiB,
+    KiB,
+    MiB,
+    TickClock,
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    derive_rng,
+    ensure_rng,
+    format_bytes,
+    format_rate,
+    mb_per_s,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        a = ensure_rng(42).random(4)
+        b = ensure_rng(42).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_derive_rng_children_independent_of_sibling_order(self):
+        p1 = ensure_rng(7)
+        a1 = derive_rng(p1, "disk").random(3)
+
+        p2 = ensure_rng(7)
+        a2 = derive_rng(p2, "disk").random(3)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_derive_rng_distinct_keys_distinct_streams(self):
+        p = ensure_rng(7)
+        a = derive_rng(p, "a").random(8)
+        b = derive_rng(p, "b").random(8)
+        assert not np.allclose(a, b)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+
+    def test_mb_per_s(self):
+        assert mb_per_s(1) == MiB
+
+    @pytest.mark.parametrize(
+        "n,expect",
+        [
+            (512, "512 B"),
+            (1536, "1.5 KB"),
+            (2 * MiB, "2.0 MB"),
+            (3 * GiB, "3.0 GB"),
+        ],
+    )
+    def test_format_bytes(self, n, expect):
+        assert format_bytes(n) == expect
+
+    def test_format_rate(self):
+        assert format_rate(106 * MiB) == "106.0 MB/s"
+
+
+class TestTickClock:
+    def test_tick_of(self):
+        c = TickClock(tick_length=1.0)
+        assert c.tick_of(0.0) == 0
+        assert c.tick_of(0.999) == 0
+        assert c.tick_of(1.0) == 1
+
+    def test_time_of_roundtrip(self):
+        c = TickClock(tick_length=0.5, offset=2.0)
+        for k in range(10):
+            assert c.tick_of(c.time_of(k)) == k
+
+    def test_next_tick_time(self):
+        c = TickClock(1.0)
+        assert c.next_tick_time(0.0) == 1.0
+        assert c.next_tick_time(1.0) == 2.0
+        assert c.next_tick_time(1.5) == 2.0
+
+    def test_ticks_between(self):
+        c = TickClock(1.0)
+        assert c.ticks_between(0.0, 5.0) == 5
+        assert c.ticks_between(0.5, 0.9) == 0
+
+    def test_ticks_between_reversed_raises(self):
+        with pytest.raises(ValueError):
+            TickClock(1.0).ticks_between(2.0, 1.0)
+
+    def test_bad_tick_length(self):
+        with pytest.raises(ValueError):
+            TickClock(0.0)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+    def test_check_finite(self):
+        check_finite("x", 3.5)
+        with pytest.raises(ValueError):
+            check_finite("x", float("inf"))
+        with pytest.raises(ValueError):
+            check_finite("x", float("nan"))
+
+    def test_check_in_range_bounds(self):
+        check_in_range("x", 0.5, 0, 1)
+        check_in_range("x", 0, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range("x", 0, 0, 1, low_inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range("x", 2, 0, 1)

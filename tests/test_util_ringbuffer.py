@@ -1,0 +1,112 @@
+"""Tests for repro.util.ringbuffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import RingBuffer
+
+
+class TestRingBufferScalar:
+    def test_empty(self):
+        rb = RingBuffer(4)
+        assert len(rb) == 0
+        assert not rb.full
+        assert rb.view().shape == (0,)
+
+    def test_append_below_capacity(self):
+        rb = RingBuffer(4)
+        rb.append(1.0)
+        rb.append(2.0)
+        np.testing.assert_array_equal(rb.view(), [1.0, 2.0])
+
+    def test_wraps_and_keeps_newest(self):
+        rb = RingBuffer(3)
+        for x in range(5):
+            rb.append(float(x))
+        np.testing.assert_array_equal(rb.view(), [2.0, 3.0, 4.0])
+        assert rb.full
+
+    def test_newest(self):
+        rb = RingBuffer(3)
+        rb.append(1.0)
+        rb.append(9.0)
+        assert rb.newest() == 9.0
+
+    def test_newest_empty_raises(self):
+        with pytest.raises(IndexError):
+            RingBuffer(2).newest()
+
+    def test_last_n(self):
+        rb = RingBuffer(5)
+        for x in range(5):
+            rb.append(float(x))
+        np.testing.assert_array_equal(rb.last(2), [3.0, 4.0])
+        np.testing.assert_array_equal(rb.last(10), [0, 1, 2, 3, 4])
+
+    def test_last_negative_raises(self):
+        rb = RingBuffer(2)
+        rb.append(0.0)
+        with pytest.raises(ValueError):
+            rb.last(-1)
+
+    def test_clear(self):
+        rb = RingBuffer(3)
+        rb.append(1.0)
+        rb.clear()
+        assert len(rb) == 0
+        rb.append(5.0)
+        np.testing.assert_array_equal(rb.view(), [5.0])
+
+    def test_mean(self):
+        rb = RingBuffer(4)
+        for x in (1.0, 2.0, 3.0):
+            rb.append(x)
+        assert rb.mean() == pytest.approx(2.0)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            RingBuffer(2).mean()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+
+class TestRingBufferVector:
+    def test_row_shape(self):
+        rb = RingBuffer(3, shape=2)
+        rb.append([1.0, 2.0])
+        rb.append([3.0, 4.0])
+        out = rb.view()
+        assert out.shape == (2, 2)
+        np.testing.assert_array_equal(out[1], [3.0, 4.0])
+
+    def test_extend(self):
+        rb = RingBuffer(3, shape=(2,))
+        rb.extend(np.arange(8.0).reshape(4, 2))
+        out = rb.view()
+        assert out.shape == (3, 2)
+        np.testing.assert_array_equal(out[0], [2.0, 3.0])
+
+    def test_view_is_copy(self):
+        rb = RingBuffer(2, shape=2)
+        rb.append([1.0, 1.0])
+        v = rb.view()
+        v[:] = -1
+        np.testing.assert_array_equal(rb.view(), [[1.0, 1.0]])
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=16),
+    xs=st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=64),
+)
+def test_ring_matches_list_suffix(capacity, xs):
+    """Property: a ring buffer is always the last `capacity` appends."""
+    rb = RingBuffer(capacity)
+    for x in xs:
+        rb.append(x)
+    expected = np.asarray(xs[-capacity:], dtype=np.float64)
+    np.testing.assert_array_equal(rb.view(), expected)
+    assert len(rb) == min(len(xs), capacity)

@@ -1,0 +1,210 @@
+"""Tests for workload generators and the schedule."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.sim import Simulator
+from repro.util.units import KiB, MiB
+from repro.workloads import (
+    FileServer,
+    RandomReadWrite,
+    SequentialWrite,
+    WorkloadPhase,
+    WorkloadSchedule,
+)
+
+
+def build(n_servers=2, n_clients=2):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(n_servers=n_servers, n_clients=n_clients))
+    return sim, cluster
+
+
+class TestRandomReadWrite:
+    def test_ratio_reflected_in_ops(self):
+        sim, cluster = build()
+        wl = RandomReadWrite(
+            cluster, read_fraction=0.9, io_size=32 * KiB, instances_per_client=3, seed=0
+        )
+        wl.start()
+        sim.run(until=20.0)
+        total = wl.stats.reads + wl.stats.writes
+        assert total > 50
+        assert wl.stats.reads / total == pytest.approx(0.9, abs=0.08)
+
+    def test_write_only(self):
+        sim, cluster = build()
+        wl = RandomReadWrite(cluster, read_fraction=0.0, seed=0)
+        wl.start()
+        sim.run(until=5.0)
+        assert wl.stats.reads == 0 and wl.stats.writes > 0
+
+    def test_from_ratio(self):
+        sim, cluster = build()
+        wl = RandomReadWrite.from_ratio(cluster, 1, 9)
+        assert wl.read_fraction == pytest.approx(0.1)
+        assert wl.name == "random_rw_1to9"
+
+    def test_bad_ratio(self):
+        sim, cluster = build()
+        with pytest.raises(ValueError):
+            RandomReadWrite.from_ratio(cluster, 0, 0)
+        with pytest.raises(ValueError):
+            RandomReadWrite(cluster, read_fraction=1.5)
+
+    def test_offsets_are_io_aligned_and_in_file(self):
+        sim, cluster = build()
+        wl = RandomReadWrite(
+            cluster,
+            read_fraction=0.5,
+            io_size=64 * KiB,
+            file_size=MiB,
+            instances_per_client=1,
+            seed=1,
+        )
+        wl.start()
+        sim.run(until=5.0)
+        assert wl.stats.ops > 0
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            sim, cluster = build()
+            wl = RandomReadWrite(cluster, read_fraction=0.3, seed=seed)
+            wl.start()
+            sim.run(until=10.0)
+            return (wl.stats.reads, wl.stats.writes, cluster.total_bytes())
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_stop_interrupts_instances(self):
+        sim, cluster = build()
+        wl = RandomReadWrite(cluster, read_fraction=0.5, seed=0)
+        wl.start()
+        sim.run(until=2.0)
+        wl.stop()
+        ops_at_stop = wl.stats.ops
+        sim.run(until=10.0)
+        # a few in-flight ops may land, but the loops are gone
+        assert wl.stats.ops <= ops_at_stop + wl.total_instances
+
+    def test_double_start_rejected(self):
+        sim, cluster = build()
+        wl = RandomReadWrite(cluster, read_fraction=0.5)
+        wl.start()
+        with pytest.raises(RuntimeError):
+            wl.start()
+
+
+class TestFileServer:
+    def test_op_mix_has_all_kinds(self):
+        sim, cluster = build()
+        wl = FileServer(
+            cluster,
+            file_size=256 * KiB,
+            io_size=64 * KiB,
+            instances_per_client=4,
+            seed=0,
+        )
+        wl.start()
+        sim.run(until=60.0)
+        assert wl.stats.reads > 0
+        assert wl.stats.writes > 0
+        assert wl.stats.metas > 0
+        # cycle: ~2 writes, 1 read, 3 metas
+        assert wl.stats.metas == pytest.approx(1.5 * wl.stats.writes, rel=0.5)
+
+    def test_append_sizes_vary(self):
+        sim, cluster = build()
+        wl = FileServer(
+            cluster, file_size=128 * KiB, io_size=64 * KiB, instances_per_client=2, seed=3
+        )
+        wl.start()
+        sim.run(until=120.0)
+        # appends are exponential around file_size: byte count must exceed
+        # the fixed create-write volume alone
+        assert wl.stats.bytes_written > wl.stats.writes // 2 * 128 * KiB
+
+    def test_io_size_larger_than_file_rejected(self):
+        sim, cluster = build()
+        with pytest.raises(ValueError):
+            FileServer(cluster, file_size=KiB, io_size=MiB)
+
+
+class TestSequentialWrite:
+    def test_streams_progress_sequentially(self):
+        sim, cluster = build()
+        wl = SequentialWrite(
+            cluster, record_size=256 * KiB, instances_per_client=2, seed=0
+        )
+        wl.start()
+        sim.run(until=20.0)
+        assert wl.stats.writes > 10
+        assert wl.stats.reads == 0
+        assert wl.stats.bytes_written == wl.stats.writes * 256 * KiB
+
+    def test_wraps_at_extent(self):
+        sim, cluster = build()
+        wl = SequentialWrite(
+            cluster,
+            record_size=128 * KiB,
+            stream_extent=256 * KiB,
+            instances_per_client=1,
+            seed=0,
+        )
+        wl.start()
+        sim.run(until=30.0)
+        # two records per lap; wrapping means many laps completed fine
+        assert wl.stats.writes > 4
+
+    def test_bad_sizes(self):
+        sim, cluster = build()
+        with pytest.raises(ValueError):
+            SequentialWrite(cluster, record_size=MiB, stream_extent=KiB)
+
+
+class TestSchedule:
+    def test_phases_run_in_order_and_notify(self):
+        sim, cluster = build()
+        a = RandomReadWrite(cluster, read_fraction=1.0, seed=0)
+        b = RandomReadWrite(cluster, read_fraction=0.0, seed=0)
+        sched = WorkloadSchedule(
+            sim, [WorkloadPhase(a, 5.0), WorkloadPhase(b, 5.0)]
+        )
+        seen = []
+        sched.on_phase_change(lambda ph: seen.append((sim.now, ph.workload)))
+        sched.start()
+        sim.run(until=12.0)
+        assert [w for _, w in seen] == [a, b]
+        assert [t for t, _ in seen] == [0.0, 5.0]
+        assert a.stats.reads > 0 and b.stats.writes > 0
+
+    def test_loop_repeats(self):
+        sim, cluster = build()
+        a = RandomReadWrite(cluster, read_fraction=0.5, seed=0)
+        sched = WorkloadSchedule(sim, [WorkloadPhase(a, 2.0)], loop=True)
+        count = []
+        sched.on_phase_change(lambda ph: count.append(sim.now))
+        sched.start()
+        sim.run(until=7.0)
+        assert len(count) >= 3
+
+    def test_empty_schedule_rejected(self):
+        sim, _ = build()
+        with pytest.raises(ValueError):
+            WorkloadSchedule(sim, [])
+
+    def test_bad_duration(self):
+        sim, cluster = build()
+        a = RandomReadWrite(cluster, read_fraction=0.5)
+        with pytest.raises(ValueError):
+            WorkloadPhase(a, 0.0)
+
+    def test_double_start_rejected(self):
+        sim, cluster = build()
+        a = RandomReadWrite(cluster, read_fraction=0.5)
+        sched = WorkloadSchedule(sim, [WorkloadPhase(a, 1.0)])
+        sched.start()
+        with pytest.raises(RuntimeError):
+            sched.start()
