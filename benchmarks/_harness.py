@@ -15,19 +15,31 @@ setup so results are comparable across files:
 
 EXPERIMENTS.md records the mapping from these compressed sessions to
 the paper's wall-clock sessions.
+
+Orchestration (build cluster → run tuner → measure before/after) lives
+in :mod:`repro.exp`; this module only provides spec builders
+(:func:`bench_spec`), the :func:`run_specs` entry point (parallelism
+via the ``REPRO_BENCH_JOBS`` environment variable), and row formatting.
+:func:`make_capes` remains for the trace-level experiments (Figures
+4-6, Table 2, ablations) that reach inside a session.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
-
-import numpy as np
+import os
+from typing import Optional, Sequence, Tuple, Union
 
 from repro import CAPES, CapesConfig, ClusterConfig, EnvConfig
+from repro.exp import (
+    ExperimentResults,
+    ExperimentRunner,
+    ExperimentSpec,
+    PhaseResult,
+    RunBudget,
+    WorkloadSpec,
+)
 from repro.rl import Hyperparameters
-from repro.stats import compare_measurements
 from repro.util.units import KiB, MiB
-from repro.workloads import FileServer, RandomReadWrite, SequentialWrite
 
 #: Compressed session sizes (ticks = simulated seconds).
 TRAIN_TICKS = 1500  # "12-hour" training proxy
@@ -53,6 +65,7 @@ BENCH_HP = Hyperparameters(
 #: SGD updates per action tick for compressed sessions.
 TRAIN_STEPS_PER_TICK = 4
 
+
 #: The paper's testbed is 4 servers × 5 clients.  The benchmarks keep
 #: the five clients — the per-server inflow (5 clients × window 8 = 40
 #: outstanding RPCs) is what pushes the default configuration into
@@ -62,41 +75,81 @@ def bench_cluster(n_servers: int = 2, n_clients: int = 5) -> ClusterConfig:
     return ClusterConfig(n_servers=n_servers, n_clients=n_clients)
 
 
-def random_rw_factory(read_parts: int, write_parts: int) -> Callable:
+def random_rw_workload(read_parts: int, write_parts: int) -> WorkloadSpec:
     frac = read_parts / (read_parts + write_parts)
-    return lambda cluster, seed: RandomReadWrite(
-        cluster, read_fraction=frac, instances_per_client=5, seed=seed
+    return WorkloadSpec(
+        "random_rw", {"read_fraction": frac, "instances_per_client": 5}
     )
 
 
-def fileserver_factory() -> Callable:
-    return lambda cluster, seed: FileServer(
-        cluster,
-        file_size=2 * MiB,
-        io_size=256 * KiB,
-        instances_per_client=8,
+def fileserver_workload() -> WorkloadSpec:
+    return WorkloadSpec(
+        "fileserver",
+        {"file_size": 2 * MiB, "io_size": 256 * KiB, "instances_per_client": 8},
+    )
+
+
+def seqwrite_workload() -> WorkloadSpec:
+    return WorkloadSpec(
+        "seqwrite", {"record_size": MiB, "instances_per_client": 5}
+    )
+
+
+def bench_spec(
+    workload: WorkloadSpec,
+    seed: int = 42,
+    scenario: str = "",
+    tuner: str = "capes",
+    checkpoints: Union[int, Tuple[int, ...]] = (TRAIN_TICKS,),
+    eval_ticks: int = EVAL_TICKS,
+    cluster: Optional[ClusterConfig] = None,
+    hp: Optional[Hyperparameters] = None,
+    perturb_seed: int = 0,
+) -> ExperimentSpec:
+    """One benchmark session as a declarative spec."""
+    tuner_kwargs = {}
+    if tuner == "capes":
+        tuner_kwargs = {
+            "train_steps_per_tick": TRAIN_STEPS_PER_TICK,
+            "loss": "huber",
+        }
+    return ExperimentSpec(
+        tuner=tuner,
         seed=seed,
+        scenario=scenario or workload.name,
+        workload=workload,
+        cluster=cluster or bench_cluster(),
+        hp=hp or BENCH_HP,
+        budget=RunBudget(train_ticks=checkpoints, eval_ticks=eval_ticks),
+        tuner_kwargs=tuner_kwargs,
+        perturb_seed=perturb_seed,
     )
 
 
-def seqwrite_factory() -> Callable:
-    return lambda cluster, seed: SequentialWrite(
-        cluster, record_size=MiB, instances_per_client=5, seed=seed
-    )
+def run_specs(specs: Sequence[ExperimentSpec]) -> ExperimentResults:
+    """Run benchmark specs through the shared experiment runner.
+
+    Serial by default so figure regeneration stays deterministic on any
+    box; set ``REPRO_BENCH_JOBS=N`` to fan independent sessions out
+    over N worker processes (per-run results are identical either way).
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return ExperimentRunner(jobs=jobs).run(specs)
 
 
 def make_capes(
-    workload_factory: Callable,
+    workload: WorkloadSpec,
     seed: int = 42,
     cluster: Optional[ClusterConfig] = None,
     hp: Optional[Hyperparameters] = None,
     perturb_seed: int = 0,
 ) -> CAPES:
+    """A hand-held session for experiments that reach inside the agent."""
     return CAPES(
         CapesConfig(
             env=EnvConfig(
                 cluster=cluster or bench_cluster(),
-                workload_factory=workload_factory,
+                workload_factory=workload.factory(),
                 hp=hp or BENCH_HP,
                 seed=seed,
                 perturb_seed=perturb_seed,
@@ -108,17 +161,9 @@ def make_capes(
     )
 
 
-def before_after(
-    capes: CAPES,
-    train_ticks: int,
-    eval_ticks: int = EVAL_TICKS,
-):
-    """The paper's evaluation workflow: train, baseline, tuned, compare."""
-    capes.train(train_ticks)
-    capes.env.set_params(capes.env.action_space.defaults())
-    baseline = capes.measure_baseline(eval_ticks)
-    tuned = capes.evaluate(eval_ticks)
-    cmp = compare_measurements(baseline, tuned.rewards)
+def phase_row(phase: PhaseResult) -> dict:
+    """The paper-style before/after row for one measurement checkpoint."""
+    cmp = phase.comparison()
     return {
         "baseline_mbps": cmp.baseline.mean * MBPS_PER_UNIT,
         "baseline_ci": cmp.baseline.ci_halfwidth * MBPS_PER_UNIT,
@@ -126,7 +171,7 @@ def before_after(
         "tuned_ci": cmp.tuned.ci_halfwidth * MBPS_PER_UNIT,
         "percent": cmp.percent,
         "significant": cmp.significant,
-        "final_params": tuned.final_params,
+        "final_params": phase.final_params,
     }
 
 

@@ -1,0 +1,23 @@
+"""Collection hooks for the figure/table regeneration suite.
+
+Every benchmark here trains at least one compressed session (minutes
+each), so the whole directory is marked ``slow``: the fast development
+loop is ``pytest -m "not slow"``, while the full tier-1 run keeps
+executing everything.
+"""
+
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        try:
+            in_benchmarks = Path(item.path).is_relative_to(_BENCH_DIR)
+        except (TypeError, ValueError):  # pragma: no cover
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.slow)

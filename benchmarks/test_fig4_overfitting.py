@@ -19,7 +19,7 @@ from benchmarks._harness import (
     EVAL_TICKS,
     TRAIN_TICKS,
     make_capes,
-    random_rw_factory,
+    random_rw_workload,
     MBPS_PER_UNIT,
 )
 from repro.core import CapesSession
@@ -35,14 +35,14 @@ def run_sessions(tmp_path_str: str) -> list:
     if "rows" in _cache:
         return _cache["rows"]
     ckpt = f"{tmp_path_str}/fig4-model.npz"
-    trainer = make_capes(random_rw_factory(1, 9), seed=42)
+    trainer = make_capes(random_rw_workload(1, 9), seed=42)
     trainer.train(TRAIN_TICKS)
     trainer.save(ckpt)
 
     rows = []
     for perturb in PERTURB_SEEDS:
         capes = make_capes(
-            random_rw_factory(1, 9), seed=42, perturb_seed=perturb
+            random_rw_workload(1, 9), seed=42, perturb_seed=perturb
         )
         capes.session.ensure_started()
         capes.load(ckpt)

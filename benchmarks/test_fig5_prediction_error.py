@@ -13,14 +13,14 @@ early plateau, printing a downsampled curve.
 import numpy as np
 import pytest
 
-from benchmarks._harness import TRAIN_TICKS, make_capes, random_rw_factory
+from benchmarks._harness import TRAIN_TICKS, make_capes, random_rw_workload
 
 _cache = {}
 
 
 def run_training_trace() -> np.ndarray:
     if "losses" not in _cache:
-        capes = make_capes(random_rw_factory(1, 9), seed=33)
+        capes = make_capes(random_rw_workload(1, 9), seed=33)
         result = capes.train(TRAIN_TICKS)
         _cache["losses"] = result.losses
     return _cache["losses"]

@@ -19,7 +19,7 @@ from benchmarks._harness import (
     MBPS_PER_UNIT,
     TRAIN_TICKS,
     make_capes,
-    random_rw_factory,
+    random_rw_workload,
 )
 from repro.env import StorageTuningEnv
 from repro.stats import analyze
@@ -31,14 +31,14 @@ def run_comparison() -> dict:
     if "out" in _cache:
         return _cache["out"]
     # Training session (ε-greedy exploration happening live).
-    capes = make_capes(random_rw_factory(1, 9), seed=55)
+    capes = make_capes(random_rw_workload(1, 9), seed=55)
     result = capes.train(TRAIN_TICKS)
     training_tput = analyze(result.rewards, trim=False)
 
     # Three independent baselines "measured at three different times".
     baselines = []
     for seed in (56, 57, 58):
-        b = make_capes(random_rw_factory(1, 9), seed=seed)
+        b = make_capes(random_rw_workload(1, 9), seed=seed)
         rewards = b.measure_baseline(TRAIN_TICKS // 3)
         baselines.append(analyze(rewards, trim=False))
     _cache["out"] = {"training": training_tput, "baselines": baselines}

@@ -19,7 +19,7 @@ counts line up with the published numbers.
 import numpy as np
 import pytest
 
-from benchmarks._harness import BENCH_HP, make_capes, random_rw_factory
+from benchmarks._harness import BENCH_HP, make_capes, random_rw_workload
 from repro import ClusterConfig
 from repro.nn import MLP, Adam
 from repro.replaydb.records import Minibatch
@@ -44,7 +44,7 @@ SESSION_TICKS = 120
 @pytest.fixture(scope="module")
 def capes_session():
     capes = make_capes(
-        random_rw_factory(1, 9),
+        random_rw_workload(1, 9),
         cluster=ClusterConfig(n_servers=4, n_clients=5),
         hp=Hyperparameters(
             hidden_layer_size=64,

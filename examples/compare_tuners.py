@@ -3,22 +3,29 @@
 
 Runs the static default, random search, hill climbing, a (μ+λ)
 evolution strategy, and a compressed CAPES session against the same
-write-heavy random workload, and prints each tuner's best achieved
-throughput.  The searchers find a *static* setting; CAPES learns a
-*policy* — on this stationary workload both can do well, but only
-CAPES keeps adapting when the workload changes (see §6, and the
-workload-shift ablation in ``benchmarks/test_ablations.py``).
+write-heavy random workload — every tuner behind the one
+``Tuner.run(env, budget)`` interface, fanned out by
+:class:`repro.exp.ExperimentRunner`.  The searchers find a *static*
+setting; CAPES learns a *policy* — on this stationary workload both can
+do well, but only CAPES keeps adapting when the workload changes (see
+§6, and the workload-shift ablation in ``benchmarks/test_ablations.py``).
+
+Usage::
+
+    python examples/compare_tuners.py [--seeds N] [--jobs N]
 """
 
-from repro import CAPES, CapesConfig, ClusterConfig, EnvConfig
-from repro.baselines import EvolutionStrategy, HillClimb, RandomSearch, StaticBaseline
-from repro.env import StorageTuningEnv
+import argparse
+
+from repro.cluster import ClusterConfig
+from repro.exp import ExperimentRunner, ExperimentSpec, RunBudget, WorkloadSpec, grid
 from repro.rl import Hyperparameters
-from repro.workloads import RandomReadWrite
+
+TUNERS = ["static", "random", "hill_climb", "evolution", "capes"]
 
 HP = Hyperparameters(
     hidden_layer_size=64,
-    exploration_ticks=400,
+    exploration_ticks=700,
     sampling_ticks_per_observation=10,
     adam_learning_rate=5e-4,
     discount_rate=0.9,
@@ -26,38 +33,40 @@ HP = Hyperparameters(
 )
 
 
-def env_config(seed: int) -> EnvConfig:
-    return EnvConfig(
-        cluster=ClusterConfig(n_servers=2, n_clients=2),
-        workload_factory=lambda cluster, s: RandomReadWrite(
-            cluster, read_fraction=0.1, instances_per_client=3, seed=s
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args()
+
+    base = ExperimentSpec(
+        scenario="random 1:9",
+        # Five clients saturate the two servers (the paper's congestion
+        # collapse regime — where tuning has real headroom).
+        cluster=ClusterConfig(n_servers=2, n_clients=5),
+        workload=WorkloadSpec(
+            "random_rw", {"read_fraction": 0.1, "instances_per_client": 5}
         ),
         hp=HP,
-        seed=seed,
+        # Every tuner gets the same system-time budget: 30 epochs of 40
+        # ticks for the searchers, 1200 online training ticks for CAPES.
+        budget=RunBudget(train_ticks=1200, eval_ticks=120, epoch_ticks=40),
     )
+    specs = grid(
+        base,
+        tuners=TUNERS,
+        seeds=[42 + i for i in range(args.seeds)],
+        # The DQN gets the compressed-session training settings.
+        tuner_kwargs={"capes": {"train_steps_per_tick": 4, "loss": "huber"}},
+    )
+    results = ExperimentRunner(jobs=args.jobs).run(specs)
 
-
-def main() -> None:
-    budget_epochs = 12
-    epoch_ticks = 40
-    rows = []
-
-    for cls in (StaticBaseline, RandomSearch, HillClimb, EvolutionStrategy):
-        env = StorageTuningEnv(env_config(seed=11))
-        tuner = cls(env, epoch_ticks=epoch_ticks, seed=0)
-        result = tuner.tune(budget=budget_epochs)
-        rows.append((tuner.name, result.best_score * 100, result.best_params))
-        env.close()
-
-    capes = CAPES(CapesConfig(env=env_config(seed=11), seed=0))
-    capes.train(budget_epochs * epoch_ticks)  # same tick budget
-    tuned = capes.evaluate(120)
-    rows.append(("CAPES (DQN)", tuned.mean_reward * 100, tuned.final_params))
-
-    print(f"{'tuner':>20} {'throughput':>12}  best setting")
-    for name, mbps, params in rows:
-        pretty = ", ".join(f"{k}={v:g}" for k, v in params.items())
-        print(f"{name:>20} {mbps:9.1f} MB/s  {pretty}")
+    print(results.format_table(unit_scale=100.0, unit=" MB/s"))
+    print("\nper-run best settings:")
+    for record in results:
+        final = record.result.final
+        pretty = ", ".join(f"{k}={v:g}" for k, v in final.final_params.items())
+        print(f"  {record.spec.spec_id:>28}  {pretty}")
 
 
 if __name__ == "__main__":

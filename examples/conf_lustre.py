@@ -2,12 +2,15 @@
 
 Drive it with the CLI::
 
-    python -m repro.cli sweep    --config examples/conf_lustre.py
+    python -m repro.cli window-sweep --config examples/conf_lustre.py
     python -m repro.cli baseline --config examples/conf_lustre.py --ticks 120
     python -m repro.cli train    --config examples/conf_lustre.py \
         --ticks 1500 --checkpoint /tmp/capes-model.npz
     python -m repro.cli evaluate --config examples/conf_lustre.py \
         --ticks 300 --checkpoint /tmp/capes-model.npz
+    python -m repro.cli sweep    --config examples/conf_lustre.py \
+        --tuners capes,random,hill_climb --seeds 0-4 --jobs 4 \
+        --train-ticks 1500 --eval-ticks 150
 
 All ALL-CAPS names are optional except ``WORKLOAD``; unknown names are
 rejected so typos cannot silently fall back to defaults.  See

@@ -12,12 +12,16 @@ weight pushes the policy away from settings that buy throughput with
 deep, slow queues.  Compare the resulting parameters against the
 throughput-only policy from ``quickstart.py``: the combined objective
 favours smaller congestion windows.
+
+The session runs through :mod:`repro.exp`: the spec carries the
+(module-level, hence picklable) objective factory, so the same spec
+also works inside a parallel ``ExperimentRunner`` sweep.
 """
 
-from repro import CAPES, CapesConfig, ClusterConfig, EnvConfig
+from repro.cluster import ClusterConfig
+from repro.exp import ExperimentSpec, RunBudget, WorkloadSpec, execute_spec
 from repro.rl import Hyperparameters
 from repro.telemetry import CombinedObjective, LatencyObjective, ThroughputObjective
-from repro.workloads import RandomReadWrite
 
 
 def combined_objective() -> CombinedObjective:
@@ -38,31 +42,37 @@ def main() -> None:
         discount_rate=0.9,
         target_network_update_rate=0.02,
     )
-    config = CapesConfig(
-        env=EnvConfig(
-            cluster=ClusterConfig(n_servers=2, n_clients=2),
-            workload_factory=lambda cluster, seed: RandomReadWrite(
-                cluster, read_fraction=0.2, instances_per_client=3, seed=seed
-            ),
-            hp=hp,
-            objective_factory=combined_objective,
-            seed=13,
-        ),
+    spec = ExperimentSpec(
+        tuner="capes",
         seed=13,
+        scenario="throughput+latency",
+        cluster=ClusterConfig(n_servers=2, n_clients=2),
+        workload=WorkloadSpec(
+            "random_rw", {"read_fraction": 0.2, "instances_per_client": 3}
+        ),
+        hp=hp,
+        budget=RunBudget(train_ticks=600, eval_ticks=120),
+        objective_factory=combined_objective,
     )
-    capes = CAPES(config)
 
     print("training with combined throughput+latency objective...")
-    capes.train(600)
+    result = execute_spec(spec)
+    final = result.final
 
-    tuned = capes.evaluate(120)
-    print(f"mean combined score: {tuned.mean_reward:+.4f}")
-    print(f"learned parameters:  {tuned.final_params}")
+    print(f"mean combined score: {float(final.tuned_rewards.mean()):+.4f}")
+    print(f"learned parameters:  {final.final_params}")
 
     # Show the latency the tuned system actually delivers.
-    lat = LatencyObjective()
-    score = lat.score(capes.env.cluster, 1.0)
-    print(f"mean ping latency:   {-score * 0.05 * 1e3:.2f} ms")
+    env = spec.build_env()
+    try:
+        env.reset()
+        env.set_params(final.final_params)
+        env.run_ticks(30)
+        lat = LatencyObjective()
+        score = lat.score(env.cluster, 1.0)
+        print(f"mean ping latency:   {-score * 0.05 * 1e3:.2f} ms")
+    finally:
+        env.close()
 
 
 if __name__ == "__main__":

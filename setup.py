@@ -1,4 +1,6 @@
-"""Setup shim: this offline environment lacks the `wheel` package, so
+"""Legacy-install shim.  All project metadata lives in pyproject.toml
+(PEP 621); setuptools >= 61 reads it from there.  This file exists only
+because the offline environment lacks the `wheel` package, so
 `pip install -e .` (PEP 660) cannot build; `python setup.py develop`
 provides the equivalent editable install using setuptools alone."""
 from setuptools import setup

@@ -18,7 +18,11 @@ substrate the paper's evaluation depends on:
 - a pure-NumPy **deep-Q-network stack** — MLP, Adam, target network,
   ε-greedy schedule (:mod:`repro.nn`, :mod:`repro.rl`);
 - search-based **tuning baselines** (:mod:`repro.baselines`) and
-  Pilot-style **measurement statistics** (:mod:`repro.stats`).
+  Pilot-style **measurement statistics** (:mod:`repro.stats`);
+- the **experiment orchestration layer** (:mod:`repro.exp`) — one
+  ``Tuner`` protocol over CAPES and every baseline, declarative
+  ``ExperimentSpec`` grids, and a parallel ``ExperimentRunner`` with
+  JSONL artifacts.
 
 Quick start::
 
@@ -50,9 +54,16 @@ from repro.core import (
 )
 from repro.core.capes import hours
 from repro.env import EnvConfig, StorageTuningEnv
+from repro.exp import (
+    ExperimentRunner,
+    ExperimentSpec,
+    RunBudget,
+    WorkloadSpec,
+    grid,
+)
 from repro.rl import DQNAgent, Hyperparameters
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CAPES",
@@ -67,6 +78,11 @@ __all__ = [
     "TunableParameter",
     "DQNAgent",
     "Hyperparameters",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "RunBudget",
+    "WorkloadSpec",
+    "grid",
     "hours",
     "__version__",
 ]

@@ -10,12 +10,17 @@ so the equivalent surface is a single CLI over a conf.py:
     python -m repro.cli evaluate --config conf.py --ticks 300 \
                                  --checkpoint model.npz
     python -m repro.cli baseline --config conf.py --ticks 300
-    python -m repro.cli sweep    --config conf.py --window 1,2,4,8,16
+    python -m repro.cli sweep    --config conf.py \
+                                 --tuners capes,random --seeds 0-4 --jobs 4
+    python -m repro.cli window-sweep --config conf.py --window 1,2,4,8,16
 
 ``train`` runs an online training session and saves the model;
 ``evaluate`` reloads it and measures tuned throughput; ``baseline``
-measures the untouched system; ``sweep`` does a static parameter sweep
-(the tweak-benchmark loop CAPES replaces, useful for ground truth).
+measures the untouched system; ``sweep`` fans a multi-tuner,
+multi-seed experiment grid out through
+:class:`~repro.exp.runner.ExperimentRunner`; ``window-sweep`` does a
+static parameter sweep (the tweak-benchmark loop CAPES replaces,
+useful for ground truth).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import numpy as np
 
 from repro.core.capes import CAPES
 from repro.core.config import load_config
+from repro.exp import ExperimentRunner, ExperimentSpec, RunBudget, grid, tuner_names
 from repro.stats import analyze
 
 #: ThroughputObjective unit is 100 MB/s.
@@ -83,7 +89,80 @@ def cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seeds(text: str) -> List[int]:
+    """Comma-separated seeds; ``A-B`` items are inclusive ranges.
+
+    ``"42"`` is exactly seed 42, ``"0-4"`` is seeds 0..4, and
+    ``"0-2,7"`` mixes both.
+    """
+    seeds: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        lo, sep, hi = part.partition("-")
+        if sep and lo:
+            low, high = int(lo), int(hi)
+            if high < low:
+                raise ValueError(f"empty seed range {part!r}")
+            seeds.extend(range(low, high + 1))
+        else:
+            seeds.append(int(part))
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    return seeds
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    tuners = [t.strip() for t in args.tuners.split(",") if t.strip()]
+    unknown = sorted(set(tuners) - set(tuner_names()))
+    if unknown:
+        print(
+            f"unknown tuners {unknown}; registered: {tuner_names()}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        seeds = _parse_seeds(args.seeds)
+    except ValueError as exc:
+        print(f"bad --seeds value: {exc}", file=sys.stderr)
+        return 2
+    # Session knobs from the conf.py apply to the DQN tuner only; the
+    # workers re-load the conf themselves via spec.conf_path.
+    cfg = load_config(args.config)
+    base = ExperimentSpec(
+        conf_path=args.config,
+        scenario=args.scenario,
+        budget=RunBudget(
+            train_ticks=args.train_ticks,
+            eval_ticks=args.eval_ticks,
+            epoch_ticks=args.epoch_ticks,
+        ),
+    )
+    specs = grid(
+        base,
+        tuners=tuners,
+        seeds=seeds,
+        tuner_kwargs={
+            "capes": {
+                "train_steps_per_tick": cfg.train_steps_per_tick,
+                "loss": cfg.loss,
+            }
+        },
+    )
+    print(
+        f"sweeping {len(tuners)} tuner(s) x {len(seeds)} seed(s) "
+        f"with {args.jobs} job(s)..."
+    )
+    runner = ExperimentRunner(jobs=args.jobs, artifacts_dir=args.artifacts)
+    results = runner.run(specs)
+    print(results.format_table(unit_scale=MBPS_PER_UNIT, unit=" MB/s"))
+    if args.artifacts:
+        print(f"per-run artifacts: {args.artifacts}/runs.jsonl")
+    return 0
+
+
+def cmd_window_sweep(args: argparse.Namespace) -> int:
     windows = [int(w) for w in args.window.split(",")]
     config = load_config(args.config)
     rows = []
@@ -139,7 +218,51 @@ def make_parser() -> argparse.ArgumentParser:
     common(p, 300)
     p.set_defaults(fn=cmd_baseline)
 
-    p = sub.add_parser("sweep", help="static congestion-window sweep")
+    p = sub.add_parser(
+        "sweep",
+        help="multi-tuner / multi-seed experiment sweep (parallel)",
+    )
+    p.add_argument("--config", required=True, help="conf.py path")
+    p.add_argument(
+        "--tuners",
+        default="capes",
+        help=f"comma-separated tuner names from {tuner_names()}",
+    )
+    p.add_argument(
+        "--seeds",
+        default="0-2",
+        help="comma-separated seeds; A-B items are inclusive ranges "
+        "(e.g. '42', '0-4', '0-2,7')",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    p.add_argument(
+        "--train-ticks", type=int, default=600, help="training ticks per run"
+    )
+    p.add_argument(
+        "--eval-ticks",
+        type=int,
+        default=120,
+        help="baseline/tuned measurement ticks per run",
+    )
+    p.add_argument(
+        "--epoch-ticks",
+        type=int,
+        default=60,
+        help="ticks per search-tuner evaluation epoch",
+    )
+    p.add_argument(
+        "--scenario", default="conf", help="scenario label for the report"
+    )
+    p.add_argument(
+        "--artifacts", default=None, help="directory for per-run JSONL"
+    )
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "window-sweep", help="static congestion-window sweep"
+    )
     common(p, 60)
     p.add_argument(
         "--window",
@@ -149,7 +272,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--settle", type=int, default=15, help="settling ticks per value"
     )
-    p.set_defaults(fn=cmd_sweep)
+    p.set_defaults(fn=cmd_window_sweep)
     return parser
 
 

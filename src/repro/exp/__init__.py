@@ -1,0 +1,76 @@
+"""Unified experiment orchestration (the paper-scale sweep layer).
+
+The paper's core claim is statistical — median throughput gains over
+many repeated tuning sessions, across workloads, against baseline
+tuners.  This package turns that into infrastructure:
+
+- :class:`~repro.exp.tuners.Tuner` — one ``run(env, budget)`` protocol
+  over CAPES and every §5 search baseline, with a string registry
+  (``"capes"``, ``"random"``, ``"hill_climb"``, ``"evolution"``,
+  ``"static"``);
+- :class:`~repro.exp.spec.ExperimentSpec` — a picklable description of
+  one session (cluster × workload × tuner × hyperparameters × seed)
+  plus :func:`~repro.exp.spec.grid` to expand sweeps;
+- :class:`~repro.exp.runner.ExperimentRunner` — serial or
+  multi-process execution with streamed JSONL artifacts and
+  :mod:`repro.stats` aggregation.
+
+Quick sweep::
+
+    from repro.exp import ExperimentRunner, ExperimentSpec, RunBudget, grid
+
+    base = ExperimentSpec(budget=RunBudget(train_ticks=600, eval_ticks=120))
+    specs = grid(base, tuners=["capes", "random"], seeds=[0, 1, 2])
+    results = ExperimentRunner(jobs=4, artifacts_dir="out/").run(specs)
+    print(results.format_table(unit_scale=100.0, unit=" MB/s"))
+"""
+
+from repro.exp.runner import (
+    ExperimentResults,
+    ExperimentRunner,
+    RunRecord,
+    ScenarioSummary,
+    execute_spec,
+    load_artifacts,
+)
+from repro.exp.spec import (
+    ExperimentSpec,
+    RunBudget,
+    WorkloadSpec,
+    grid,
+    register_workload,
+    workload_names,
+)
+from repro.exp.tuners import (
+    CapesTuner,
+    PhaseResult,
+    RunResult,
+    SearchTuner,
+    Tuner,
+    make_tuner,
+    register_tuner,
+    tuner_names,
+)
+
+__all__ = [
+    "CapesTuner",
+    "ExperimentResults",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "PhaseResult",
+    "RunBudget",
+    "RunRecord",
+    "RunResult",
+    "ScenarioSummary",
+    "SearchTuner",
+    "Tuner",
+    "WorkloadSpec",
+    "execute_spec",
+    "grid",
+    "load_artifacts",
+    "make_tuner",
+    "register_tuner",
+    "register_workload",
+    "tuner_names",
+    "workload_names",
+]

@@ -1,0 +1,282 @@
+"""Parallel experiment orchestration.
+
+:class:`ExperimentRunner` takes a list of :class:`ExperimentSpec`\\ s and
+executes each in isolation — serially, or fanned out across worker
+processes — streaming one JSONL artifact line per completed run and
+aggregating the results through :mod:`repro.stats`.
+
+Design notes:
+
+- Workers rebuild everything from the spec, so a run's result depends
+  only on its spec: the same grid executed with ``jobs=1`` and
+  ``jobs=N`` yields byte-identical per-seed results, and separate
+  invocations agree too (seed derivation in :mod:`repro.util.rng` is
+  hash-salt free, so worker start method does not matter; ``fork`` is
+  merely preferred because it avoids re-import cost).
+- Artifacts are JSONL, one self-contained line per run (spec included)
+  appended as each run finishes, so a sweep that dies half-way keeps
+  everything it already measured.  Each ``run()`` starts a fresh
+  ``runs.jsonl`` — one sweep per file.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exp.spec import ExperimentSpec
+from repro.exp.tuners import RunResult
+from repro.stats import bootstrap_ci, compare_measurements
+from repro.util.validation import check_positive
+
+
+def execute_spec(spec: ExperimentSpec) -> RunResult:
+    """Run one experiment end to end (the worker entry point)."""
+    env = spec.build_env()
+    try:
+        tuner = spec.build_tuner()
+        return tuner.run(env, spec.budget)
+    finally:
+        env.close()
+
+
+def _timed_execute(spec: ExperimentSpec) -> tuple:
+    """Execute and time inside the worker, so recorded durations are
+    pure run time (no pool queue wait)."""
+    t0 = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - t0
+
+
+@dataclass
+class RunRecord:
+    """One completed run: its spec, its result, and how long it took."""
+
+    index: int
+    spec: ExperimentSpec
+    result: RunResult
+    duration_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "spec": self.spec.to_dict(),
+            "result": self.result.to_dict(),
+            "duration_s": self.duration_s,
+        }
+
+
+@dataclass
+class ScenarioSummary:
+    """Aggregate over the seeds of one (scenario, tuner) cell."""
+
+    scenario: str
+    tuner: str
+    n_seeds: int
+    baseline_mean: float
+    tuned_mean: float
+    #: Bootstrap CI over the per-seed tuned means (repro.stats).
+    tuned_ci_low: float
+    tuned_ci_high: float
+    #: Median of per-seed percent gains — the paper's headline statistic.
+    median_percent: float
+    #: Welch test over the pooled per-tick samples.
+    p_value: float
+    significant: bool
+
+
+class ExperimentResults:
+    """The outcome of a sweep, with stats helpers attached."""
+
+    def __init__(self, records: List[RunRecord]):
+        self.records = sorted(records, key=lambda r: r.index)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.records)
+
+    @property
+    def results(self) -> List[RunResult]:
+        return [r.result for r in self.records]
+
+    def summarize(self) -> List[ScenarioSummary]:
+        """One row per (scenario, tuner), aggregated across seeds."""
+        groups: Dict[tuple, List[RunResult]] = {}
+        order: List[tuple] = []
+        for rec in self.records:
+            key = (rec.result.scenario, rec.result.tuner)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(rec.result)
+
+        rows = []
+        for scenario, tuner in order:
+            results = groups[(scenario, tuner)]
+            finals = [r.final for r in results]
+            seed_means = np.array(
+                [float(np.mean(p.tuned_rewards)) for p in finals]
+            )
+            percents = [p.comparison().percent for p in finals]
+            pooled_base = np.concatenate([p.baseline_rewards for p in finals])
+            pooled_tuned = np.concatenate([p.tuned_rewards for p in finals])
+            # No trimming on the pooled series: concatenation boundaries
+            # would masquerade as changepoints.
+            cmp = compare_measurements(pooled_base, pooled_tuned, trim=False)
+            if len(seed_means) >= 2:
+                ci = bootstrap_ci(seed_means, seed=0)
+                low, high = ci.low, ci.high
+            else:
+                low = high = float(seed_means[0])
+            rows.append(
+                ScenarioSummary(
+                    scenario=scenario,
+                    tuner=tuner,
+                    n_seeds=len(results),
+                    baseline_mean=cmp.baseline.mean,
+                    tuned_mean=cmp.tuned.mean,
+                    tuned_ci_low=low,
+                    tuned_ci_high=high,
+                    median_percent=float(np.median(percents)),
+                    p_value=cmp.p_value,
+                    significant=cmp.significant,
+                )
+            )
+        return rows
+
+    def format_table(self, unit_scale: float = 1.0, unit: str = "") -> str:
+        """Paper-style report: one line per (scenario, tuner) cell.
+
+        ``unit`` labels the baseline/tuned columns (the gain column is
+        always a percentage; ``*`` marks Welch-test significance).
+        """
+        base_label = f"baseline{unit}"
+        tuned_label = f"tuned{unit}"
+        w = max(10, len(base_label), len(tuned_label))
+        lines = [
+            f"{'scenario':>14} {'tuner':>12} {'seeds':>5} "
+            f"{base_label:>{w}} {tuned_label:>{w}} {'gain':>8}"
+        ]
+        for s in self.summarize():
+            lines.append(
+                f"{s.scenario:>14} {s.tuner:>12} {s.n_seeds:>5} "
+                f"{s.baseline_mean * unit_scale:>{w}.1f} "
+                f"{s.tuned_mean * unit_scale:>{w}.1f} "
+                f"{s.median_percent:>+7.1f}%"
+                f"{'*' if s.significant else ' '}"
+            )
+        return "\n".join(lines)
+
+
+class ExperimentRunner:
+    """Fan a grid of specs out over worker processes and collect results.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs serially in-process.
+    artifacts_dir:
+        If set, every completed run appends one JSON line to
+        ``<artifacts_dir>/runs.jsonl`` as soon as it finishes.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        artifacts_dir: Optional[Union[str, Path]] = None,
+    ):
+        check_positive("jobs", jobs)
+        self.jobs = int(jobs)
+        self.artifacts_dir = Path(artifacts_dir) if artifacts_dir else None
+
+    # -- artifact streaming ---------------------------------------------
+    def _artifact_path(self) -> Optional[Path]:
+        if self.artifacts_dir is None:
+            return None
+        self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        path = self.artifacts_dir / "runs.jsonl"
+        # One sweep per file: a leftover stream from a previous sweep
+        # would interleave under duplicate indices on reload.
+        path.unlink(missing_ok=True)
+        return path
+
+    @staticmethod
+    def _append_jsonl(path: Optional[Path], record: RunRecord) -> None:
+        if path is None:
+            return
+        with path.open("a") as fh:
+            fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+    # -- execution ------------------------------------------------------
+    def run(self, specs: Sequence[ExperimentSpec]) -> ExperimentResults:
+        specs = list(specs)
+        if not specs:
+            return ExperimentResults([])
+        path = self._artifact_path()
+        if self.jobs == 1 or len(specs) == 1:
+            return self._run_serial(specs, path)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        return self._run_pool(specs, path, context)
+
+    def _run_serial(
+        self, specs: List[ExperimentSpec], path: Optional[Path]
+    ) -> ExperimentResults:
+        records = []
+        for i, spec in enumerate(specs):
+            result, duration = _timed_execute(spec)
+            record = RunRecord(i, spec, result, duration)
+            self._append_jsonl(path, record)
+            records.append(record)
+        return ExperimentResults(records)
+
+    def _run_pool(
+        self,
+        specs: List[ExperimentSpec],
+        path: Optional[Path],
+        context,
+    ) -> ExperimentResults:
+        records = []
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            started = {}
+            pending = set()
+            for i, spec in enumerate(specs):
+                fut = pool.submit(_timed_execute, spec)
+                started[fut] = (i, spec)
+                pending.add(fut)
+            # Stream artifacts as runs finish, not when the sweep ends.
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i, spec = started.pop(fut)
+                    result, duration = fut.result()
+                    record = RunRecord(i, spec, result, duration)
+                    self._append_jsonl(path, record)
+                    records.append(record)
+        return ExperimentResults(records)
+
+
+def load_artifacts(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Reload a ``runs.jsonl`` stream as raw dicts (specs stay dicts;
+    results can be rehydrated with :meth:`RunResult.from_dict`)."""
+    out = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return sorted(out, key=lambda d: d["index"])

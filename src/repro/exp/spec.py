@@ -1,0 +1,281 @@
+"""Declarative experiment specifications.
+
+The paper's claims are statistical: median gains over many repeated
+tuning sessions, across workloads, against several baseline tuners.
+An :class:`ExperimentSpec` captures *one* such session — cluster ×
+workload × tuner × hyperparameters × seed — as plain, picklable data,
+so a grid of specs can be fanned out across worker processes by
+:class:`~repro.exp.runner.ExperimentRunner` and every run can be
+rebuilt bit-identically from its spec alone.
+
+Workloads are named through a registry instead of carried as callables
+(lambdas do not survive pickling); :class:`WorkloadSpec` resolves a
+name + kwargs into the ``workload_factory`` the environment expects.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.env.tuning_env import EnvConfig, StorageTuningEnv
+from repro.rl.hyperparams import Hyperparameters
+from repro.workloads import FileServer, RandomReadWrite, SequentialWrite
+from repro.workloads.base import Workload
+
+# --------------------------------------------------------------------------
+# Workload registry
+# --------------------------------------------------------------------------
+
+WorkloadBuilder = Callable[..., Workload]
+
+_WORKLOADS: Dict[str, WorkloadBuilder] = {}
+
+
+def register_workload(name: str, builder: WorkloadBuilder) -> None:
+    """Register ``builder(cluster, seed, **kwargs)`` under ``name``."""
+    _WORKLOADS[name] = builder
+
+
+def workload_names() -> List[str]:
+    return sorted(_WORKLOADS)
+
+
+def _build_random_rw(cluster: Cluster, seed: int, **kw: Any) -> Workload:
+    return RandomReadWrite(cluster, seed=seed, **kw)
+
+
+def _build_fileserver(cluster: Cluster, seed: int, **kw: Any) -> Workload:
+    return FileServer(cluster, seed=seed, **kw)
+
+
+def _build_seqwrite(cluster: Cluster, seed: int, **kw: Any) -> Workload:
+    return SequentialWrite(cluster, seed=seed, **kw)
+
+
+register_workload("random_rw", _build_random_rw)
+register_workload("fileserver", _build_fileserver)
+register_workload("seqwrite", _build_seqwrite)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, picklable workload recipe (§4.3 workload families)."""
+
+    name: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in _WORKLOADS:
+            raise KeyError(
+                f"unknown workload {self.name!r}; "
+                f"registered: {workload_names()}"
+            )
+
+    def factory(self) -> Callable[[Cluster, int], Workload]:
+        """The ``workload_factory(cluster, seed)`` the env expects.
+
+        A :func:`functools.partial` over a module-level builder, so the
+        result pickles by reference and crosses process boundaries.
+        """
+        return functools.partial(_WORKLOADS[self.name], **self.kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kwargs": dict(self.kwargs)}
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """How much system time one run may spend.
+
+    ``train_ticks`` is a sequence of training *segments*: after each
+    segment the tuner is measured (baseline + tuned), reproducing the
+    paper's "after 12 hours / after 24 hours" checkpoints with a single
+    run.  Search-based tuners convert segments into whole epochs of
+    ``epoch_ticks`` evaluations.
+    """
+
+    train_ticks: Union[int, Tuple[int, ...]] = (600,)
+    eval_ticks: int = 120
+    epoch_ticks: int = 60
+
+    def __post_init__(self) -> None:
+        segs = self.train_ticks
+        if isinstance(segs, int):
+            segs = (segs,)
+        segs = tuple(int(s) for s in segs)
+        if not segs or any(s <= 0 for s in segs):
+            raise ValueError(f"train_ticks must be positive, got {segs}")
+        if self.eval_ticks <= 0 or self.epoch_ticks <= 0:
+            raise ValueError("eval_ticks and epoch_ticks must be positive")
+        object.__setattr__(self, "train_ticks", segs)
+
+    @property
+    def segments(self) -> Tuple[int, ...]:
+        return self.train_ticks  # normalized to a tuple in __post_init__
+
+    @property
+    def total_train_ticks(self) -> int:
+        return sum(self.segments)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "train_ticks": list(self.segments),
+            "eval_ticks": self.eval_ticks,
+            "epoch_ticks": self.epoch_ticks,
+        }
+
+
+@dataclass
+class ExperimentSpec:
+    """One tuning session, fully determined by plain data.
+
+    Two sources for the environment are supported:
+
+    - inline: ``cluster`` + ``workload`` + ``hp`` (+ ``objective_factory``,
+      which must be a module-level callable so it pickles by reference);
+    - a ``conf_path`` pointing at an appendix-A.3 style conf.py; workers
+      re-load the file themselves, so nothing unpicklable crosses the
+      process boundary.
+
+    ``seed`` seeds both the environment rebuild and the tuner, exactly
+    as the existing drivers did; sub-streams are derived inside those
+    components via :func:`repro.util.rng.derive_rng`.
+    """
+
+    tuner: str = "capes"
+    seed: int = 0
+    scenario: str = ""
+    workload: WorkloadSpec = field(
+        default_factory=lambda: WorkloadSpec(
+            "random_rw", {"read_fraction": 0.1, "instances_per_client": 5}
+        )
+    )
+    cluster: ClusterConfig = field(
+        default_factory=lambda: ClusterConfig(n_servers=2, n_clients=5)
+    )
+    hp: Hyperparameters = field(default_factory=Hyperparameters)
+    budget: RunBudget = field(default_factory=RunBudget)
+    tuner_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Module-level callable returning an Objective, or None for the
+    #: default throughput objective.
+    objective_factory: Optional[Callable] = None
+    #: Alternative env source: path to a conf.py (overrides the inline
+    #: cluster/workload/hp fields).
+    conf_path: Optional[str] = None
+    #: Figure-4 style layout drift seed, folded into workload placement.
+    perturb_seed: int = 0
+
+    @property
+    def spec_id(self) -> str:
+        scen = self.scenario or self.workload.name
+        return f"{scen}/{self.tuner}/seed{self.seed}"
+
+    # -- environment construction ---------------------------------------
+    def env_config(self) -> EnvConfig:
+        if self.conf_path is not None:
+            from repro.core.config import load_config
+
+            cfg = load_config(self.conf_path).env
+            return replace(
+                cfg, seed=self.seed, perturb_seed=self.perturb_seed
+            )
+        kwargs: Dict[str, Any] = dict(
+            cluster=self.cluster,
+            workload_factory=self.workload.factory(),
+            hp=self.hp,
+            seed=self.seed,
+            perturb_seed=self.perturb_seed,
+        )
+        if self.objective_factory is not None:
+            kwargs["objective_factory"] = self.objective_factory
+        return EnvConfig(**kwargs)
+
+    def build_env(self) -> StorageTuningEnv:
+        return StorageTuningEnv(self.env_config())
+
+    def build_tuner(self):
+        from repro.exp.tuners import make_tuner
+
+        # tuner_kwargs may override the shared seed to decouple the
+        # tuner's stream from the environment rebuild seed.
+        kwargs = {
+            "seed": self.seed,
+            "scenario": self.scenario or self.workload.name,
+            **self.tuner_kwargs,
+        }
+        return make_tuner(self.tuner, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able description (for artifact headers; callables are
+        recorded by name only).
+
+        When ``conf_path`` is set the environment comes from the conf
+        file, so the inline workload/cluster/hp fields did not apply —
+        they are recorded as ``None`` rather than misdescribing the run.
+        """
+        obj = self.objective_factory
+        from_conf = self.conf_path is not None
+        return {
+            "tuner": self.tuner,
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "spec_id": self.spec_id,
+            "workload": None if from_conf else self.workload.to_dict(),
+            "cluster": None if from_conf else asdict(self.cluster),
+            "hp": None if from_conf else asdict(self.hp),
+            "budget": self.budget.to_dict(),
+            "tuner_kwargs": dict(self.tuner_kwargs),
+            "objective_factory": (
+                f"{obj.__module__}:{obj.__qualname__}" if obj else None
+            ),
+            "conf_path": self.conf_path,
+            "perturb_seed": self.perturb_seed,
+        }
+
+
+def grid(
+    base: ExperimentSpec,
+    tuners: Optional[Sequence[str]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    workloads: Optional[Sequence[Tuple[str, WorkloadSpec]]] = None,
+    tuner_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> List[ExperimentSpec]:
+    """Expand ``base`` across tuners × scenarios × seeds.
+
+    ``workloads`` pairs a scenario label with a :class:`WorkloadSpec`;
+    omitted axes keep the base spec's value.  ``tuner_kwargs`` maps a
+    tuner name to extra constructor kwargs layered over the base spec's
+    (e.g. CAPES-only session knobs in a mixed-tuner sweep).  The
+    expansion order is deterministic (workload-major, then tuner, then
+    seed) so artifact indices are stable across runs.
+    """
+    tuner_list = list(tuners) if tuners is not None else [base.tuner]
+    seed_list = list(seeds) if seeds is not None else [base.seed]
+    wl_list = (
+        list(workloads)
+        if workloads is not None
+        else [(base.scenario or base.workload.name, base.workload)]
+    )
+    specs = []
+    for scenario, wl in wl_list:
+        for tuner in tuner_list:
+            # Fresh dict per spec: replace() would otherwise share one
+            # mutable mapping across the grid.
+            kwargs = dict(base.tuner_kwargs)
+            if tuner_kwargs and tuner in tuner_kwargs:
+                kwargs.update(tuner_kwargs[tuner])
+            for seed in seed_list:
+                specs.append(
+                    replace(
+                        base,
+                        tuner=tuner,
+                        seed=int(seed),
+                        scenario=scenario,
+                        workload=wl,
+                        tuner_kwargs=dict(kwargs),
+                    )
+                )
+    return specs

@@ -11,6 +11,7 @@ comparable across runs when the runs themselves are reproducible.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Union
 
 import numpy as np
@@ -38,13 +39,16 @@ def derive_rng(parent: np.random.Generator, *key: object) -> np.random.Generator
     sibling construction.  Uses the generator's bit stream once, which is
     acceptable: the parent is only used for spawning at setup time.
     """
-    # Fold the key into 4 deterministic 32-bit words, then mix with fresh
+    # Fold the key into 4 deterministic 64-bit words, then mix with fresh
     # entropy drawn from the parent so distinct parents produce distinct
-    # children even for equal keys.
+    # children even for equal keys.  The per-item hash must be stable
+    # across interpreter invocations — Python's built-in str hash is
+    # salted per process, which would make every "seeded" run
+    # irreproducible from the command line — so use blake2b instead.
     words = np.zeros(4, dtype=np.uint64)
     for i, item in enumerate(key):
-        h = np.uint64(hash(str(item)) & 0xFFFFFFFFFFFFFFFF)
-        words[i % 4] ^= h
+        digest = hashlib.blake2b(str(item).encode(), digest_size=8).digest()
+        words[i % 4] ^= np.uint64(int.from_bytes(digest, "little"))
     salt = parent.integers(0, 2**63 - 1, size=2, dtype=np.int64)
     seq = np.random.SeedSequence(
         entropy=[int(w) for w in words] + [int(s) for s in salt]

@@ -74,7 +74,7 @@ class TestLoadConfig:
 class TestCLI:
     def test_parser_subcommands(self):
         parser = make_parser()
-        for cmd in ("train", "evaluate", "baseline", "sweep"):
+        for cmd in ("train", "evaluate", "baseline", "sweep", "window-sweep"):
             args = parser.parse_args([cmd, "--config", "x.py"])
             assert args.command == cmd
 
@@ -100,10 +100,10 @@ class TestCLI:
         assert rc == 0
         assert "baseline throughput" in capsys.readouterr().out
 
-    def test_sweep_command(self, conf_path, capsys):
+    def test_window_sweep_command(self, conf_path, capsys):
         rc = main(
             [
-                "sweep",
+                "window-sweep",
                 "--config",
                 conf_path,
                 "--ticks",
@@ -117,3 +117,50 @@ class TestCLI:
         assert rc == 0
         out = capsys.readouterr().out
         assert "best window" in out
+
+    def test_sweep_command(self, conf_path, tmp_path, capsys):
+        art = str(tmp_path / "artifacts")
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                conf_path,
+                "--tuners",
+                "capes,static",
+                "--seeds",
+                "0-1",
+                "--train-ticks",
+                "6",
+                "--eval-ticks",
+                "4",
+                "--epoch-ticks",
+                "3",
+                "--artifacts",
+                art,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "capes" in out and "static" in out
+        assert (tmp_path / "artifacts" / "runs.jsonl").exists()
+
+    def test_sweep_rejects_unknown_tuner(self, conf_path, capsys):
+        rc = main(["sweep", "--config", conf_path, "--tuners", "nope"])
+        assert rc == 2
+        assert "unknown tuners" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_seed_range(self, conf_path, capsys):
+        rc = main(["sweep", "--config", conf_path, "--seeds", "9-5"])
+        assert rc == 2
+        assert "bad --seeds" in capsys.readouterr().err
+
+    def test_parse_seeds(self):
+        from repro.cli import _parse_seeds
+
+        assert _parse_seeds("42") == [42]
+        assert _parse_seeds("0-4") == [0, 1, 2, 3, 4]
+        assert _parse_seeds("0-2,7") == [0, 1, 2, 7]
+        with pytest.raises(ValueError):
+            _parse_seeds("9-5")
+        with pytest.raises(ValueError):
+            _parse_seeds(",")
