@@ -105,8 +105,15 @@ def bench_spec(
     cluster: Optional[ClusterConfig] = None,
     hp: Optional[Hyperparameters] = None,
     perturb_seed: int = 0,
+    n_envs: int = 1,
+    vector_backend: str = "serial",
 ) -> ExperimentSpec:
-    """One benchmark session as a declarative spec."""
+    """One benchmark session as a declarative spec.
+
+    ``n_envs > 1`` asks for vectorized multi-cluster collection (capes
+    tuner only); environments are always named by registry key, so a
+    future non-simulated backend drops in here unchanged.
+    """
     tuner_kwargs = {}
     if tuner == "capes":
         tuner_kwargs = {
@@ -123,6 +130,8 @@ def bench_spec(
         budget=RunBudget(train_ticks=checkpoints, eval_ticks=eval_ticks),
         tuner_kwargs=tuner_kwargs,
         perturb_seed=perturb_seed,
+        n_envs=n_envs,
+        vector_backend=vector_backend,
     )
 
 

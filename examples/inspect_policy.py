@@ -51,7 +51,7 @@ def main() -> None:
     capes.train(1200)
 
     # -- 1. the control law over the window PI -------------------------
-    base_obs = env.daemon.current_observation()
+    base_obs = env.current_observation()
     labels = frame_labels(env.config.cluster.n_servers)
     per_client = len(labels)
     window_slots = [

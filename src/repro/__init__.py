@@ -19,6 +19,10 @@ substrate the paper's evaluation depends on:
   ε-greedy schedule (:mod:`repro.nn`, :mod:`repro.rl`);
 - search-based **tuning baselines** (:mod:`repro.baselines`) and
   Pilot-style **measurement statistics** (:mod:`repro.stats`);
+- the **pluggable environment layer** (:mod:`repro.env`) — a structural
+  ``Environment`` protocol with a string-keyed registry (``make_env``;
+  ``"sim-lustre"`` is the reference backend) and ``VectorEnv`` for
+  many-clusters-one-engine vectorized experience collection;
 - the **experiment orchestration layer** (:mod:`repro.exp`) — one
   ``Tuner`` protocol over CAPES and every baseline, declarative
   ``ExperimentSpec`` grids, and a parallel ``ExperimentRunner`` with
@@ -53,7 +57,15 @@ from repro.core import (
     TunableParameter,
 )
 from repro.core.capes import hours
-from repro.env import EnvConfig, StorageTuningEnv
+from repro.env import (
+    EnvConfig,
+    Environment,
+    StorageTuningEnv,
+    VectorEnv,
+    env_names,
+    make_env,
+    register_env,
+)
 from repro.exp import (
     ExperimentRunner,
     ExperimentSpec,
@@ -70,7 +82,12 @@ __all__ = [
     "CapesConfig",
     "CapesSession",
     "EnvConfig",
+    "Environment",
     "StorageTuningEnv",
+    "VectorEnv",
+    "env_names",
+    "make_env",
+    "register_env",
     "Cluster",
     "ClusterConfig",
     "ActionSpace",

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.actions import TunableParameter
-from repro.env.tuning_env import StorageTuningEnv
+from repro.env.protocol import Environment
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_positive
 
@@ -44,7 +44,7 @@ class BaselineTuner(abc.ABC):
 
     def __init__(
         self,
-        env: StorageTuningEnv,
+        env: Environment,
         epoch_ticks: int = 60,
         seed: int = 0,
     ):
@@ -60,7 +60,7 @@ class BaselineTuner(abc.ABC):
 
     def measure(self, params: Params) -> float:
         """Apply ``params`` and return the mean objective over one epoch."""
-        if self.env.sim is None:
+        if not self.env.is_started:
             self.env.reset()
         self.env.set_params(params)
         rewards = self.env.run_ticks(self.epoch_ticks)

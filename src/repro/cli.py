@@ -12,15 +12,19 @@ so the equivalent surface is a single CLI over a conf.py:
     python -m repro.cli baseline --config conf.py --ticks 300
     python -m repro.cli sweep    --config conf.py \
                                  --tuners capes,random --seeds 0-4 --jobs 4
+    python -m repro.cli sweep    --config conf.py --env sim-lustre \
+                                 --n-envs 4 --vector-backend fork
     python -m repro.cli window-sweep --config conf.py --window 1,2,4,8,16
 
 ``train`` runs an online training session and saves the model;
 ``evaluate`` reloads it and measures tuned throughput; ``baseline``
 measures the untouched system; ``sweep`` fans a multi-tuner,
 multi-seed experiment grid out through
-:class:`~repro.exp.runner.ExperimentRunner`; ``window-sweep`` does a
-static parameter sweep (the tweak-benchmark loop CAPES replaces,
-useful for ground truth).
+:class:`~repro.exp.runner.ExperimentRunner` — ``--env`` names any
+registered environment backend and ``--n-envs N`` trains each CAPES
+run against N lockstep clusters fanning experience into one shared
+replay DB; ``window-sweep`` does a static parameter sweep (the
+tweak-benchmark loop CAPES replaces, useful for ground truth).
 """
 
 from __future__ import annotations
@@ -127,12 +131,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"bad --seeds value: {exc}", file=sys.stderr)
         return 2
+    if args.n_envs > 1 and set(tuners) != {"capes"}:
+        print(
+            "--n-envs > 1 (vectorized collection) currently supports the "
+            "'capes' tuner only",
+            file=sys.stderr,
+        )
+        return 2
     # Session knobs from the conf.py apply to the DQN tuner only; the
-    # workers re-load the conf themselves via spec.conf_path.
+    # workers re-load the conf themselves via spec.conf_path.  Loading
+    # also runs any register_env() calls the conf makes, so the --env
+    # check below must come after it.
     cfg = load_config(args.config)
+    from repro.env import env_names
+
+    if args.env not in env_names():
+        print(
+            f"unknown environment {args.env!r}; registered: {env_names()}",
+            file=sys.stderr,
+        )
+        return 2
     base = ExperimentSpec(
         conf_path=args.config,
         scenario=args.scenario,
+        env=args.env,
+        n_envs=args.n_envs,
+        vector_backend=args.vector_backend,
         budget=RunBudget(
             train_ticks=args.train_ticks,
             eval_ticks=args.eval_ticks,
@@ -167,9 +191,9 @@ def cmd_window_sweep(args: argparse.Namespace) -> int:
     config = load_config(args.config)
     rows = []
     for w in windows:
-        from repro.env.tuning_env import StorageTuningEnv
+        from repro.env import make_env
 
-        env = StorageTuningEnv(config.env)
+        env = make_env("sim-lustre", config=config.env)
         env.reset()
         env.set_params({"max_rpcs_in_flight": w})
         env.run_ticks(args.settle)
@@ -236,6 +260,24 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    p.add_argument(
+        "--env",
+        default="sim-lustre",
+        help="environment registry key (see repro.env.env_names())",
+    )
+    p.add_argument(
+        "--n-envs",
+        type=int,
+        default=1,
+        help="clusters per run, stepped in lockstep with experience "
+        "fanned into one shared replay DB (capes tuner only)",
+    )
+    p.add_argument(
+        "--vector-backend",
+        choices=("serial", "fork"),
+        default="serial",
+        help="how vectorized clusters are stepped",
     )
     p.add_argument(
         "--train-ticks", type=int, default=600, help="training ticks per run"

@@ -60,6 +60,7 @@ class InterfaceDaemon:
             )
         self.extra_frame_width = int(extra_frame_width)
         self.extra_frame_provider = extra_frame_provider
+        self.cluster_frame_width = int(expected)
         self.n_clients = int(n_clients)
         self.client_frame_width = int(client_frame_width)
         self.db = db
@@ -123,22 +124,44 @@ class InterfaceDaemon:
         self.db.set_reward(tick, reward)
 
     # -- observations for the DRL engine ------------------------------------
-    def current_observation(self) -> Optional[np.ndarray]:
+    def current_observation(
+        self, out: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
         """Stacked observation ending at the newest stored tick.
 
         Until a full stack has accumulated the earliest frame is
         repeated backwards (the warm-up padding choice; recorded here
         because training data from the DB never pads — the sampler
         rejects short windows instead).
+
+        ``out``, when given, must be a C-contiguous float64 array of
+        ``obs_ticks × cluster frame width`` elements; the observation is
+        written into it in place and ``out`` is returned, so per-tick
+        collection loops reuse one buffer instead of reallocating.
         """
         if len(self._recent) == 0:
             return None
-        frames = self._recent.view()
-        need = self._recent.capacity - len(frames)
-        if need > 0:
-            pad = np.repeat(frames[:1], need, axis=0)
-            frames = np.concatenate([pad, frames], axis=0)
-        return frames.reshape(-1)
+        cap = self._recent.capacity
+        width = self.cluster_frame_width
+        if out is None:
+            out = np.empty(cap * width)
+        elif out.size != cap * width:
+            raise ValueError(
+                f"out buffer has {out.size} elements, expected "
+                f"{cap} ticks x {width} = {cap * width}"
+            )
+        elif not out.flags["C_CONTIGUOUS"] or out.dtype != np.float64:
+            # reshape on a non-viewable buffer would silently write into
+            # a temporary copy and hand back the untouched original.
+            raise ValueError(
+                "out buffer must be a C-contiguous float64 array"
+            )
+        frames = out.reshape(cap, width)
+        pad = cap - len(self._recent)
+        self._recent.copy_into(frames[pad:])
+        if pad > 0:
+            frames[:pad] = frames[pad]
+        return out
 
     # -- actions ---------------------------------------------------------------
     def perform_action(self, tick: int, action: int) -> ActionEffect:

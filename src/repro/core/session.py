@@ -1,7 +1,8 @@
 """Training and evaluation session drivers.
 
 A session owns a DQN agent bound to one
-:class:`~repro.env.tuning_env.StorageTuningEnv` and reproduces the
+:class:`~repro.env.protocol.Environment` (any registered backend — the
+reference is the ``"sim-lustre"`` simulated cluster) and reproduces the
 paper's operational cycle (appendix A.4):
 
 1. ``train(n_ticks)`` — online training: ε-greedy actions every action
@@ -23,7 +24,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.env.tuning_env import StorageTuningEnv
+from repro.env.protocol import Environment
 from repro.nn.checkpoint import load_checkpoint, save_checkpoint
 from repro.replaydb.sampler import MinibatchSampler
 from repro.rl.agent import DQNAgent
@@ -68,7 +69,7 @@ class CapesSession:
 
     def __init__(
         self,
-        env: StorageTuningEnv,
+        env: Environment,
         seed: int = 0,
         train_steps_per_tick: int = 1,
         loss: str = "mse",
@@ -115,11 +116,14 @@ class CapesSession:
         action_counts = np.zeros(self.env.n_actions, dtype=np.int64)
         losses: List[float] = []
         obs = self._obs
+        # The stacked observation lands in one reused buffer tick after
+        # tick; the agent consumes it before the next overwrite.
+        obs_buf = np.empty(self.env.obs_dim)
         for i in range(n_ticks):
             eps_trace[i] = self.agent.epsilon.value
             action = self.agent.act(obs)
             action_counts[action] += 1
-            obs, reward, _info = self.env.step(action)
+            obs, reward, _info = self.env.step(action, out=obs_buf)
             rewards[i] = reward
             for _ in range(self.train_steps_per_tick):
                 loss = self.agent.train_from_sampler(self.sampler)
@@ -144,9 +148,10 @@ class CapesSession:
         rewards = np.zeros(n_ticks)
         params_trace: List[dict] = []
         obs = self._obs
+        obs_buf = np.empty(self.env.obs_dim)
         for i in range(n_ticks):
             action = self.agent.act(obs, greedy=greedy)
-            obs, reward, info = self.env.step(action)
+            obs, reward, info = self.env.step(action, out=obs_buf)
             rewards[i] = reward
             params_trace.append(info["params"])
         self._obs = obs
@@ -171,10 +176,11 @@ class CapesSession:
         check_positive("n_ticks", n_ticks)
         self.ensure_started()
         rewards = np.zeros(n_ticks)
+        obs_buf = np.empty(self.env.obs_dim)
         for i in range(n_ticks):
-            _obs, reward, _info = self.env.step(0)  # NULL action
+            _obs, reward, _info = self.env.step(0, out=obs_buf)  # NULL action
             rewards[i] = reward
-        self._obs = self.env.daemon.current_observation()
+        self._obs = self.env.current_observation()
         return rewards
 
     def train_offline(self, n_steps: int) -> np.ndarray:
@@ -200,7 +206,7 @@ class CapesSession:
         self.ensure_started()
         rewards = self.env.run_ticks(n_ticks)
         # The observation stack advanced while we watched; refresh it.
-        self._obs = self.env.daemon.current_observation()
+        self._obs = self.env.current_observation()
         return rewards
 
     # -- checkpointing -------------------------------------------------------------

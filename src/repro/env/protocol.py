@@ -1,0 +1,106 @@
+"""The pluggable ``Environment`` protocol (§3.3's engine-side contract).
+
+The paper's deployment is one-to-many: a single central DRL engine
+behind the Interface Daemon ingests observations from many monitoring
+agents and broadcasts actions to many control agents.  The engine never
+cares *what* the target system is — only that it can be reset, stepped
+one action tick at a time, and measured.  This module captures that
+contract as a structural :class:`typing.Protocol`, so new backends (a
+different simulator, a shim over real Lustre daemons, a trace replayer)
+plug in without touching the tuners: anything with the right methods
+*is* an :class:`Environment`, no inheritance required.
+
+The concrete reference implementation is
+:class:`~repro.env.tuning_env.StorageTuningEnv`, registered as
+``"sim-lustre"`` in :mod:`repro.env.registry`;
+:class:`~repro.env.vector.VectorEnv` steps N of them in lockstep for
+the paper's many-agents-one-engine topology.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # typing only — avoids an import cycle with repro.core
+    from repro.core.actions import ActionSpace
+    from repro.replaydb.sampler import MinibatchSampler
+    from repro.rl.hyperparams import Hyperparameters
+
+
+@runtime_checkable
+class Environment(Protocol):
+    """What the DRL engine and the search baselines drive.
+
+    The gym-style core is ``reset()`` / ``step()`` / ``obs_dim`` /
+    ``action_space`` / ``close()``; the remaining members are the
+    measurement-and-training surface the CAPES session and the §5
+    comparators actually use (parameter assignment for before/after
+    measurements, replay sampling for Algorithm 1).  The protocol is
+    structural and ``runtime_checkable``: ``isinstance(env, Environment)``
+    checks member presence only, so existing call sites that construct a
+    bare :class:`~repro.env.tuning_env.StorageTuningEnv` keep working
+    unchanged.
+    """
+
+    #: Discrete action vocabulary (direction-per-parameter plus NULL).
+    action_space: "ActionSpace"
+    #: Table 1 hyperparameters (observation stacking, sampler tolerance).
+    hp: "Hyperparameters"
+
+    # -- dimensions ------------------------------------------------------
+    @property
+    def obs_dim(self) -> int:
+        """Flattened observation width handed to the Q-network."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def n_actions(self) -> int:
+        ...  # pragma: no cover - protocol
+
+    @property
+    def frame_dim(self) -> int:
+        """Width of one per-tick cluster frame (replay-DB row width)."""
+        ...  # pragma: no cover - protocol
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def is_started(self) -> bool:
+        """Whether a live target system exists (``reset()`` has run)."""
+        ...  # pragma: no cover - protocol
+
+    def reset(self) -> np.ndarray:
+        """(Re)build the target system; return the first observation."""
+        ...  # pragma: no cover - protocol
+
+    def step(
+        self, action: int, out: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, float, dict]:
+        """Perform ``action``, advance one tick, observe and reward."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        ...  # pragma: no cover - protocol
+
+    # -- measurement -----------------------------------------------------
+    def run_ticks(self, n: int) -> np.ndarray:
+        """Advance ``n`` ticks with no actions; per-tick objective."""
+        ...  # pragma: no cover - protocol
+
+    def set_params(self, values: Dict[str, float]) -> None:
+        ...  # pragma: no cover - protocol
+
+    def current_params(self) -> Dict[str, float]:
+        ...  # pragma: no cover - protocol
+
+    def current_observation(
+        self, out: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        """Stacked observation ending at the newest stored tick."""
+        ...  # pragma: no cover - protocol
+
+    # -- experience replay ----------------------------------------------
+    def make_sampler(self, seed=None) -> "MinibatchSampler":
+        """Algorithm 1 sampler over this environment's replay data."""
+        ...  # pragma: no cover - protocol

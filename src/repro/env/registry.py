@@ -1,0 +1,63 @@
+"""String-keyed environment registry (mirrors the tuner registry).
+
+Specs and the CLI name environments by key instead of importing
+concrete classes, so one training engine can be pointed at any
+registered backend::
+
+    env = make_env("sim-lustre", config=EnvConfig(...))
+
+A factory receives whatever keyword configuration its backend expects
+and returns an object satisfying :class:`~repro.env.protocol.Environment`.
+The reference implementation — the simulated Lustre cluster of
+:class:`~repro.env.tuning_env.StorageTuningEnv` — registers as
+``"sim-lustre"`` and accepts either a ready ``config=EnvConfig`` or the
+:class:`~repro.env.tuning_env.EnvConfig` fields as plain kwargs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.env.protocol import Environment
+from repro.env.tuning_env import EnvConfig, StorageTuningEnv
+
+EnvFactory = Callable[..., Environment]
+
+_ENVS: Dict[str, EnvFactory] = {}
+
+
+def register_env(name: str, factory: EnvFactory) -> None:
+    """Register ``factory(**cfg)`` as environment backend ``name``."""
+    _ENVS[name] = factory
+
+
+def env_names() -> List[str]:
+    return sorted(_ENVS)
+
+
+def make_env(name: str, **cfg: Any) -> Environment:
+    """Instantiate a registered environment backend by name."""
+    try:
+        factory = _ENVS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown environment {name!r}; registered: {env_names()}"
+        ) from None
+    return factory(**cfg)
+
+
+def _make_sim_lustre(
+    config: EnvConfig | None = None, **kwargs: Any
+) -> StorageTuningEnv:
+    """``"sim-lustre"``: the simulated Lustre cluster reference backend."""
+    if config is not None:
+        if kwargs:
+            raise ValueError(
+                "pass either config=EnvConfig(...) or EnvConfig field "
+                f"kwargs, not both (got extra {sorted(kwargs)})"
+            )
+        return StorageTuningEnv(config)
+    return StorageTuningEnv(EnvConfig(**kwargs))
+
+
+register_env("sim-lustre", _make_sim_lustre)

@@ -27,6 +27,7 @@ from repro.core.checker import ActionChecker
 from repro.core.control import ControlAgent
 from repro.core.interface_daemon import InterfaceDaemon
 from repro.replaydb.db import ReplayDB
+from repro.replaydb.records import TickRecord
 from repro.replaydb.sampler import MinibatchSampler
 from repro.rl.hyperparams import Hyperparameters
 from repro.sim.engine import Simulator
@@ -118,6 +119,11 @@ class StorageTuningEnv:
     def obs_dim(self) -> int:
         """Flattened observation: S ticks × cluster frame width."""
         return self.hp.sampling_ticks_per_observation * self._cluster_fw
+
+    @property
+    def is_started(self) -> bool:
+        """Whether a live target system exists (reset() has run)."""
+        return self.sim is not None
 
     # -- lifecycle ----------------------------------------------------------
     def reset(self) -> np.ndarray:
@@ -247,12 +253,19 @@ class StorageTuningEnv:
         self.daemon.set_reward(self.tick, reward)
         return reward
 
-    def step(self, action: int) -> tuple[np.ndarray, float, dict]:
-        """Perform ``action``, advance one tick, observe and reward."""
+    def step(
+        self, action: int, out: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, float, dict]:
+        """Perform ``action``, advance one tick, observe and reward.
+
+        ``out``, when given, receives the new stacked observation in
+        place (and is returned) — collection loops pass a preallocated
+        buffer so the hot path never reallocates.
+        """
         self._require_reset()
         effect = self.daemon.perform_action(self.tick, action)
         reward = self._advance_one_tick()
-        obs = self.daemon.current_observation()
+        obs = self.daemon.current_observation(out=out)
         info = {
             "tick": self.tick,
             "effect": effect,
@@ -260,6 +273,36 @@ class StorageTuningEnv:
             "reward": reward,
         }
         return obs, reward, info
+
+    def current_observation(
+        self, out: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        """Stacked observation ending at the newest stored tick.
+
+        Part of the :class:`~repro.env.protocol.Environment` surface so
+        drivers never reach into ``env.daemon`` directly.
+        """
+        self._require_reset()
+        return self.daemon.current_observation(out=out)
+
+    def records_since(self, after_tick: int) -> List["TickRecord"]:
+        """Replay records with ``tick > after_tick``, oldest first.
+
+        The incremental feed :class:`~repro.env.vector.VectorEnv` drains
+        to fan many clusters' experience into one shared Replay DB.
+        Warm-up ticks are included (they are valid replay input); ticks
+        dropped on the monitoring network are simply absent.
+        """
+        self._require_reset()
+        cache = self.db.cache
+        if cache.max_tick is None:
+            return []
+        lo = max(after_tick + 1, cache.min_tick or 0)
+        return [
+            cache.get(t)
+            for t in range(lo, cache.max_tick + 1)
+            if cache.has(t)
+        ]
 
     # -- baseline/measurement helpers ----------------------------------------
     def run_ticks(self, n: int) -> np.ndarray:

@@ -1,0 +1,572 @@
+"""Vectorized multi-cluster experience collection (Figure 1 at scale).
+
+The paper's architecture is explicitly one-to-many: "a single central
+DRL engine" behind the Interface Daemon serves *many* monitoring and
+control agents.  :class:`VectorEnv` reproduces that topology over N
+independently-seeded target systems stepped in lockstep: one
+``reset()`` returns a stacked ``(n, obs_dim)`` observation, one
+``step(actions)`` performs one action per cluster and advances every
+cluster one tick, and every cluster's replay records fan into one
+shared :class:`~repro.replaydb.db.ReplayDB` — the many-agents-one-engine
+experience stream a single DQN trains from.
+
+Backends
+--------
+``serial``
+    All sub-environments live in-process and are stepped in a Python
+    loop.  The payoff is batched inference (one stacked forward pass
+    per tick instead of N) and the shared replay stream.
+``fork``
+    Each sub-environment lives in a forked worker process; steps are
+    dispatched to all workers before any result is collected, so the
+    simulations advance in parallel.  ``fork`` inherits memory, so
+    unpicklable workload factories work unchanged.
+
+Determinism contract
+--------------------
+Per-env trajectories are a pure function of the per-env seed and the
+action sequence: ``VectorEnv`` over ``vector_seeds(seed, n)`` is
+byte-identical, env by env, to n serial single-environment runs built
+with the same derived seeds and fed the same actions — and the
+``serial`` and ``fork`` backends are byte-identical to each other.
+
+Shared-DB layout
+----------------
+The replay cache is tick-indexed, so each sub-environment owns a block
+of the shared tick space: env ``i`` writes its local tick ``t`` at
+``i * tick_stride + t``.  Blocks keep observation windows contiguous
+within one cluster (the Algorithm 1 sampler never stacks frames across
+clusters); :class:`StridedMinibatchSampler` draws candidates block-aware
+so sampling stays O(1) regardless of stride.  A session must stay under
+``tick_stride`` ticks per environment — exceeding it raises rather than
+silently aliasing another cluster's block.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+from dataclasses import replace
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.env.protocol import Environment
+from repro.env.tuning_env import EnvConfig, StorageTuningEnv
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.sampler import MinibatchSampler, SamplerStarvedError
+from repro.util.rng import derive_rng, ensure_rng
+from repro.util.validation import check_positive
+
+EnvFactoryFn = Callable[[], Environment]
+
+
+def vector_seeds(base_seed: int, n: int) -> List[int]:
+    """Derive n independent environment seeds from one base seed.
+
+    Env ``i``'s seed depends only on ``(base_seed, i)`` — not on ``n`` —
+    so growing the fleet keeps existing clusters' trajectories intact,
+    and a vectorized run can be replayed env by env with serial
+    single-environment runs.
+    """
+    check_positive("n", n)
+    return [
+        int(
+            derive_rng(ensure_rng(base_seed), "vector-env", i).integers(2**31)
+        )
+        for i in range(n)
+    ]
+
+
+def per_env_rngs(
+    base_seed: int, n: int, label: str = "vector-act"
+) -> List[np.random.Generator]:
+    """Per-env exploration streams for ε-greedy batched acting.
+
+    Like :func:`vector_seeds`, stream ``i`` depends only on
+    ``(base_seed, label, i)``, so the vector size never perturbs the
+    random-action sequence any single cluster sees.
+    """
+    check_positive("n", n)
+    return [
+        derive_rng(ensure_rng(base_seed), label, i) for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------------
+# Worker backends: one sub-environment behind a submit/result pair
+# --------------------------------------------------------------------------
+
+
+class _SerialWorker:
+    """In-process backend: submit computes immediately."""
+
+    def __init__(self, factory: EnvFactoryFn):
+        self.env = factory()
+        self._result: Any = None
+
+    def submit(self, cmd: str, payload: Any = None) -> None:
+        if cmd == "reset":
+            self._result = self.env.reset()
+        elif cmd == "step":
+            action, out = payload
+            self._result = self.env.step(action, out=out)
+        elif cmd == "records":
+            self._result = self.env.records_since(payload)
+        elif cmd == "call":
+            name, args, kwargs = payload
+            self._result = getattr(self.env, name)(*args, **kwargs)
+        elif cmd == "close":
+            self.env.close()
+            self._result = None
+        else:  # pragma: no cover - internal protocol
+            raise ValueError(f"unknown worker command {cmd!r}")
+
+    def result(self) -> Any:
+        out, self._result = self._result, None
+        return out
+
+
+def _env_worker(factory: EnvFactoryFn, conn) -> None:
+    """Forked worker loop: owns one environment for its whole life."""
+    env = factory()
+    try:
+        while True:
+            cmd, payload = conn.recv()
+            try:
+                if cmd == "reset":
+                    result = env.reset()
+                elif cmd == "step":
+                    action, _out = payload  # out-buffers don't cross pipes
+                    result = env.step(action)
+                elif cmd == "records":
+                    result = env.records_since(payload)
+                elif cmd == "call":
+                    name, args, kwargs = payload
+                    result = getattr(env, name)(*args, **kwargs)
+                elif cmd == "close":
+                    env.close()
+                    conn.send(("ok", None))
+                    return
+                else:  # pragma: no cover - internal protocol
+                    raise ValueError(f"unknown worker command {cmd!r}")
+            except Exception as exc:  # surface remote failures verbatim
+                conn.send(("err", exc))
+            else:
+                conn.send(("ok", result))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+    finally:
+        conn.close()
+
+
+class _ForkWorker:
+    """Forked-process backend: submit is asynchronous, result blocks."""
+
+    def __init__(self, factory: EnvFactoryFn, context):
+        self._conn, child = context.Pipe()
+        self._proc = context.Process(
+            target=_env_worker, args=(factory, child), daemon=True
+        )
+        self._proc.start()
+        child.close()
+
+    def submit(self, cmd: str, payload: Any = None) -> None:
+        self._conn.send((cmd, payload))
+
+    def result(self) -> Any:
+        status, value = self._conn.recv()
+        if status == "err":
+            raise value
+        return value
+
+    def terminate(self) -> None:
+        self._conn.close()
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():  # pragma: no cover - hung worker
+            self._proc.terminate()
+
+
+# --------------------------------------------------------------------------
+# The vector environment
+# --------------------------------------------------------------------------
+
+
+class VectorEnv:
+    """N independently-seeded environments stepped in lockstep.
+
+    Parameters
+    ----------
+    factories:
+        One zero-argument callable per sub-environment.  Each must
+        return an :class:`~repro.env.protocol.Environment`; fan-in
+        additionally requires ``records_since`` (which the sim-lustre
+        backend provides).
+    backend:
+        ``"serial"`` (in-process) or ``"fork"`` (one worker process per
+        environment).  Results are byte-identical either way.
+    shared_db_path:
+        Where the shared fan-in :class:`ReplayDB` lives (default
+        in-memory); ``None`` disables fan-in entirely.
+    tick_stride:
+        Tick-space block size per environment in the shared DB; an
+        environment raises once its local tick reaches the stride.
+    """
+
+    def __init__(
+        self,
+        factories: Sequence[EnvFactoryFn],
+        backend: str = "serial",
+        shared_db_path: Optional[str] = ":memory:",
+        tick_stride: int = 65536,
+    ):
+        if not factories:
+            raise ValueError("VectorEnv needs at least one environment")
+        if backend not in ("serial", "fork"):
+            raise ValueError(
+                f"backend must be 'serial' or 'fork', got {backend!r}"
+            )
+        check_positive("tick_stride", tick_stride)
+        self.backend = backend
+        self.tick_stride = int(tick_stride)
+        self._shared_db_path = shared_db_path
+        if backend == "serial":
+            self._workers: List[Any] = [_SerialWorker(f) for f in factories]
+        else:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context()
+            self._workers = [_ForkWorker(f, context) for f in factories]
+        # Static metadata from env 0 (all envs share one configuration
+        # shape; heterogeneous fleets would need per-env replay DBs).
+        self.obs_dim: int = int(self._get_attr(0, "obs_dim"))
+        self.n_actions: int = int(self._get_attr(0, "n_actions"))
+        self.frame_dim: int = int(self._get_attr(0, "frame_dim"))
+        self.action_space = self._get_attr(0, "action_space")
+        self.hp = self._get_attr(0, "hp")
+        self.shared_db: Optional[ReplayDB] = None
+        if shared_db_path is not None:
+            self.shared_db = ReplayDB(
+                self.frame_dim,
+                path=shared_db_path,
+                cache_capacity=self.n_envs * self.tick_stride,
+            )
+        self._synced = [-1] * self.n_envs
+        # Reused every tick: the stacked observation and reward buffers
+        # (the hot-path allocation the collection loop must not repeat).
+        self._obs_buf = np.zeros((self.n_envs, self.obs_dim))
+        self._reward_buf = np.zeros(self.n_envs)
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: EnvConfig,
+        n_envs: int,
+        backend: str = "serial",
+        **vec_kwargs: Any,
+    ) -> "VectorEnv":
+        """N sim-lustre clusters from one base config.
+
+        Per-env seeds come from :func:`vector_seeds` over
+        ``config.seed``; each cluster gets its own in-memory replay DB
+        (the shared fan-in DB is the cross-cluster store).
+        """
+        factories = [
+            functools.partial(
+                StorageTuningEnv,
+                replace(config, seed=s, db_path=":memory:"),
+            )
+            for s in vector_seeds(config.seed, n_envs)
+        ]
+        return cls(factories, backend=backend, **vec_kwargs)
+
+    @classmethod
+    def from_registry(
+        cls,
+        name: str,
+        n_envs: int,
+        base_seed: int = 0,
+        backend: str = "serial",
+        env_kwargs: Optional[dict] = None,
+        **vec_kwargs: Any,
+    ) -> "VectorEnv":
+        """N registered environments, seeds derived from ``base_seed``.
+
+        The backend's factory must accept a ``seed`` keyword (the
+        registry convention; sim-lustre forwards it into
+        :class:`EnvConfig`).
+        """
+        from repro.env.registry import make_env
+
+        factories = [
+            functools.partial(make_env, name, seed=s, **(env_kwargs or {}))
+            for s in vector_seeds(base_seed, n_envs)
+        ]
+        return cls(factories, backend=backend, **vec_kwargs)
+
+    # -- worker plumbing -------------------------------------------------
+    @property
+    def n_envs(self) -> int:
+        return len(self._workers)
+
+    def _get_attr(self, i: int, name: str) -> Any:
+        self._workers[i].submit("call", ("__getattribute__", (name,), {}))
+        return self._workers[i].result()
+
+    def env_method(self, i: int, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``env_i.name(*args, **kwargs)`` (remotely for fork).
+
+        The target environment may advance ticks (``run_ticks``,
+        ``step``), so its new replay records are fanned in afterwards.
+        """
+        if not 0 <= i < self.n_envs:
+            raise IndexError(f"env index {i} out of range 0..{self.n_envs - 1}")
+        self._workers[i].submit("call", (name, args, kwargs))
+        result = self._workers[i].result()
+        self._sync_env(i)
+        return result
+
+    # -- shared-DB fan-in ------------------------------------------------
+    def _sync_env(self, i: int) -> None:
+        """Mirror env ``i``'s new replay records into the shared DB.
+
+        Re-fetches the last synced tick too: its action is recorded one
+        step later than its frame (the action decided *after* observing
+        that tick), so the refresh picks it up.
+        """
+        if self.shared_db is None:
+            return
+        worker = self._workers[i]
+        worker.submit("records", self._synced[i] - 1)
+        offset = i * self.tick_stride
+        for rec in worker.result():
+            if rec.tick >= self.tick_stride:
+                raise RuntimeError(
+                    f"env {i} reached tick {rec.tick} >= tick_stride "
+                    f"{self.tick_stride}; raise tick_stride to run longer "
+                    f"vectorized sessions"
+                )
+            self.shared_db.put_observation(
+                offset + rec.tick, rec.frame, rec.reward
+            )
+            if rec.action >= 0:
+                self.shared_db.put_action(offset + rec.tick, rec.action)
+            if rec.tick > self._synced[i]:
+                self._synced[i] = rec.tick
+
+    def _sync_all(self) -> None:
+        for i in range(self.n_envs):
+            self._sync_env(i)
+
+    # -- lockstep lifecycle ----------------------------------------------
+    def reset(self) -> np.ndarray:
+        """Reset every cluster; returns the stacked ``(n, obs_dim)``
+        observation.
+
+        The returned array is an internal buffer reused by ``step`` —
+        copy it if you need it beyond the next tick.
+        """
+        for w in self._workers:
+            w.submit("reset")
+        for i, w in enumerate(self._workers):
+            self._obs_buf[i] = w.result()
+        self._synced = [-1] * self.n_envs
+        self._sync_all()
+        return self._obs_buf
+
+    def step(
+        self, actions: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, List[dict]]:
+        """One action per cluster; every cluster advances one tick.
+
+        Returns ``(obs, rewards, infos)`` where ``obs`` is the reused
+        ``(n, obs_dim)`` buffer and ``rewards`` the reused ``(n,)``
+        buffer.  All submissions go out before any result is collected,
+        so the ``fork`` backend steps clusters in parallel.
+        """
+        actions = np.asarray(actions)
+        if actions.shape != (self.n_envs,):
+            raise ValueError(
+                f"expected {self.n_envs} actions, got shape {actions.shape}"
+            )
+        for i, w in enumerate(self._workers):
+            out = self._obs_buf[i] if self.backend == "serial" else None
+            w.submit("step", (int(actions[i]), out))
+        infos: List[dict] = []
+        for i, w in enumerate(self._workers):
+            obs, reward, info = w.result()
+            if self.backend != "serial":
+                # Serial steps wrote straight into the buffer via out=;
+                # pipe-crossing observations need the one copy.
+                self._obs_buf[i] = obs
+            self._reward_buf[i] = reward
+            infos.append(info)
+        self._sync_all()
+        return self._obs_buf, self._reward_buf, infos
+
+    def run_ticks(self, n: int) -> np.ndarray:
+        """Advance all clusters ``n`` ticks with no actions.
+
+        Returns per-env per-tick rewards, shape ``(n_envs, n)``.
+        """
+        check_positive("n", n)
+        for w in self._workers:
+            w.submit("call", ("run_ticks", (n,), {}))
+        rewards = np.stack([w.result() for w in self._workers])
+        self._sync_all()
+        return rewards
+
+    def collect(self, n_ticks: int) -> np.ndarray:
+        """Monitoring-only collection: NULL actions on every cluster.
+
+        §3.3's "solely monitoring" mode, vectorized — every tick lands
+        one valid (NULL-action) transition per cluster in the shared
+        replay DB.  Returns rewards of shape ``(n_envs, n_ticks)``.
+        """
+        check_positive("n_ticks", n_ticks)
+        nulls = np.zeros(self.n_envs, dtype=np.int64)
+        rewards = np.zeros((self.n_envs, n_ticks))
+        for t in range(n_ticks):
+            _obs, r, _infos = self.step(nulls)
+            rewards[:, t] = r
+        return rewards
+
+    def current_observation(self) -> np.ndarray:
+        """The stacked observation buffer as of the last reset/step."""
+        return self._obs_buf
+
+    def refresh_observation(self, i: int) -> np.ndarray:
+        """Re-read env ``i``'s live observation into buffer row ``i``.
+
+        Needed after driving one cluster out of lockstep through
+        :meth:`env_method` (checkpoint measurements advance its ticks),
+        so the next batched act sees that cluster's *current* state.
+        Returns the full stacked buffer.
+        """
+        if not 0 <= i < self.n_envs:
+            raise IndexError(f"env index {i} out of range 0..{self.n_envs - 1}")
+        if self.backend == "serial":
+            self._workers[i].submit(
+                "call", ("current_observation", (), {"out": self._obs_buf[i]})
+            )
+            self._workers[i].result()
+        else:
+            self._workers[i].submit("call", ("current_observation", (), {}))
+            self._obs_buf[i] = self._workers[i].result()
+        return self._obs_buf
+
+    def make_sampler(self, seed=None) -> "StridedMinibatchSampler":
+        """Algorithm 1 sampler over the shared fan-in replay DB."""
+        if self.shared_db is None:
+            raise RuntimeError(
+                "VectorEnv was built with shared_db_path=None; there is "
+                "no shared replay DB to sample from"
+            )
+        return StridedMinibatchSampler(
+            self.shared_db.cache,
+            self,
+            obs_ticks=self.hp.sampling_ticks_per_observation,
+            missing_tolerance=self.hp.missing_entry_tolerance,
+            seed=seed,
+        )
+
+    def close(self) -> None:
+        for w in self._workers:
+            w.submit("close")
+        for w in self._workers:
+            try:
+                w.result()
+            except (EOFError, BrokenPipeError):  # pragma: no cover
+                pass
+            if isinstance(w, _ForkWorker):
+                w.terminate()
+        if self.shared_db is not None:
+            self.shared_db.close()
+
+    def __enter__(self) -> "VectorEnv":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class StridedMinibatchSampler(MinibatchSampler):
+    """Algorithm 1 over a block-strided shared replay DB.
+
+    The base sampler draws candidate timestamps uniformly from
+    ``[min_tick, max_tick]`` — over a blocked tick space that range is
+    almost entirely empty, so rejection sampling would starve.  This
+    subclass draws a uniform index over the concatenated candidate
+    spans of every non-empty block instead, which stays uniform over
+    all stored transitions even when one cluster has run ahead (e.g.
+    after a checkpoint measurement on the reference cluster).
+    """
+
+    def __init__(
+        self,
+        cache,
+        venv: VectorEnv,
+        obs_ticks: int = 10,
+        missing_tolerance: float = 0.20,
+        seed=None,
+    ):
+        super().__init__(
+            cache,
+            obs_ticks=obs_ticks,
+            missing_tolerance=missing_tolerance,
+            seed=seed,
+        )
+        self._venv = venv
+
+    def _block_spans(self) -> List[tuple[int, int]]:
+        """Inclusive global-tick candidate spans, one per non-empty env."""
+        spans = []
+        stride = self._venv.tick_stride
+        for i, top in enumerate(self._venv._synced):
+            first = self.obs_ticks - 1
+            last = top - 1  # t+1 must exist
+            if last >= first:
+                spans.append((i * stride + first, i * stride + last))
+        return spans
+
+    def sample_minibatch(self, n: int, max_attempts: int = 200):
+        check_positive("n", n)
+        spans = self._block_spans()
+        if not spans:
+            raise SamplerStarvedError(
+                "shared replay DB does not yet span one full observation "
+                "window in any environment"
+            )
+        from repro.replaydb.records import Minibatch, Transition
+
+        lengths = np.array([last - first + 1 for first, last in spans])
+        cum = np.cumsum(lengths)
+        collected: list[Transition] = []
+        needed = n
+        attempts = 0
+        while needed > 0:
+            attempts += 1
+            if attempts > max_attempts:
+                raise SamplerStarvedError(
+                    f"could not fill a minibatch of {n} after "
+                    f"{max_attempts} rounds; too many incomplete timestamps"
+                )
+            # Uniform over the concatenation of all candidate spans.
+            flat = self.rng.integers(0, int(cum[-1]), size=needed)
+            for idx in flat:
+                b = int(np.searchsorted(cum, idx, side="right"))
+                offset_in_block = int(idx) - (int(cum[b - 1]) if b else 0)
+                t = spans[b][0] + offset_in_block
+                tr = self.transition_at(t)
+                if tr is not None:
+                    collected.append(tr)
+            needed = n - len(collected)
+        collected = collected[:n]
+        return Minibatch(
+            s_t=np.stack([t.s_t for t in collected]),
+            s_next=np.stack([t.s_next for t in collected]),
+            actions=np.array([t.action for t in collected], dtype=np.int64),
+            rewards=np.array([t.reward for t in collected], dtype=np.float64),
+        )

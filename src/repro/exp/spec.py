@@ -20,7 +20,10 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.cluster import Cluster, ClusterConfig
-from repro.env.tuning_env import EnvConfig, StorageTuningEnv
+from repro.env.protocol import Environment
+from repro.env.registry import make_env
+from repro.env.tuning_env import EnvConfig
+from repro.env.vector import VectorEnv
 from repro.rl.hyperparams import Hyperparameters
 from repro.workloads import FileServer, RandomReadWrite, SequentialWrite
 from repro.workloads.base import Workload
@@ -132,13 +135,24 @@ class RunBudget:
 class ExperimentSpec:
     """One tuning session, fully determined by plain data.
 
-    Two sources for the environment are supported:
+    Environments are named through the registry in
+    :mod:`repro.env.registry` (``env`` field, default ``"sim-lustre"``).
+    For the sim-lustre reference backend two configuration sources are
+    supported:
 
     - inline: ``cluster`` + ``workload`` + ``hp`` (+ ``objective_factory``,
       which must be a module-level callable so it pickles by reference);
     - a ``conf_path`` pointing at an appendix-A.3 style conf.py; workers
       re-load the file themselves, so nothing unpicklable crosses the
       process boundary.
+
+    Any other registered backend is built as
+    ``make_env(env, seed=seed, **env_kwargs)``.
+
+    ``n_envs > 1`` builds a :class:`~repro.env.vector.VectorEnv` over
+    independently-seeded replicas (``vector_backend`` picks serial or
+    fork stepping) — the paper's many-agents-one-engine topology, used
+    by the ``capes`` tuner for vectorized experience collection.
 
     ``seed`` seeds both the environment rebuild and the tuner, exactly
     as the existing drivers did; sub-streams are derived inside those
@@ -148,6 +162,14 @@ class ExperimentSpec:
     tuner: str = "capes"
     seed: int = 0
     scenario: str = ""
+    #: Environment registry key (repro.env.registry).
+    env: str = "sim-lustre"
+    #: Constructor kwargs for non-sim-lustre backends.
+    env_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Vectorized collection: replicas stepped in lockstep (1 = plain).
+    n_envs: int = 1
+    #: VectorEnv backend: "serial" or "fork".
+    vector_backend: str = "serial"
     workload: WorkloadSpec = field(
         default_factory=lambda: WorkloadSpec(
             "random_rw", {"read_fraction": 0.1, "instances_per_client": 5}
@@ -193,8 +215,32 @@ class ExperimentSpec:
             kwargs["objective_factory"] = self.objective_factory
         return EnvConfig(**kwargs)
 
-    def build_env(self) -> StorageTuningEnv:
-        return StorageTuningEnv(self.env_config())
+    def build_env(self) -> Environment:
+        """Instantiate the named environment (vectorized when asked).
+
+        Returns a single :class:`~repro.env.protocol.Environment` for
+        ``n_envs == 1`` and a :class:`~repro.env.vector.VectorEnv` over
+        :func:`~repro.env.vector.vector_seeds`-derived replicas
+        otherwise.
+        """
+        if self.n_envs < 1:
+            raise ValueError(f"n_envs must be >= 1, got {self.n_envs}")
+        if self.env == "sim-lustre":
+            cfg = self.env_config()
+            if self.n_envs == 1:
+                return make_env(self.env, config=cfg)
+            return VectorEnv.from_config(
+                cfg, self.n_envs, backend=self.vector_backend
+            )
+        if self.n_envs == 1:
+            return make_env(self.env, seed=self.seed, **self.env_kwargs)
+        return VectorEnv.from_registry(
+            self.env,
+            self.n_envs,
+            base_seed=self.seed,
+            backend=self.vector_backend,
+            env_kwargs=dict(self.env_kwargs),
+        )
 
     def build_tuner(self):
         from repro.exp.tuners import make_tuner
@@ -223,6 +269,10 @@ class ExperimentSpec:
             "seed": self.seed,
             "scenario": self.scenario,
             "spec_id": self.spec_id,
+            "env": self.env,
+            "env_kwargs": dict(self.env_kwargs),
+            "n_envs": self.n_envs,
+            "vector_backend": self.vector_backend,
             "workload": None if from_conf else self.workload.to_dict(),
             "cluster": None if from_conf else asdict(self.cluster),
             "hp": None if from_conf else asdict(self.hp),

@@ -30,10 +30,13 @@ from repro.baselines import (
     StaticBaseline,
 )
 from repro.core.session import CapesSession
-from repro.env.tuning_env import StorageTuningEnv
+from repro.env.protocol import Environment
+from repro.env.vector import VectorEnv, per_env_rngs
 from repro.exp.spec import RunBudget
+from repro.rl.agent import DQNAgent
 from repro.stats import compare_measurements
 from repro.stats.summary import Comparison
+from repro.util.rng import derive_rng, ensure_rng
 
 
 @dataclass
@@ -106,16 +109,21 @@ class RunResult:
 
 @runtime_checkable
 class Tuner(Protocol):
-    """Anything that can tune an environment within a budget."""
+    """Anything that can tune an environment within a budget.
+
+    ``env`` is any :class:`~repro.env.protocol.Environment` — the
+    protocol is structural, so the concrete ``"sim-lustre"`` class and
+    any future registered backend both satisfy it.
+    """
 
     name: str
 
-    def run(self, env: StorageTuningEnv, budget: RunBudget) -> RunResult:
+    def run(self, env: Environment, budget: RunBudget) -> RunResult:
         ...  # pragma: no cover - protocol
 
 
 def _measure_pair(
-    env: StorageTuningEnv,
+    env: Environment,
     eval_ticks: int,
     tuned_params: Dict[str, float],
 ) -> tuple:
@@ -152,7 +160,9 @@ class CapesTuner:
         self.loss = loss
         self.greedy_eval = greedy_eval
 
-    def run(self, env: StorageTuningEnv, budget: RunBudget) -> RunResult:
+    def run(self, env: Environment, budget: RunBudget) -> RunResult:
+        if isinstance(env, VectorEnv):
+            return self._run_vector(env, budget)
         session = CapesSession(
             env,
             seed=self.seed,
@@ -192,6 +202,85 @@ class CapesTuner:
             extra=extra,
         )
 
+    def _run_vector(self, venv: VectorEnv, budget: RunBudget) -> RunResult:
+        """Many clusters, one engine: vectorized online training.
+
+        Every action tick the single DQN prices all N stacked
+        observations with one batched forward pass, each cluster steps
+        its chosen action, all transitions fan into the shared Replay
+        DB, and the configured number of SGD steps runs against it — so
+        each gradient step sees N clusters' worth of fresh experience.
+        ε anneals per action tick (system time), and each cluster draws
+        exploration from its own derived stream, so cluster i's random
+        actions do not depend on the fleet size.  Checkpoints measure
+        baseline/tuned on cluster 0, the reference system.
+        """
+        root = ensure_rng(self.seed)
+        agent = DQNAgent(
+            obs_dim=venv.obs_dim,
+            n_actions=venv.n_actions,
+            hp=venv.hp,
+            loss=self.loss,
+            rng=derive_rng(root, "agent"),
+        )
+        sampler = venv.make_sampler(
+            seed=int(derive_rng(root, "sampler").integers(2**31))
+        )
+        act_rngs = per_env_rngs(self.seed, venv.n_envs)
+        obs = venv.reset()
+        phases: List[PhaseResult] = []
+        trained = 0
+        first_loss = last_loss = None
+        for segment in budget.segments:
+            # Per-segment window, matching the single-env path: the
+            # reported last-100 mean never reaches into older segments.
+            seg_losses: List[float] = []
+            for _ in range(segment):
+                actions = agent.act_batch(obs, rngs=act_rngs)
+                obs, _rewards, _infos = venv.step(actions)
+                for _ in range(self.train_steps_per_tick):
+                    loss = agent.train_from_sampler(sampler)
+                    if loss is not None:
+                        seg_losses.append(loss)
+            trained += segment
+            if seg_losses:
+                if first_loss is None:
+                    first_loss = float(seg_losses[0])
+                last_loss = float(np.mean(seg_losses[-100:]))
+            # Checkpoint measurement on the reference cluster (env 0).
+            venv.env_method(0, "set_params", venv.action_space.defaults())
+            baseline = venv.env_method(0, "run_ticks", budget.eval_ticks)
+            tuned = np.zeros(budget.eval_ticks)
+            eval_obs = venv.env_method(0, "current_observation")
+            for i in range(budget.eval_ticks):
+                action = int(agent.act(eval_obs, greedy=self.greedy_eval))
+                eval_obs, reward, _info = venv.env_method(0, "step", action)
+                tuned[i] = reward
+            phases.append(
+                PhaseResult(
+                    trained_ticks=trained,
+                    baseline_rewards=baseline,
+                    tuned_rewards=tuned,
+                    final_params=venv.env_method(0, "current_params"),
+                )
+            )
+            # The checkpoint drove cluster 0 out of lockstep; the next
+            # training segment must act on its *current* state, not the
+            # pre-measurement one (mirrors the single-env session, which
+            # refreshes its observation after measuring).
+            obs = venv.refresh_observation(0)
+        extra: Dict[str, Any] = {"n_envs": venv.n_envs}
+        if first_loss is not None:
+            extra["loss_first"] = first_loss
+            extra["loss_last100_mean"] = last_loss
+        return RunResult(
+            tuner=self.name,
+            scenario=self.scenario,
+            seed=self.seed,
+            phases=phases,
+            extra=extra,
+        )
+
 
 class SearchTuner:
     """A §5 black-box searcher behind the uniform interface.
@@ -216,7 +305,12 @@ class SearchTuner:
         self.scenario = scenario
         self.tuner_kwargs = tuner_kwargs
 
-    def run(self, env: StorageTuningEnv, budget: RunBudget) -> RunResult:
+    def run(self, env: Environment, budget: RunBudget) -> RunResult:
+        if isinstance(env, VectorEnv):
+            raise TypeError(
+                f"tuner {self.name!r} searches one live system; vectorized "
+                f"collection (n_envs > 1) currently supports 'capes' only"
+            )
         searcher: BaselineTuner = self.cls(
             env,
             epoch_ticks=budget.epoch_ticks,

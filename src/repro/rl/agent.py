@@ -98,6 +98,54 @@ class DQNAgent:
         finally:
             self.online.net.train_mode()
 
+    def act_batch(
+        self,
+        obs_batch: np.ndarray,
+        greedy: bool = False,
+        rngs: Optional[List[np.random.Generator]] = None,
+    ) -> np.ndarray:
+        """Actions for a stacked ``(n, obs_dim)`` observation batch.
+
+        One forward pass prices every environment's actions at once —
+        the vectorized-collection hot path — instead of n single-row
+        inferences.  Under ``greedy=True`` this returns exactly
+        ``[act(o, greedy=True) for o in obs_batch]``: the network is
+        switched to eval mode for the whole batch (running statistics,
+        never the batch's own), and per-row Q-values match the
+        single-row path to the last ulp that matters for the argmax.
+
+        Exploration uses ``rngs`` — one generator per environment, e.g.
+        from :func:`repro.env.vector.per_env_rngs` — so each cluster's
+        random-action stream is independent of the vector size; without
+        ``rngs`` all rows share the agent's own generator.  ε anneals
+        once per call: a batch is one action tick of system time, not n.
+        """
+        obs_batch = np.asarray(obs_batch, dtype=np.float64)
+        if obs_batch.ndim != 2:
+            raise ValueError(
+                f"obs_batch must be (n, obs_dim), got shape {obs_batch.shape}"
+            )
+        n = obs_batch.shape[0]
+        if rngs is not None and len(rngs) != n:
+            raise ValueError(
+                f"got {len(rngs)} rng streams for a batch of {n}"
+            )
+        self.actions_taken += n
+        self.online.net.eval_mode()
+        try:
+            q = self.online.q_values(obs_batch)  # (n, A)
+        finally:
+            self.online.net.train_mode()
+        actions = np.argmax(q, axis=1).astype(np.int64)
+        if not greedy:
+            eps = self.epsilon.step()
+            streams = rngs if rngs is not None else [self.rng] * n
+            for i, stream in enumerate(streams):
+                if stream.random() < eps:
+                    self.random_actions_taken += 1
+                    actions[i] = int(stream.integers(self.n_actions))
+        return actions
+
     def notify_workload_change(self) -> None:
         """§3.6: bump ε when the Interface Daemon reports a new workload."""
         self.epsilon.bump()

@@ -64,6 +64,22 @@ class RingBuffer:
         for row in np.asarray(rows):
             self.append(row)
 
+    def copy_into(self, out: np.ndarray) -> int:
+        """Write retained rows, oldest first, into ``out[:len(self)]``.
+
+        Allocation-free counterpart of :meth:`view` for hot loops that
+        reuse one destination buffer; returns the number of rows
+        written.  ``out`` must hold at least ``len(self)`` rows.
+        """
+        n = self._size
+        if n < self.capacity:
+            out[:n] = self._data[:n]
+        else:
+            tail = self.capacity - self._head
+            out[:tail] = self._data[self._head :]
+            out[tail:n] = self._data[: self._head]
+        return n
+
     def view(self) -> np.ndarray:
         """Return retained rows, oldest first.  Always a copy."""
         if self._size < self.capacity:

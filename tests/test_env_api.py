@@ -1,0 +1,216 @@
+"""Tests for the pluggable environment API (repro.env).
+
+The layer's contract: the ``Environment`` protocol is structural (bare
+``StorageTuningEnv`` construction keeps working — the deprecation
+shim), the registry round-trips names through specs and pickling, and
+``DQNAgent.act_batch`` is exactly the N-loop under greedy mode while
+per-env exploration streams stay independent of the vector size.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.env import (
+    EnvConfig,
+    Environment,
+    StorageTuningEnv,
+    env_names,
+    make_env,
+    per_env_rngs,
+    register_env,
+    vector_seeds,
+)
+from repro.exp import ExperimentSpec, WorkloadSpec
+from repro.rl import DQNAgent, Hyperparameters
+from repro.workloads import RandomReadWrite
+
+TINY_HP = Hyperparameters(
+    hidden_layer_size=8,
+    exploration_ticks=20,
+    sampling_ticks_per_observation=3,
+)
+
+
+def tiny_workload(cluster, seed):
+    return RandomReadWrite(
+        cluster, read_fraction=0.1, seed=seed, instances_per_client=2
+    )
+
+
+def tiny_config(seed: int = 0) -> EnvConfig:
+    return EnvConfig(
+        cluster=ClusterConfig(n_servers=2, n_clients=2),
+        workload_factory=tiny_workload,
+        hp=TINY_HP,
+        seed=seed,
+    )
+
+
+class TestRegistry:
+    def test_sim_lustre_registered(self):
+        assert "sim-lustre" in env_names()
+
+    def test_make_env_from_config(self):
+        env = make_env("sim-lustre", config=tiny_config())
+        assert isinstance(env, StorageTuningEnv)
+        env.close()
+
+    def test_make_env_from_field_kwargs(self):
+        env = make_env(
+            "sim-lustre",
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            workload_factory=tiny_workload,
+            hp=TINY_HP,
+            seed=3,
+        )
+        assert env.config.seed == 3
+        env.close()
+
+    def test_config_and_kwargs_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            make_env("sim-lustre", config=tiny_config(), seed=1)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown environment"):
+            make_env("real-lustre")
+
+    def test_custom_backend_registers(self):
+        sentinel = object()
+        register_env("test-backend", lambda **kw: sentinel)
+        try:
+            assert make_env("test-backend") is sentinel
+        finally:
+            from repro.env import registry
+
+            del registry._ENVS["test-backend"]
+
+    def test_name_env_spec_pickle_round_trip(self):
+        """Registry key → spec → pickle → rebuilt env, all consistent."""
+        spec = ExperimentSpec(
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            workload=WorkloadSpec(
+                "random_rw", {"read_fraction": 0.1, "instances_per_client": 2}
+            ),
+            hp=TINY_HP,
+            seed=5,
+        )
+        assert spec.env == "sim-lustre"
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.env == spec.env
+        env = clone.build_env()
+        assert isinstance(env, StorageTuningEnv)
+        assert env.config.seed == 5
+        assert clone.to_dict()["env"] == "sim-lustre"
+        env.close()
+
+
+class TestProtocol:
+    def test_storage_env_satisfies_protocol(self):
+        env = StorageTuningEnv(tiny_config())
+        assert isinstance(env, Environment)
+        env.close()
+
+    def test_bare_construction_still_works(self):
+        """Deprecation shim: pre-registry call sites are untouched."""
+        env = StorageTuningEnv(tiny_config())
+        obs = env.reset()
+        assert obs.shape == (env.obs_dim,)
+        obs2, reward, info = env.step(0)
+        assert obs2.shape == (env.obs_dim,)
+        assert info["tick"] == env.tick
+        env.close()
+
+    def test_current_observation_out_buffer_reuse(self):
+        env = StorageTuningEnv(tiny_config())
+        env.reset()
+        fresh = env.current_observation()
+        buf = np.empty(env.obs_dim)
+        got = env.current_observation(out=buf)
+        assert got is buf
+        assert np.array_equal(fresh, buf)
+        # step(out=...) fills the same buffer and returns it
+        stepped = env.step(1, out=buf)[0]
+        assert stepped is buf
+        assert np.array_equal(buf, env.current_observation())
+        env.close()
+
+    def test_out_buffer_wrong_size_rejected(self):
+        env = StorageTuningEnv(tiny_config())
+        env.reset()
+        with pytest.raises(ValueError, match="out buffer"):
+            env.current_observation(out=np.empty(3))
+        # Right-sized but non-viewable buffers would silently receive
+        # nothing (reshape copies); they must be rejected too.
+        strided = np.empty(2 * env.obs_dim)[::2]
+        with pytest.raises(ValueError, match="C-contiguous"):
+            env.current_observation(out=strided)
+        with pytest.raises(ValueError, match="float64"):
+            env.current_observation(out=np.empty(env.obs_dim, dtype=np.int64))
+        env.close()
+
+    def test_records_since(self):
+        env = StorageTuningEnv(tiny_config())
+        env.reset()
+        warm = env.records_since(-1)
+        assert [r.tick for r in warm] == list(range(1, env.tick + 1))
+        env.step(1)
+        new = env.records_since(warm[-1].tick)
+        assert [r.tick for r in new] == [env.tick]
+        env.close()
+
+
+class TestDerivedStreams:
+    def test_vector_seeds_independent_of_n(self):
+        assert vector_seeds(7, 2) == vector_seeds(7, 4)[:2]
+        assert vector_seeds(7, 3) != vector_seeds(8, 3)
+
+    def test_per_env_rngs_independent_of_n(self):
+        small = per_env_rngs(7, 2)
+        large = per_env_rngs(7, 4)
+        for a, b in zip(small, large):
+            assert np.array_equal(a.random(5), b.random(5))
+
+
+class TestActBatch:
+    def _agent(self, obs_dim=30, n_actions=5, **kw):
+        return DQNAgent(obs_dim, n_actions, hp=TINY_HP, rng=1, **kw)
+
+    def test_greedy_batch_equals_n_loop(self):
+        agent = self._agent()
+        obs = np.random.default_rng(0).normal(size=(16, 30))
+        batched = agent.act_batch(obs, greedy=True)
+        looped = [agent.act(o, greedy=True) for o in obs]
+        assert batched.tolist() == looped
+
+    def test_greedy_batch_equals_n_loop_with_batchnorm(self):
+        """The classic vectorization bug: a batch of N must use running
+        statistics in eval mode, not the batch's own."""
+        agent = self._agent(use_batchnorm=True)
+        obs = np.random.default_rng(1).normal(size=(8, 30))
+        batched = agent.act_batch(obs, greedy=True)
+        looped = [agent.act(o, greedy=True) for o in obs]
+        assert batched.tolist() == looped
+
+    def test_epsilon_steps_once_per_batch(self):
+        agent = self._agent()
+        agent.act_batch(np.zeros((4, 30)), rngs=per_env_rngs(0, 4))
+        # One batch = one action tick of system time, not four.
+        assert agent.epsilon.ticks == 1
+        assert agent.actions_taken == 4
+
+    def test_per_env_streams_unperturbed_by_vector_size(self):
+        obs2 = np.random.default_rng(2).normal(size=(2, 30))
+        obs4 = np.vstack([obs2, np.zeros((2, 30))])
+        a2 = self._agent().act_batch(obs2, rngs=per_env_rngs(0, 2))
+        a4 = self._agent().act_batch(obs4, rngs=per_env_rngs(0, 4))
+        assert a2.tolist() == a4[:2].tolist()
+
+    def test_rejects_mismatched_streams_and_shapes(self):
+        agent = self._agent()
+        with pytest.raises(ValueError, match="rng streams"):
+            agent.act_batch(np.zeros((3, 30)), rngs=per_env_rngs(0, 2))
+        with pytest.raises(ValueError, match="obs_batch"):
+            agent.act_batch(np.zeros(30))

@@ -1,0 +1,273 @@
+"""Tests for vectorized multi-cluster collection (repro.env.vector).
+
+The determinism contract: per-env trajectories from ``VectorEnv(n)``
+are byte-identical to n serial single-environment runs built with the
+same :func:`vector_seeds`-derived seeds, and the ``serial`` and
+``fork`` backends are byte-identical to each other.  Fan-in lands every
+cluster's replay records in one shared DB, block-strided so Algorithm 1
+windows never cross clusters.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.env import (
+    EnvConfig,
+    StorageTuningEnv,
+    VectorEnv,
+    vector_seeds,
+)
+from repro.exp import ExperimentSpec, RunBudget, WorkloadSpec, execute_spec
+from repro.replaydb.sampler import SamplerStarvedError
+from repro.rl import Hyperparameters
+from repro.workloads import RandomReadWrite
+
+TINY_HP = Hyperparameters(
+    hidden_layer_size=8,
+    exploration_ticks=20,
+    sampling_ticks_per_observation=3,
+)
+
+
+def tiny_workload(cluster, seed):
+    return RandomReadWrite(
+        cluster, read_fraction=0.1, seed=seed, instances_per_client=2
+    )
+
+
+def tiny_config(seed: int = 0) -> EnvConfig:
+    return EnvConfig(
+        cluster=ClusterConfig(n_servers=2, n_clients=2),
+        workload_factory=tiny_workload,
+        hp=TINY_HP,
+        seed=seed,
+    )
+
+
+def scripted_actions(venv_or_env, t: int) -> int:
+    return t % venv_or_env.n_actions
+
+
+class TestDeterminism:
+    N_TICKS = 6
+
+    def _vector_trajectory(self, n: int, backend: str):
+        venv = VectorEnv.from_config(
+            tiny_config(seed=9), n, backend=backend, tick_stride=256
+        )
+        try:
+            first = venv.reset().copy()
+            traj = []
+            for t in range(self.N_TICKS):
+                obs, rewards, _infos = venv.step(
+                    [scripted_actions(venv, t)] * n
+                )
+                traj.append((obs.copy(), rewards.copy()))
+            return first, traj
+        finally:
+            venv.close()
+
+    def test_vector_matches_serial_single_env_runs(self):
+        """The acceptance contract, n=4: byte-identical per-env runs."""
+        n = 4
+        first, traj = self._vector_trajectory(n, "serial")
+        for i, seed in enumerate(vector_seeds(9, n)):
+            env = StorageTuningEnv(replace(tiny_config(seed=9), seed=seed))
+            try:
+                assert np.array_equal(env.reset(), first[i])
+                for t in range(self.N_TICKS):
+                    obs, reward, _info = env.step(scripted_actions(env, t))
+                    assert np.array_equal(obs, traj[t][0][i])
+                    assert reward == traj[t][1][i]
+            finally:
+                env.close()
+
+    def test_serial_and_fork_backends_bit_identical(self):
+        first_s, traj_s = self._vector_trajectory(2, "serial")
+        first_f, traj_f = self._vector_trajectory(2, "fork")
+        assert np.array_equal(first_s, first_f)
+        for (obs_s, r_s), (obs_f, r_f) in zip(traj_s, traj_f):
+            assert np.array_equal(obs_s, obs_f)
+            assert np.array_equal(r_s, r_f)
+
+    def test_obs_buffer_is_reused_across_ticks(self):
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=256)
+        try:
+            first = venv.reset()
+            again, _r, _i = venv.step([0, 0])
+            assert again is first  # one preallocated (n, obs_dim) buffer
+        finally:
+            venv.close()
+
+
+class TestFanIn:
+    def test_shared_db_fan_in_counts(self):
+        n, ticks = 3, 5
+        venv = VectorEnv.from_config(tiny_config(), n, tick_stride=64)
+        try:
+            venv.reset()
+            venv.collect(ticks)
+            warm = TINY_HP.sampling_ticks_per_observation
+            expected = n * (warm + ticks)
+            assert len(venv.shared_db) == expected
+            assert venv.shared_db.record_count() == expected
+            # Each env's block holds its own local ticks.
+            cache = venv.shared_db.cache
+            for i in range(n):
+                block = [
+                    t
+                    for t in range(i * 64, (i + 1) * 64)
+                    if cache.has(t)
+                ]
+                assert len(block) == warm + ticks
+        finally:
+            venv.close()
+
+    def test_actions_arrive_in_shared_db(self):
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=64)
+        try:
+            venv.reset()
+            venv.step([1, 2])
+            # An action is recorded at the tick it was decided on; the
+            # refresh sync during the next step picks it up.
+            venv.step([3, 4])
+            cache = venv.shared_db.cache
+            warm = TINY_HP.sampling_ticks_per_observation
+            assert cache.get(warm).action == 1
+            assert cache.get(64 + warm).action == 2
+            assert cache.get(warm + 1).action == 3
+            assert cache.get(64 + warm + 1).action == 4
+        finally:
+            venv.close()
+
+    def test_strided_sampler_draws_from_every_block(self):
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=64)
+        try:
+            venv.reset()
+            venv.collect(8)
+            sampler = venv.make_sampler(seed=0)
+            batch = sampler.sample_minibatch(64)
+            assert batch.s_t.shape == (64, venv.obs_dim)
+            spans = sampler._block_spans()
+            assert len(spans) == 2
+            assert spans[0][1] < 64 <= spans[1][0]  # one span per block
+        finally:
+            venv.close()
+
+    def test_sampler_starves_before_collection(self):
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=64)
+        try:
+            venv.reset()
+            sampler = venv.make_sampler(seed=0)
+            with pytest.raises(SamplerStarvedError):
+                sampler.sample_minibatch(4)
+        finally:
+            venv.close()
+
+    def test_tick_stride_overflow_raises(self):
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=6)
+        try:
+            venv.reset()  # warm-up = 3 ticks
+            with pytest.raises(RuntimeError, match="tick_stride"):
+                venv.collect(8)
+        finally:
+            venv.close()
+
+    def test_fan_in_disabled(self):
+        venv = VectorEnv.from_config(
+            tiny_config(), 2, shared_db_path=None, tick_stride=64
+        )
+        try:
+            venv.reset()
+            venv.collect(2)
+            assert venv.shared_db is None
+            with pytest.raises(RuntimeError, match="no shared replay DB"):
+                venv.make_sampler()
+        finally:
+            venv.close()
+
+
+class TestEnvMethod:
+    def test_remote_method_and_fan_in(self):
+        venv = VectorEnv.from_config(
+            tiny_config(), 2, backend="fork", tick_stride=64
+        )
+        try:
+            venv.reset()
+            before = len(venv.shared_db)
+            rewards = venv.env_method(0, "run_ticks", 4)
+            assert rewards.shape == (4,)
+            # env 0's extra ticks were fanned in; env 1 unchanged.
+            assert len(venv.shared_db) == before + 4
+            params = venv.env_method(1, "current_params")
+            assert "max_rpcs_in_flight" in params
+        finally:
+            venv.close()
+
+    def test_bad_index_rejected(self):
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=64)
+        try:
+            with pytest.raises(IndexError):
+                venv.env_method(5, "current_params")
+            with pytest.raises(IndexError):
+                venv.refresh_observation(2)
+        finally:
+            venv.close()
+
+    @pytest.mark.parametrize("backend", ["serial", "fork"])
+    def test_refresh_observation_after_out_of_lockstep(self, backend):
+        venv = VectorEnv.from_config(
+            tiny_config(), 2, backend=backend, tick_stride=64
+        )
+        try:
+            venv.reset()
+            venv.step([0, 0])
+            venv.env_method(0, "run_ticks", 4)  # env 0 runs ahead
+            live = venv.env_method(0, "current_observation")
+            assert not np.array_equal(venv.current_observation()[0], live)
+            buf = venv.refresh_observation(0)
+            assert buf is venv.current_observation()
+            assert np.array_equal(buf[0], live)
+        finally:
+            venv.close()
+
+
+class TestVectorSpec:
+    def _spec(self, **overrides):
+        defaults = dict(
+            tuner="capes",
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            workload=WorkloadSpec(
+                "random_rw", {"read_fraction": 0.1, "instances_per_client": 2}
+            ),
+            hp=TINY_HP,
+            budget=RunBudget(train_ticks=6, eval_ticks=4, epoch_ticks=3),
+            n_envs=2,
+        )
+        defaults.update(overrides)
+        return ExperimentSpec(**defaults)
+
+    def test_vector_capes_spec_end_to_end(self):
+        result = execute_spec(self._spec())
+        assert result.extra["n_envs"] == 2
+        assert result.final.tuned_rewards.shape == (4,)
+        assert result.final.final_params
+
+    def test_vector_spec_serial_fork_identical(self):
+        a = execute_spec(self._spec(vector_backend="serial"))
+        b = execute_spec(self._spec(vector_backend="fork"))
+        assert np.array_equal(a.final.tuned_rewards, b.final.tuned_rewards)
+        assert np.array_equal(
+            a.final.baseline_rewards, b.final.baseline_rewards
+        )
+
+    def test_search_tuner_rejects_vector_env(self):
+        with pytest.raises(TypeError, match="capes"):
+            execute_spec(self._spec(tuner="random"))
+
+    def test_spec_n_envs_validation(self):
+        with pytest.raises(ValueError, match="n_envs"):
+            self._spec(n_envs=0).build_env()
