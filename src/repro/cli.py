@@ -14,6 +14,8 @@ so the equivalent surface is a single CLI over a conf.py:
                                  --tuners capes,random --seeds 0-4 --jobs 4
     python -m repro.cli sweep    --config conf.py --env sim-lustre \
                                  --n-envs 4 --vector-backend fork
+    python -m repro.cli sweep    --config conf.py \
+                                 --scenario sim-lustre-bursty --seeds 0-4
     python -m repro.cli window-sweep --config conf.py --window 1,2,4,8,16
 
 ``train`` runs an online training session and saves the model;
@@ -21,15 +23,18 @@ so the equivalent surface is a single CLI over a conf.py:
 measures the untouched system; ``sweep`` fans a multi-tuner,
 multi-seed experiment grid out through
 :class:`~repro.exp.runner.ExperimentRunner` — ``--env`` names any
-registered environment backend and ``--n-envs N`` trains each CAPES
+registered environment backend, ``--n-envs N`` trains each CAPES
 run against N lockstep clusters fanning experience into one shared
-replay DB; ``window-sweep`` does a static parameter sweep (the
+replay DB, and ``--scenario NAME`` (when NAME is registered in
+:mod:`repro.scenarios`) runs every session against that fault/
+perturbation timeline; ``window-sweep`` does a static parameter sweep (the
 tweak-benchmark loop CAPES replaces, useful for ground truth).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -151,9 +156,64 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.scenarios import scenario_names
+
+    scenario_kwargs = {}
+    if args.scenario_kwargs:
+        try:
+            scenario_kwargs = json.loads(args.scenario_kwargs)
+        except json.JSONDecodeError as exc:
+            print(f"bad --scenario-kwargs JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(scenario_kwargs, dict):
+            print(
+                f"bad --scenario-kwargs: expected a JSON object, got "
+                f"{type(scenario_kwargs).__name__}",
+                file=sys.stderr,
+            )
+            return 2
+    # The timeline may be named either way: --scenario NAME, or a
+    # scenario-named --env (spec.build_env reroutes the latter).
+    if args.scenario in scenario_names():
+        effective_scenario = args.scenario
+        if args.env not in ("sim-lustre", args.scenario):
+            print(
+                f"--scenario {args.scenario!r} attaches through the "
+                f"sim-lustre backend; it cannot combine with "
+                f"--env {args.env!r}",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.env in scenario_names():
+        effective_scenario = args.env
+    else:
+        effective_scenario = None
+    if effective_scenario is not None:
+        from repro.scenarios import make_scenario
+
+        try:
+            # Fail fast on factory-kwarg typos and bad values here, not
+            # per-run deep inside the worker pool.
+            make_scenario(effective_scenario, **scenario_kwargs)
+        except (TypeError, ValueError) as exc:
+            print(f"bad --scenario-kwargs: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"scenario {effective_scenario!r}: perturbation timeline "
+            f"attached to every run"
+        )
+    elif scenario_kwargs:
+        print(
+            f"--scenario-kwargs needs a registered scenario, but "
+            f"{args.scenario!r} is only a label; registered: "
+            f"{scenario_names()}",
+            file=sys.stderr,
+        )
+        return 2
     base = ExperimentSpec(
         conf_path=args.config,
         scenario=args.scenario,
+        scenario_kwargs=scenario_kwargs,
         env=args.env,
         n_envs=args.n_envs,
         vector_backend=args.vector_backend,
@@ -295,7 +355,18 @@ def make_parser() -> argparse.ArgumentParser:
         help="ticks per search-tuner evaluation epoch",
     )
     p.add_argument(
-        "--scenario", default="conf", help="scenario label for the report"
+        "--scenario",
+        default="conf",
+        help="report label; a registered scenario name (see "
+        "repro.scenarios.scenario_names(), e.g. 'sim-lustre-bursty') "
+        "additionally attaches that fault/perturbation timeline to "
+        "every run's environment",
+    )
+    p.add_argument(
+        "--scenario-kwargs",
+        default=None,
+        help="JSON object of factory knobs for a registered --scenario, "
+        "e.g. '{\"start_tick\": 100}' (event timings are env ticks)",
     )
     p.add_argument(
         "--artifacts", default=None, help="directory for per-run JSONL"

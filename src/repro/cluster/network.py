@@ -21,7 +21,7 @@ the Ack-EWMA performance indicator picks up as congestion builds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.engine import Event, Simulator
 from repro.util.units import mb_per_s
@@ -105,6 +105,15 @@ class Fabric:
 
     def ingress_link(self, node_id: Any) -> Link:
         return self._ingress[node_id]
+
+    def links(self) -> List[Link]:
+        """Every registered link (egress then ingress, insertion order).
+
+        The mutation surface fabric-wide perturbations act on — e.g.
+        :class:`repro.scenarios.events.NetworkCongestionWindow` scales
+        each link's bandwidth for a bounded window.
+        """
+        return list(self._egress.values()) + list(self._ingress.values())
 
     def ping_rtt_estimate(self, src: Any, dst: Any, probe_bytes: int = 256) -> float:
         """Instantaneous RTT estimate for a small probe, *including* the

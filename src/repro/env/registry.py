@@ -11,15 +11,23 @@ and returns an object satisfying :class:`~repro.env.protocol.Environment`.
 The reference implementation — the simulated Lustre cluster of
 :class:`~repro.env.tuning_env.StorageTuningEnv` — registers as
 ``"sim-lustre"`` and accepts either a ready ``config=EnvConfig`` or the
-:class:`~repro.env.tuning_env.EnvConfig` fields as plain kwargs.
+:class:`~repro.env.tuning_env.EnvConfig` fields as plain kwargs, plus
+``scenario=``/``scenario_kwargs=`` to attach a fault/perturbation
+timeline from :mod:`repro.scenarios`.  Every registered scenario name
+doubles as an environment key (``make_env("sim-lustre-degraded",
+seed=S)`` works standalone, with a default 1:9 random R/W workload).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+import functools
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.env.protocol import Environment
 from repro.env.tuning_env import EnvConfig, StorageTuningEnv
+from repro.scenarios.registry import make_scenario, scenario_names
+from repro.scenarios.scenario import Scenario
 
 EnvFactory = Callable[..., Environment]
 
@@ -32,32 +40,125 @@ def register_env(name: str, factory: EnvFactory) -> None:
 
 
 def env_names() -> List[str]:
-    return sorted(_ENVS)
+    # Scenario names resolve dynamically (see make_env), so scenarios
+    # registered after this module imported are env keys too.
+    return sorted(set(_ENVS) | set(scenario_names()))
 
 
 def make_env(name: str, **cfg: Any) -> Environment:
-    """Instantiate a registered environment backend by name."""
-    try:
-        factory = _ENVS[name]
-    except KeyError:
+    """Instantiate a registered environment backend by name.
+
+    Every registered *scenario* name is also an environment key: it
+    builds the sim-lustre reference backend with that scenario
+    attached (resolved at call time, so user scenarios registered via
+    :func:`repro.scenarios.register_scenario` work immediately).
+    """
+    factory = _ENVS.get(name)
+    if factory is None and name in scenario_names():
+        factory = functools.partial(_make_sim_lustre_scenario, name)
+    if factory is None:
         raise KeyError(
             f"unknown environment {name!r}; registered: {env_names()}"
-        ) from None
+        )
     return factory(**cfg)
 
 
+def _resolve_scenario(
+    scenario: Union[str, Scenario, None],
+    scenario_kwargs: Optional[Dict[str, Any]],
+) -> Optional[Scenario]:
+    """Accept a registered name, a ready Scenario, or nothing."""
+    if scenario is None:
+        if scenario_kwargs:
+            raise ValueError(
+                "scenario_kwargs given without a scenario to apply them to"
+            )
+        return None
+    if isinstance(scenario, Scenario):
+        if scenario_kwargs:
+            raise ValueError(
+                "pass scenario_kwargs only with a scenario *name*; a ready "
+                "Scenario object is already fully built"
+            )
+        return scenario
+    return make_scenario(scenario, **(scenario_kwargs or {}))
+
+
 def _make_sim_lustre(
-    config: EnvConfig | None = None, **kwargs: Any
+    config: EnvConfig | None = None,
+    scenario: Union[str, Scenario, None] = None,
+    scenario_kwargs: Optional[Dict[str, Any]] = None,
+    **kwargs: Any,
 ) -> StorageTuningEnv:
-    """``"sim-lustre"``: the simulated Lustre cluster reference backend."""
+    """``"sim-lustre"``: the simulated Lustre cluster reference backend.
+
+    ``scenario`` attaches a fault/perturbation timeline — a registered
+    scenario name (``scenario_kwargs`` forwarded to its factory) or a
+    ready :class:`~repro.scenarios.scenario.Scenario`; it composes with
+    both configuration styles (``config=`` or plain EnvConfig kwargs).
+    """
+    scen = _resolve_scenario(scenario, scenario_kwargs)
     if config is not None:
         if kwargs:
             raise ValueError(
                 "pass either config=EnvConfig(...) or EnvConfig field "
                 f"kwargs, not both (got extra {sorted(kwargs)})"
             )
+        if scen is not None:
+            if config.scenario is not None:
+                raise ValueError(
+                    f"config already carries scenario "
+                    f"{config.scenario.name!r}; refusing to overwrite it "
+                    f"with {scen.name!r} (compose them explicitly instead)"
+                )
+            config = replace(config, scenario=scen)
         return StorageTuningEnv(config)
+    if scen is not None:
+        kwargs["scenario"] = scen
+        # A scenario run is meaningful without hand-picking a workload;
+        # default to the Figure 2 best-case mix, exactly as the
+        # scenario-named environment keys do.
+        kwargs.setdefault("workload_factory", _default_workload)
     return StorageTuningEnv(EnvConfig(**kwargs))
 
 
+def _default_workload(cluster, seed: int):
+    """Figure 2 best-case mix: 1:9 random R:W, five threads per client.
+
+    Module-level so scenario-named environments built without an
+    explicit ``workload_factory`` still pickle by reference across
+    worker processes.
+    """
+    from repro.workloads import RandomReadWrite
+
+    return RandomReadWrite(
+        cluster, read_fraction=0.1, seed=seed, instances_per_client=5
+    )
+
+
+def _make_sim_lustre_scenario(
+    scenario_name: str,
+    config: EnvConfig | None = None,
+    scenario_kwargs: Optional[Dict[str, Any]] = None,
+    **kwargs: Any,
+) -> StorageTuningEnv:
+    """A sim-lustre cluster with a named scenario pre-attached.
+
+    ``make_env("sim-lustre-degraded", seed=S)`` works standalone:
+    whenever a scenario is attached without an explicit
+    ``workload_factory``, :func:`_make_sim_lustre` fills in the default
+    1:9 random read/write workload.
+    """
+    return _make_sim_lustre(
+        config=config,
+        scenario=scenario_name,
+        scenario_kwargs=scenario_kwargs,
+        **kwargs,
+    )
+
+
 register_env("sim-lustre", _make_sim_lustre)
+# Every scenario name doubles as an environment key ("sim-lustre-
+# degraded" builds sim-lustre with the degraded-disk timeline
+# attached); make_env/env_names resolve them dynamically against the
+# scenario registry, so nothing is registered here.

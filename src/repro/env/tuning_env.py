@@ -30,6 +30,7 @@ from repro.replaydb.db import ReplayDB
 from repro.replaydb.records import TickRecord
 from repro.replaydb.sampler import MinibatchSampler
 from repro.rl.hyperparams import Hyperparameters
+from repro.scenarios.scenario import Scenario, ScenarioRuntime
 from repro.sim.engine import Simulator
 from repro.telemetry.indicators import frame_width
 from repro.telemetry.monitor import MonitoringAgent
@@ -65,6 +66,10 @@ class EnvConfig:
     time_epoch_offset: float = 0.0
     #: Inject §4.2-style background network interference.
     enable_noise: bool = False
+    #: Scheduled fault/perturbation timeline (repro.scenarios); the
+    #: runtime is rebuilt on every reset with a stream derived from
+    #: ``seed``, so scenario runs replay bit-identically.
+    scenario: Optional[Scenario] = None
 
 
 class StorageTuningEnv:
@@ -102,6 +107,7 @@ class StorageTuningEnv:
         self.db: Optional[ReplayDB] = None
         self.reward_source: Optional[TickRewardSource] = None
         self.monitors: List[MonitoringAgent] = []
+        self.scenario_runtime: Optional[ScenarioRuntime] = None
         self.tick = 0
         self._drop_rng = None
 
@@ -208,6 +214,17 @@ class StorageTuningEnv:
                 self.cluster, seed=derive_rng(root, "noise")
             )
         self._drop_rng = derive_rng(root, "drops")
+        self.scenario_runtime = None
+        if cfg.scenario is not None:
+            # Derived from this environment's own seed: replica i of a
+            # vectorized fleet perturbs on a stream that depends only
+            # on (base_seed, i), never on the fleet size.  The key is
+            # deliberately name-free so composing scenarios (which
+            # renames, e.g. "a+b") cannot re-shuffle the event streams
+            # of the timeline that was already there.
+            self.scenario_runtime = ScenarioRuntime(
+                cfg.scenario, self, derive_rng(root, "scenario")
+            )
         self.tick = 0
         # Warm-up: collect a full observation window under NULL actions.
         # Under heavy monitoring-message loss every warm-up tick can be
@@ -234,6 +251,11 @@ class StorageTuningEnv:
 
     def _advance_one_tick(self) -> float:
         self.tick += 1
+        if self.scenario_runtime is not None:
+            # Perturbations land before the tick's interval runs, so
+            # tick ``t``'s I/O (and its monitoring frame) already sees
+            # an event scheduled ``at_tick=t``.
+            self.scenario_runtime.on_tick(self.tick)
         self.sim.run(until=self.tick * self.hp.sampling_tick_length)
         for monitor in self.monitors:
             msg = monitor.sample_once(self.tick)

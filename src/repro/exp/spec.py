@@ -161,7 +161,15 @@ class ExperimentSpec:
 
     tuner: str = "capes"
     seed: int = 0
+    #: Report label — and, when it names a registered scenario
+    #: (repro.scenarios), the fault/perturbation timeline attached to
+    #: the built environment: ``scenario="sim-lustre-bursty"`` runs the
+    #: session against the bursty-network condition.  Unregistered
+    #: strings stay pure labels (grid() scenario axes, conf sweeps).
     scenario: str = ""
+    #: Factory knobs for a *registered* scenario (e.g. event timing);
+    #: rejected when ``scenario`` is only a label.
+    scenario_kwargs: Dict[str, Any] = field(default_factory=dict)
     #: Environment registry key (repro.env.registry).
     env: str = "sim-lustre"
     #: Constructor kwargs for non-sim-lustre backends.
@@ -196,13 +204,38 @@ class ExperimentSpec:
         return f"{scen}/{self.tuner}/seed{self.seed}"
 
     # -- environment construction ---------------------------------------
+    def scenario_object(self):
+        """The registered :class:`~repro.scenarios.scenario.Scenario`
+        this spec names, or ``None`` when ``scenario`` is only a label.
+        """
+        from repro.scenarios import make_scenario, scenario_names
+
+        if self.scenario and self.scenario in scenario_names():
+            return make_scenario(self.scenario, **self.scenario_kwargs)
+        if self.scenario_kwargs:
+            raise KeyError(
+                f"scenario_kwargs given but {self.scenario!r} is not a "
+                f"registered scenario; registered: {scenario_names()}"
+            )
+        return None
+
     def env_config(self) -> EnvConfig:
         if self.conf_path is not None:
             from repro.core.config import load_config
 
             cfg = load_config(self.conf_path).env
+            spec_scenario = self.scenario_object()
+            if spec_scenario is not None and cfg.scenario is not None:
+                raise ValueError(
+                    f"conf {self.conf_path!r} already carries scenario "
+                    f"{cfg.scenario.name!r}; refusing to overwrite it with "
+                    f"{spec_scenario.name!r} (drop one, or compose them)"
+                )
             return replace(
-                cfg, seed=self.seed, perturb_seed=self.perturb_seed
+                cfg,
+                seed=self.seed,
+                perturb_seed=self.perturb_seed,
+                scenario=spec_scenario or cfg.scenario,
             )
         kwargs: Dict[str, Any] = dict(
             cluster=self.cluster,
@@ -210,6 +243,7 @@ class ExperimentSpec:
             hp=self.hp,
             seed=self.seed,
             perturb_seed=self.perturb_seed,
+            scenario=self.scenario_object(),
         )
         if self.objective_factory is not None:
             kwargs["objective_factory"] = self.objective_factory
@@ -225,12 +259,45 @@ class ExperimentSpec:
         """
         if self.n_envs < 1:
             raise ValueError(f"n_envs must be >= 1, got {self.n_envs}")
+        from repro.scenarios import scenario_names
+
+        if self.env != "sim-lustre" and self.env in scenario_names():
+            # A scenario-named environment is sim-lustre plus that
+            # timeline.  Re-route through the sim-lustre config path so
+            # the conf/inline cluster-workload-hp configuration applies
+            # (the generic registry branch below would rebuild from
+            # EnvConfig defaults and misdescribe the run).  Any
+            # scenario_kwargs parametrize this scenario.
+            if self.scenario in scenario_names() and (
+                self.scenario != self.env
+            ):
+                raise ValueError(
+                    f"env={self.env!r} names one scenario but "
+                    f"scenario={self.scenario!r} names another; pick one"
+                )
+            return replace(
+                self, env="sim-lustre", scenario=self.env
+            ).build_env()
         if self.env == "sim-lustre":
+            if self.env_kwargs:
+                raise ValueError(
+                    "env_kwargs are constructor kwargs for non-sim-lustre "
+                    "backends; the sim-lustre path is configured through "
+                    "the cluster/workload/hp fields (or conf_path), so "
+                    f"{sorted(self.env_kwargs)} would be silently ignored"
+                )
             cfg = self.env_config()
             if self.n_envs == 1:
                 return make_env(self.env, config=cfg)
             return VectorEnv.from_config(
                 cfg, self.n_envs, backend=self.vector_backend
+            )
+        if self.scenario_object() is not None:
+            raise ValueError(
+                f"scenario {self.scenario!r} attaches through the "
+                f"sim-lustre config path; with env={self.env!r} either "
+                f"keep env='sim-lustre' or name the scenario environment "
+                f"directly (env={self.scenario!r})"
             )
         if self.n_envs == 1:
             return make_env(self.env, seed=self.seed, **self.env_kwargs)
@@ -268,6 +335,7 @@ class ExperimentSpec:
             "tuner": self.tuner,
             "seed": self.seed,
             "scenario": self.scenario,
+            "scenario_kwargs": dict(self.scenario_kwargs),
             "spec_id": self.spec_id,
             "env": self.env,
             "env_kwargs": dict(self.env_kwargs),
@@ -302,6 +370,17 @@ def grid(
     expansion order is deterministic (workload-major, then tuner, then
     seed) so artifact indices are stable across runs.
     """
+    from repro.scenarios import scenario_names
+
+    if workloads is not None and base.scenario in scenario_names():
+        # The workloads axis relabels each spec's scenario field, which
+        # would silently replace the registered perturbation timeline
+        # with a plain label and run every session unperturbed.
+        raise ValueError(
+            f"base spec attaches scenario {base.scenario!r}, but a "
+            f"workloads axis overwrites the scenario field with its "
+            f"labels; run one grid per scenario instead"
+        )
     tuner_list = list(tuners) if tuners is not None else [base.tuner]
     seed_list = list(seeds) if seeds is not None else [base.seed]
     wl_list = (

@@ -33,7 +33,11 @@ class ReplayCache:
         self._frames = np.zeros((capacity, frame_width), dtype=np.float64)
         self._actions = np.full(capacity, -1, dtype=np.int64)
         self._rewards = np.zeros(capacity, dtype=np.float64)
-        self._valid = np.zeros(capacity, dtype=bool)
+        # Which tick each slot holds (-1 = never written).  This is the
+        # single source of occupancy truth: after the ring wraps, a
+        # tick that was never stored (dropped on the monitoring network)
+        # must not resolve to the stale record its slot still holds.
+        self._ticks = np.full(capacity, -1, dtype=np.int64)
         self._min_tick: Optional[int] = None
         self._max_tick: Optional[int] = None
         self._count = 0
@@ -72,12 +76,12 @@ class ReplayCache:
                 f"(newest is {self._max_tick})"
             )
         slot = self._slot(tick)
-        if not self._valid[slot]:
+        if self._ticks[slot] < 0:
             self._count += 1
         self._frames[slot] = frame
         self._actions[slot] = record.action
         self._rewards[slot] = record.reward
-        self._valid[slot] = True
+        self._ticks[slot] = tick
         if self._max_tick is None or tick > self._max_tick:
             self._max_tick = tick
         if self._min_tick is None or tick < self._min_tick:
@@ -89,23 +93,24 @@ class ReplayCache:
 
     def set_action(self, tick: int, action: int) -> None:
         """Attach the action taken at ``tick`` (arrives separately)."""
-        slot = self._slot(int(tick))
-        if not self._valid[slot]:
+        if not self.has(int(tick)):
             raise KeyError(f"no frame stored for tick {tick}")
-        self._actions[slot] = int(action)
+        self._actions[self._slot(int(tick))] = int(action)
 
     def set_reward(self, tick: int, reward: float) -> None:
-        slot = self._slot(int(tick))
-        if not self._valid[slot]:
+        if not self.has(int(tick)):
             raise KeyError(f"no frame stored for tick {tick}")
-        self._rewards[slot] = float(reward)
+        self._rewards[self._slot(int(tick))] = float(reward)
 
     def has(self, tick: int) -> bool:
         if tick < 0 or self._max_tick is None:
             return False
         if tick > self._max_tick or tick <= self._max_tick - self.capacity:
             return False
-        return bool(self._valid[self._slot(tick)])
+        # The slot must hold *this* tick's record: once the ring wraps,
+        # a dropped tick's slot still carries the record from one
+        # capacity earlier, which must read as missing, not stale.
+        return bool(self._ticks[self._slot(tick)] == tick)
 
     def get(self, tick: int) -> TickRecord:
         if not self.has(tick):
@@ -141,5 +146,5 @@ class ReplayCache:
             self._frames.nbytes
             + self._actions.nbytes
             + self._rewards.nbytes
-            + self._valid.nbytes
+            + self._ticks.nbytes
         )

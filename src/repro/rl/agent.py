@@ -14,7 +14,8 @@ performance one second later".
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Deque, List, Optional
 
 import numpy as np
 
@@ -41,6 +42,7 @@ class DQNAgent:
         loss: str = "mse",
         double_dqn: bool = False,
         use_batchnorm: bool = False,
+        loss_history_limit: int = 100_000,
         rng=None,
     ):
         self.hp = hp or Hyperparameters()
@@ -68,7 +70,18 @@ class DQNAgent:
             anneal_ticks=self.hp.exploration_ticks,
             bump_value=self.hp.epsilon_workload_bump,
         )
-        self.loss_history: List[float] = []
+        if loss_history_limit <= 0:
+            raise ValueError(
+                f"loss_history_limit must be > 0, got {loss_history_limit}"
+            )
+        #: Rolling prediction-error trace (Figure 5).  Bounded: a long
+        #: vectorized sweep performs millions of train steps, and an
+        #: unbounded list grew without limit.  The window keeps the most
+        #: recent ``loss_history_limit`` losses — far more than any
+        #: Figure 5 trace plots — while per-call traces
+        #: (:class:`~repro.core.session.TrainResult.losses`) remain
+        #: complete and unaffected.
+        self.loss_history: Deque[float] = deque(maxlen=int(loss_history_limit))
         self.train_steps = 0
         self.actions_taken = 0
         self.random_actions_taken = 0

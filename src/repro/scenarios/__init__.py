@@ -1,0 +1,48 @@
+"""Scenario subsystem: reproducible fault/perturbation timelines.
+
+The ROADMAP's "as many scenarios as you can imagine" leg: a
+:class:`~repro.scenarios.scenario.Scenario` turns the simulated
+cluster into a generator of hard, *reproducible* workloads — degraded
+disks, congestion bursts, client churn — scheduled on the environment
+tick timeline and seeded through :func:`~repro.util.rng.derive_rng` so
+a scenario run is as bit-replayable as a steady-state one.
+
+Attach a scenario three ways:
+
+- ``EnvConfig(scenario=make_scenario("sim-lustre-bursty"))``;
+- ``make_env("sim-lustre", scenario="sim-lustre-bursty", ...)`` or the
+  pre-registered ``make_env("sim-lustre-bursty", seed=S)``;
+- ``ExperimentSpec(scenario="sim-lustre-bursty")`` /
+  ``repro sweep --scenario sim-lustre-bursty``.
+"""
+
+from repro.scenarios.events import (
+    ClientChurn,
+    DiskDegradation,
+    LoadSpike,
+    NetworkCongestionWindow,
+    ScenarioError,
+    ScenarioEvent,
+    WorkloadPhaseShift,
+)
+from repro.scenarios.registry import (
+    make_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.scenario import Scenario, ScenarioRuntime
+
+__all__ = [
+    "ClientChurn",
+    "DiskDegradation",
+    "LoadSpike",
+    "NetworkCongestionWindow",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioEvent",
+    "ScenarioRuntime",
+    "WorkloadPhaseShift",
+    "make_scenario",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,285 @@
+"""Fault and perturbation events for the simulated target system.
+
+The paper's central claim is *adaptation*: a DQN tuner keeps tuning as
+the storage system changes underneath it, where a one-shot search
+baseline goes stale.  Each :class:`ScenarioEvent` is one such change —
+a disk losing half its bandwidth, a congestion window on the fabric, a
+client leaving the cluster — applied to a live
+:class:`~repro.env.tuning_env.StorageTuningEnv` at a scheduled action
+tick.
+
+Events are frozen, picklable data: they carry *what* happens and
+*when*, never any per-run state.  Applying an event returns an undo
+callable (or ``None`` for permanent changes); the per-environment
+:class:`~repro.scenarios.scenario.ScenarioRuntime` owns that state, so
+one :class:`~repro.scenarios.scenario.Scenario` object can safely be
+shared by every replica of a vectorized fleet.
+
+Ticks are environment ticks counted from ``reset()`` — the warm-up
+window is included, so an event at tick 1 perturbs the very first
+monitored interval.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+#: Undo callable returned by ``apply``; ``None`` means permanent.
+Revert = Optional[Callable[[], None]]
+
+
+class ScenarioError(RuntimeError):
+    """An event could not be applied to this target system."""
+
+
+@dataclass(frozen=True, kw_only=True)
+class ScenarioEvent(abc.ABC):
+    """One scheduled perturbation of the target system.
+
+    ``at_tick`` is when the event fires (environment ticks since
+    reset, >= 1); ``duration_ticks``, when set, reverts the change
+    ``duration_ticks`` ticks later — the tick range
+    ``[at_tick, at_tick + duration_ticks)`` runs perturbed.
+    """
+
+    at_tick: int
+    duration_ticks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_tick < 1:
+            raise ValueError(f"at_tick must be >= 1, got {self.at_tick}")
+        if self.duration_ticks is not None and self.duration_ticks < 1:
+            raise ValueError(
+                f"duration_ticks must be >= 1 or None, got "
+                f"{self.duration_ticks}"
+            )
+
+    @abc.abstractmethod
+    def apply(self, env, rng: np.random.Generator) -> Revert:
+        """Perturb the live environment; return the undo, or ``None``.
+
+        ``env`` is duck-typed (anything with ``cluster``/``workload``/
+        ``sim``); ``rng`` is this event's private derived stream —
+        every draw must come from it so trajectories stay a pure
+        function of the environment seed.
+        """
+
+
+@dataclass(frozen=True, kw_only=True)
+class DiskDegradation(ScenarioEvent):
+    """A server's disk slows down (failing drive, RAID rebuild).
+
+    Media bandwidth is multiplied by ``throughput_factor`` and — on
+    positional (HDD) models — seek times by ``seek_factor``.  The
+    optimal congestion window shifts with the service-time balance,
+    which is exactly what a static tuner cannot follow.
+    """
+
+    server_index: int = 0
+    throughput_factor: float = 0.35
+    seek_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.throughput_factor <= 0:
+            raise ValueError("throughput_factor must be > 0")
+        if self.seek_factor <= 0:
+            raise ValueError("seek_factor must be > 0")
+
+    def apply(self, env, rng: np.random.Generator) -> Revert:
+        servers = env.cluster.servers
+        disk = servers[self.server_index % len(servers)].disk
+        disk.read_bw *= self.throughput_factor
+        disk.write_bw *= self.throughput_factor
+        positional = hasattr(disk, "min_seek")
+        if positional:
+            disk.min_seek *= self.seek_factor
+            disk.max_seek *= self.seek_factor
+
+        def revert() -> None:
+            # Undo by inverse scaling, not by restoring saved absolutes:
+            # overlapping windows on the same disk then compose
+            # multiplicatively and un-compose correctly in any order.
+            disk.read_bw /= self.throughput_factor
+            disk.write_bw /= self.throughput_factor
+            if positional:
+                disk.min_seek /= self.seek_factor
+                disk.max_seek /= self.seek_factor
+
+        return revert
+
+
+@dataclass(frozen=True, kw_only=True)
+class NetworkCongestionWindow(ScenarioEvent):
+    """External fabric congestion for a bounded window of ticks.
+
+    Every NIC link's bandwidth is multiplied by ``bandwidth_factor``
+    and the propagation latency by ``latency_factor`` — the §4.2 "not
+    located on an isolated network" interference, concentrated into a
+    burst instead of diffuse Poisson noise.
+    """
+
+    duration_ticks: Optional[int] = 20
+    bandwidth_factor: float = 0.1
+    latency_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be > 0")
+        if self.latency_factor <= 0:
+            raise ValueError("latency_factor must be > 0")
+
+    def apply(self, env, rng: np.random.Generator) -> Revert:
+        fabric = env.cluster.fabric
+        links = fabric.links()
+        for link in links:
+            link.bandwidth *= self.bandwidth_factor
+        fabric.nic_bw *= self.bandwidth_factor
+        fabric.latency *= self.latency_factor
+
+        def revert() -> None:
+            # Inverse scaling (see DiskDegradation.apply): overlapping
+            # congestion windows stack and unstack in any order without
+            # ever restoring a mid-overlap absolute.
+            for link in links:
+                link.bandwidth /= self.bandwidth_factor
+            fabric.nic_bw /= self.bandwidth_factor
+            fabric.latency /= self.latency_factor
+
+        return revert
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClientChurn(ScenarioEvent):
+    """A client's applications stop issuing I/O; optionally rejoin.
+
+    With ``duration_ticks`` set, the client rejoins afterwards with
+    freshly derived instance streams (the returning application is a
+    new process, not a resumed one).  The client node itself stays up —
+    its write cache drains and its monitoring agent keeps reporting,
+    so the tuner sees the load shift, not a telemetry hole.
+
+    Everything running on the client leaves with it, surge instances
+    from an overlapping :class:`LoadSpike` included; the rejoin brings
+    back the base instances only.  Churning a client that is already
+    absent is a no-op (and so is that event's rejoin).
+    """
+
+    client_index: int = 0
+
+    def apply(self, env, rng: np.random.Generator) -> Revert:
+        clients = env.cluster.clients
+        client_id = clients[self.client_index % len(clients)].client_id
+        already_absent = env.workload.client_paused(client_id)
+        env.workload.pause_client(client_id)
+        if self.duration_ticks is None:
+            return None
+        if already_absent:
+            # Overlapping churn on one client: the earlier event owns
+            # the rejoin; rejoining twice would double the instances.
+            # (Checked via the synchronous paused-client flag — process
+            # liveness lags interrupts, so same-tick overlaps would
+            # otherwise both claim ownership.)
+            return lambda: None
+
+        def revert() -> None:
+            env.workload.resume_client(
+                client_id, derive_rng(rng, "rejoin", client_id)
+            )
+
+        return revert
+
+
+@dataclass(frozen=True, kw_only=True)
+class WorkloadPhaseShift(ScenarioEvent):
+    """The running workload changes character in place (§3.6 phases).
+
+    Mutates the live workload's mix knobs — ``read_fraction`` and/or
+    ``think_time`` — without restarting instances, the "workload
+    changes underneath the tuner" condition of Figures 2-3 read:write
+    sweeps.  Raises :class:`ScenarioError` when the workload does not
+    expose a requested knob.
+
+    Shifts set absolute values, so *overlapping* windowed shifts of
+    the same knob do not compose — schedule them disjointly (the
+    multiplicative disk/network events are the ones that stack).
+    """
+
+    read_fraction: Optional[float] = None
+    think_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.read_fraction is None and self.think_time is None:
+            raise ValueError(
+                "WorkloadPhaseShift needs read_fraction and/or think_time"
+            )
+        if self.read_fraction is not None and not (
+            0.0 <= self.read_fraction <= 1.0
+        ):
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.think_time is not None and self.think_time < 0:
+            raise ValueError("think_time must be >= 0")
+
+    def apply(self, env, rng: np.random.Generator) -> Revert:
+        workload = env.workload
+        saved = {}
+        for knob in ("read_fraction", "think_time"):
+            value = getattr(self, knob)
+            if value is None:
+                continue
+            if not hasattr(workload, knob):
+                raise ScenarioError(
+                    f"workload {workload.name!r} has no {knob!r} knob to "
+                    f"shift (WorkloadPhaseShift suits random_rw-style "
+                    f"workloads)"
+                )
+            saved[knob] = getattr(workload, knob)
+            setattr(workload, knob, float(value))
+        if self.duration_ticks is None:
+            return None
+
+        def revert() -> None:
+            for knob, value in saved.items():
+                setattr(workload, knob, value)
+
+        return revert
+
+
+@dataclass(frozen=True, kw_only=True)
+class LoadSpike(ScenarioEvent):
+    """Extra application instances pile onto every client.
+
+    The surge instances draw from streams derived off this event's
+    private rng, so the spike itself is reproducible; with
+    ``duration_ticks`` set they are interrupted when the spike ends.
+    """
+
+    duration_ticks: Optional[int] = 15
+    extra_instances_per_client: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.extra_instances_per_client < 1:
+            raise ValueError("extra_instances_per_client must be >= 1")
+
+    def apply(self, env, rng: np.random.Generator) -> Revert:
+        procs = env.workload.surge(
+            self.extra_instances_per_client, derive_rng(rng, "surge")
+        )
+        if self.duration_ticks is None:
+            return None
+
+        def revert() -> None:
+            for proc in procs:
+                if proc.is_alive:
+                    proc.interrupt(cause="load-spike-end")
+
+        return revert

@@ -1,0 +1,136 @@
+"""Named scenarios: the reproducible hard-mode workload catalogue.
+
+Mirrors the tuner and environment registries: a string key resolves to
+a factory that builds a :class:`~repro.scenarios.scenario.Scenario`
+from plain keyword knobs, so specs, the CLI (``repro sweep --scenario
+sim-lustre-bursty``) and the adaptation benchmark all name scenarios
+instead of constructing event timelines by hand.
+
+The built-ins stress the paper's three adaptation claims:
+
+``sim-lustre-degraded``
+    One server's disk permanently loses most of its bandwidth partway
+    through the session (failing drive / RAID rebuild).  The service
+    balance the tuner learned during warm-up stops being true.
+``sim-lustre-bursty``
+    Periodic fabric congestion windows plus a mid-session load spike —
+    the §4.2 shared-network interference, concentrated into bursts.
+``sim-lustre-churn``
+    Clients leave and rejoin in rotation, shifting aggregate load and
+    striping pressure (Figure 4's "system state has drifted", online).
+
+Default tick timings suit the compressed ~600-tick sessions of
+EXPERIMENTS.md; every factory takes knobs so tests compress further.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.scenarios.events import (
+    ClientChurn,
+    LoadSpike,
+    NetworkCongestionWindow,
+)
+from repro.scenarios.events import DiskDegradation
+from repro.scenarios.scenario import Scenario
+
+ScenarioFactory = Callable[..., Scenario]
+
+_SCENARIOS: Dict[str, ScenarioFactory] = {}
+
+
+def register_scenario(name: str, factory: ScenarioFactory) -> None:
+    """Register ``factory(**kwargs) -> Scenario`` under ``name``."""
+    _SCENARIOS[name] = factory
+
+
+def scenario_names() -> List[str]:
+    return sorted(_SCENARIOS)
+
+
+def make_scenario(name: str, **kwargs: Any) -> Scenario:
+    """Build a registered scenario by name."""
+    try:
+        factory = _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def _degraded(
+    start_tick: int = 60,
+    server_index: int = 0,
+    throughput_factor: float = 0.35,
+    seek_factor: float = 3.0,
+) -> Scenario:
+    return Scenario(
+        name="sim-lustre-degraded",
+        events=(
+            DiskDegradation(
+                at_tick=start_tick,
+                server_index=server_index,
+                throughput_factor=throughput_factor,
+                seek_factor=seek_factor,
+            ),
+        ),
+    )
+
+
+def _bursty(
+    first_tick: int = 40,
+    period: int = 60,
+    n_bursts: int = 4,
+    duration: int = 20,
+    # Random small-I/O on HDD runs seek-bound at ~10 MB/s aggregate, so
+    # a burst must cut the ~117 MB/s NICs well below that to bind.
+    bandwidth_factor: float = 0.03,
+    latency_factor: float = 6.0,
+    spike_instances: int = 1,
+) -> Scenario:
+    events = [
+        NetworkCongestionWindow(
+            at_tick=first_tick + k * period,
+            duration_ticks=duration,
+            bandwidth_factor=bandwidth_factor,
+            latency_factor=latency_factor,
+        )
+        for k in range(n_bursts)
+    ]
+    if spike_instances > 0:
+        # One load surge between the first two congestion windows: the
+        # tuner sees demand rise while the fabric is briefly clean.
+        events.append(
+            LoadSpike(
+                at_tick=first_tick + period // 2,
+                duration_ticks=duration,
+                extra_instances_per_client=spike_instances,
+            )
+        )
+    return Scenario(name="sim-lustre-bursty", events=tuple(events))
+
+
+def _churn(
+    first_tick: int = 50,
+    period: int = 60,
+    absence_ticks: int = 25,
+    n_cycles: int = 3,
+) -> Scenario:
+    return Scenario(
+        name="sim-lustre-churn",
+        events=tuple(
+            ClientChurn(
+                at_tick=first_tick + k * period,
+                duration_ticks=absence_ticks,
+                client_index=k,
+            )
+            for k in range(n_cycles)
+        ),
+    )
+
+
+register_scenario("sim-lustre-degraded", _degraded)
+register_scenario("sim-lustre-bursty", _bursty)
+register_scenario("sim-lustre-churn", _churn)

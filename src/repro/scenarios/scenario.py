@@ -1,0 +1,129 @@
+"""Scenario: a named, seeded, composable timeline of perturbations.
+
+A :class:`Scenario` is plain picklable data — a name plus an event
+tuple — so it rides inside an
+:class:`~repro.env.tuning_env.EnvConfig` across process boundaries
+(fork workers, experiment pools) unchanged.  All run state lives in a
+:class:`ScenarioRuntime`, built per environment at ``reset()``:
+
+- the runtime's root rng is derived from the *environment's* seed via
+  :func:`~repro.util.rng.derive_rng` (name-free key, so renaming a
+  composition cannot perturb it), and a fleet of N replicas built
+  over :func:`~repro.env.vector.vector_seeds` gives replica *i* a
+  perturbation stream that depends only on ``(base_seed, i)`` — never
+  on the fleet size, the same contract the vector environment makes
+  for every other stream;
+- each event gets its own child stream keyed by its position in the
+  tuple, so ``a + b`` preserves the streams of ``a``'s events exactly
+  (``b``'s events take the following positions).
+
+Scenarios compose with ``+`` (timelines merge; firing order is by
+tick, ties broken by position), which is how compound conditions like
+"degraded disk *and* bursty network" are assembled from the named
+building blocks in :mod:`repro.scenarios.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.scenarios.events import ScenarioEvent
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named timeline of :class:`ScenarioEvent`\\ s (picklable)."""
+
+    name: str
+    events: Tuple[ScenarioEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for ev in events:
+            if not isinstance(ev, ScenarioEvent):
+                raise TypeError(f"not a ScenarioEvent: {ev!r}")
+        object.__setattr__(self, "events", events)
+
+    def __add__(self, other: "Scenario") -> "Scenario":
+        """Merge timelines: ``a + b`` fires both scenarios' events."""
+        if not isinstance(other, Scenario):
+            return NotImplemented
+        return Scenario(
+            name=f"{self.name}+{other.name}",
+            events=self.events + other.events,
+        )
+
+    @classmethod
+    def compose(cls, name: str, *scenarios: "Scenario") -> "Scenario":
+        """Merge several scenarios under one explicit name."""
+        events: Tuple[ScenarioEvent, ...] = ()
+        for s in scenarios:
+            events = events + s.events
+        return cls(name=name, events=events)
+
+    @property
+    def last_tick(self) -> int:
+        """Last tick at which anything fires (applies *or* reverts)."""
+        last = 0
+        for ev in self.events:
+            end = ev.at_tick + (ev.duration_ticks or 0)
+            last = max(last, end)
+        return last
+
+
+class ScenarioRuntime:
+    """Per-environment execution state for one scenario.
+
+    ``on_tick(t)`` is called by the environment once per tick, *before*
+    the simulation advances over that tick's interval: reverts due at
+    ``t`` run first, then events whose ``at_tick == t`` are applied (in
+    timeline position order), so a window ending exactly where the next
+    begins hands over cleanly.
+    """
+
+    def __init__(self, scenario: Scenario, env, rng: np.random.Generator):
+        self.scenario = scenario
+        self.env = env
+        # Position-keyed child streams: composing more events later
+        # never perturbs the streams of earlier positions.
+        self._rngs = [
+            derive_rng(rng, "event", i) for i in range(len(scenario.events))
+        ]
+        #: Audit log of ``(tick, "apply"|"revert", event)`` in firing order.
+        self.log: List[tuple] = []
+        # (revert_tick, position, callable), kept sorted by firing order.
+        self._pending_reverts: List[Tuple[int, int, Callable[[], None]]] = []
+
+    @property
+    def active_count(self) -> int:
+        """Windowed perturbations currently in force."""
+        return len(self._pending_reverts)
+
+    def on_tick(self, tick: int) -> None:
+        due = [pr for pr in self._pending_reverts if pr[0] <= tick]
+        if due:
+            self._pending_reverts = [
+                pr for pr in self._pending_reverts if pr[0] > tick
+            ]
+            for revert_tick, pos, revert in sorted(due):
+                revert()
+                self.log.append((tick, "revert", self.scenario.events[pos]))
+        for pos, event in enumerate(self.scenario.events):
+            if event.at_tick != tick:
+                continue
+            revert = event.apply(self.env, self._rngs[pos])
+            self.log.append((tick, "apply", event))
+            if event.duration_ticks is not None:
+                if revert is None:  # pragma: no cover - event-author error
+                    raise RuntimeError(
+                        f"{type(event).__name__} declared duration_ticks "
+                        f"but apply() returned no revert"
+                    )
+                self._pending_reverts.append(
+                    (tick + event.duration_ticks, pos, revert)
+                )
+                self._pending_reverts.sort()

@@ -68,10 +68,28 @@ class Workload(abc.ABC):
         self.stats = WorkloadStats()
         self._procs: List[Process] = []
         self._started = False
+        self._paused_clients: set = set()
 
     @abc.abstractmethod
     def instance(self, client_id: int, instance_id: int, rng) -> Generator:
         """One application loop (a simulation generator, usually infinite)."""
+
+    def _spawn_instance(
+        self, client_id: int, instance_id: int, parent_rng, suffix: str
+    ) -> Process:
+        """One instance, stream-derived and name-tagged consistently.
+
+        Every spawn path (start, churn rejoin, load surge) goes through
+        here, so the ``.c{id}.`` tag :meth:`pause_client` matches on and
+        the ``derive_rng`` key shape can never drift apart.
+        """
+        rng = derive_rng(parent_rng, self.name, client_id, instance_id)
+        proc = self.sim.spawn(
+            self.instance(client_id, instance_id, rng),
+            name=f"{self.name}.c{client_id}.{suffix}",
+        )
+        self._procs.append(proc)
+        return proc
 
     def start(self) -> None:
         """Spawn every instance on every client."""
@@ -80,14 +98,8 @@ class Workload(abc.ABC):
         self._started = True
         for client in self.cluster.clients:
             for k in range(self.instances_per_client):
-                rng = derive_rng(
-                    self._root_rng, self.name, client.client_id, k
-                )
-                gen = self.instance(client.client_id, k, rng)
-                self._procs.append(
-                    self.sim.spawn(
-                        gen, name=f"{self.name}.c{client.client_id}.i{k}"
-                    )
+                self._spawn_instance(
+                    client.client_id, k, self._root_rng, f"i{k}"
                 )
 
     def stop(self) -> None:
@@ -97,6 +109,74 @@ class Workload(abc.ABC):
                 p.interrupt(cause="workload-stop")
         self._procs.clear()
         self._started = False
+        # A restart respawns every client, so churn state resets too.
+        self._paused_clients.clear()
+
+    # -- scenario surface (repro.scenarios perturbs through these) -------
+    def client_paused(self, client_id: int) -> bool:
+        """Whether :meth:`pause_client` currently holds this client.
+
+        Tracked synchronously — interrupts only *deliver* when the
+        simulation next runs, so liveness of the instance processes
+        cannot answer "is this client already churned?" at apply time.
+        """
+        return client_id in self._paused_clients
+
+    def pause_client(self, client_id: int) -> int:
+        """Interrupt this client's instances (churn: the client leaves).
+
+        The client node itself stays in the cluster — its write cache
+        drains and its monitoring agent keeps sampling — only the
+        application loops stop.  Returns how many were interrupted;
+        pausing an already-paused client is a no-op returning 0.
+        """
+        if client_id in self._paused_clients:
+            return 0
+        self._paused_clients.add(client_id)
+        tag = f".c{client_id}."
+        paused = 0
+        for p in self._procs:
+            if p.is_alive and tag in (p.name or ""):
+                p.interrupt(cause="client-churn")
+                paused += 1
+        return paused
+
+    def resume_client(self, client_id: int, rng) -> None:
+        """Respawn this client's instances (churn: the client rejoins).
+
+        The rejoining application is a new process, not a resumed one,
+        so instance streams derive from the caller-supplied ``rng``
+        (a scenario event's private stream), keeping churn runs a pure
+        function of the environment seed.
+        """
+        self._paused_clients.discard(client_id)
+        for k in range(self.instances_per_client):
+            self._spawn_instance(client_id, k, rng, f"i{k}")
+
+    def surge(self, extra_per_client: int, rng) -> List[Process]:
+        """Spawn ``extra_per_client`` additional instances on every
+        *present* client (a load spike) and return them for later
+        interruption.
+
+        Surge instance ids continue after the base ids, so per-instance
+        objects stay distinct from the steady-state working set.
+        Clients currently churned out by :meth:`pause_client` are
+        skipped — an absent client cannot host new application loops.
+        """
+        if extra_per_client <= 0:
+            raise ValueError(
+                f"extra_per_client must be > 0, got {extra_per_client}"
+            )
+        procs: List[Process] = []
+        for client in self.cluster.clients:
+            if client.client_id in self._paused_clients:
+                continue
+            for j in range(extra_per_client):
+                k = self.instances_per_client + j
+                procs.append(
+                    self._spawn_instance(client.client_id, k, rng, f"s{j}")
+                )
+        return procs
 
     @property
     def total_instances(self) -> int:

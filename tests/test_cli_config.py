@@ -144,6 +144,143 @@ class TestCLI:
         assert "capes" in out and "static" in out
         assert (tmp_path / "artifacts" / "runs.jsonl").exists()
 
+    def test_sweep_with_scenario_and_vector_envs(self, conf_path, capsys):
+        """Acceptance: `repro sweep --scenario NAME --n-envs 4` runs
+        end-to-end with the perturbation timeline actually firing
+        inside the (compressed) training window."""
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                conf_path,
+                "--tuners",
+                "capes",
+                "--seeds",
+                "0",
+                "--scenario",
+                "sim-lustre-bursty",
+                "--scenario-kwargs",
+                '{"first_tick": 4, "period": 5, "n_bursts": 2,'
+                ' "duration": 2}',
+                "--n-envs",
+                "4",
+                "--train-ticks",
+                "6",
+                "--eval-ticks",
+                "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perturbation timeline attached" in out
+        assert "sim-lustre-bursty" in out
+
+    def test_sweep_rejects_bad_scenario_kwargs(self, conf_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                conf_path,
+                "--scenario-kwargs",
+                "{not json",
+            ]
+        )
+        assert rc == 2
+        assert "bad --scenario-kwargs" in capsys.readouterr().err
+
+    def test_sweep_rejects_non_object_scenario_kwargs(self, conf_path, capsys):
+        rc = main(
+            ["sweep", "--config", conf_path, "--scenario-kwargs", "[1, 2]"]
+        )
+        assert rc == 2
+        assert "expected a JSON object" in capsys.readouterr().err
+
+    def test_sweep_rejects_scenario_kwarg_typo_eagerly(self, conf_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                conf_path,
+                "--scenario",
+                "sim-lustre-bursty",
+                "--scenario-kwargs",
+                '{"frist_tick": 4}',
+            ]
+        )
+        assert rc == 2
+        assert "bad --scenario-kwargs" in capsys.readouterr().err
+
+    def test_sweep_rejects_invalid_scenario_kwarg_values(self, conf_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                conf_path,
+                "--scenario",
+                "sim-lustre-degraded",
+                "--scenario-kwargs",
+                '{"start_tick": 0}',
+            ]
+        )
+        assert rc == 2
+        assert "bad --scenario-kwargs" in capsys.readouterr().err
+
+    def test_sweep_scenario_named_env_takes_kwargs(self, conf_path, capsys):
+        """Naming the timeline via --env alone still accepts
+        --scenario-kwargs (spec.build_env reroutes it)."""
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                conf_path,
+                "--tuners",
+                "capes",
+                "--seeds",
+                "0",
+                "--env",
+                "sim-lustre-degraded",
+                "--scenario-kwargs",
+                '{"start_tick": 4}',
+                "--train-ticks",
+                "6",
+                "--eval-ticks",
+                "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "'sim-lustre-degraded': perturbation timeline" in out
+
+    def test_sweep_rejects_scenario_env_mismatch(self, conf_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                conf_path,
+                "--scenario",
+                "sim-lustre-bursty",
+                "--env",
+                "sim-lustre-degraded",
+            ]
+        )
+        assert rc == 2
+        assert "cannot combine" in capsys.readouterr().err
+
+    def test_sweep_rejects_kwargs_on_label_scenario(self, conf_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                conf_path,
+                "--scenario",
+                "just-a-label",
+                "--scenario-kwargs",
+                '{"start_tick": 4}',
+            ]
+        )
+        assert rc == 2
+        assert "registered scenario" in capsys.readouterr().err
+
     def test_sweep_rejects_unknown_tuner(self, conf_path, capsys):
         rc = main(["sweep", "--config", conf_path, "--tuners", "nope"])
         assert rc == 2

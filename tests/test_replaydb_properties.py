@@ -1,0 +1,297 @@
+"""Property-based invariants for the replay layer (hypothesis).
+
+The scenario subsystem leans on the replay path being trustworthy
+under *arbitrary* interleavings — dropped ticks, ring wrap-around,
+block-strided fan-in, priority feedback — not just the happy paths the
+example-based tests walk.  These properties are model-based: a plain
+dict model shadows every operation and the cache/sampler must agree
+with it exactly.
+
+The hypothesis runs are derandomized so the tier-1 suite stays
+deterministic; bump ``max_examples`` locally when hunting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replaydb.cache import ReplayCache
+from repro.replaydb.db import ReplayDB
+from repro.replaydb.prioritized import PrioritizedSampler
+from repro.replaydb.records import TickRecord
+from repro.replaydb.sampler import SamplerStarvedError
+from repro.env.vector import StridedMinibatchSampler
+
+SETTINGS = dict(max_examples=40, deadline=None, derandomize=True)
+
+CAPACITY = 8
+
+
+def _record(tick: int, value: float = None, action: int = -1) -> TickRecord:
+    value = float(tick) if value is None else value
+    return TickRecord(
+        tick=tick,
+        frame=np.array([value, -value]),
+        action=action,
+        reward=value / 10.0,
+    )
+
+
+class TestReplayCacheProperties:
+    """Capacity/eviction invariants under arbitrary put sequences."""
+
+    @given(ticks=st.lists(st.integers(0, 4 * CAPACITY), max_size=40))
+    @settings(**SETTINGS)
+    def test_cache_matches_dict_model(self, ticks):
+        cache = ReplayCache(2, capacity=CAPACITY)
+        model = {}  # tick -> value of the *last* accepted put
+        max_tick = None
+        for tick in ticks:
+            value = float(tick) + 0.5  # distinguish rewrites from zeros
+            too_old = max_tick is not None and tick <= max_tick - CAPACITY
+            if too_old:
+                with pytest.raises(ValueError):
+                    cache.put(_record(tick, value))
+                continue
+            cache.put(_record(tick, value))
+            model[tick] = value
+            max_tick = tick if max_tick is None else max(max_tick, tick)
+            # Window invariants hold after every single operation.
+            assert cache.max_tick == max_tick
+            horizon = max_tick - CAPACITY
+            live = {t for t in model if t > horizon}
+            # min_tick is a lower bound on live ticks: the min ever
+            # stored, clamped to the ring horizon as it advances.
+            assert horizon < cache.min_tick <= min(live)
+            for t in range(max(0, max_tick - 2 * CAPACITY), max_tick + 2):
+                assert cache.has(t) == (t in live), f"tick {t}"
+            for t in live:
+                rec = cache.get(t)
+                assert rec.frame[0] == model[t]
+                assert rec.tick == t
+
+    @given(
+        ticks=st.lists(
+            st.integers(0, 3 * CAPACITY), min_size=1, max_size=30, unique=True
+        )
+    )
+    @settings(**SETTINGS)
+    def test_len_never_exceeds_capacity(self, ticks):
+        cache = ReplayCache(2, capacity=CAPACITY)
+        accepted = 0
+        for tick in sorted(ticks):
+            cache.put(_record(tick))
+            accepted += 1
+            assert len(cache) <= CAPACITY
+            assert len(cache) <= accepted
+
+    def test_wrapped_ring_never_serves_stale_slots(self):
+        """Regression: a dropped tick whose slot still holds the record
+        from one capacity earlier must read as missing, not stale."""
+        cache = ReplayCache(2, capacity=4)
+        cache.put(_record(0, 99.0, action=1))
+        cache.put(_record(7))
+        assert not cache.has(4)  # never stored; slot 0 holds tick 0
+        with pytest.raises(KeyError):
+            cache.get(4)
+        with pytest.raises(KeyError):
+            cache.set_action(4, 2)
+        assert cache.has(7) and cache.get(7).frame[0] == 7.0
+
+
+class TestReplayDBProperties:
+    """The SQLite façade and its cache stay consistent."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 2 * CAPACITY),  # tick
+                st.sampled_from(["obs", "action", "reward"]),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(**SETTINGS)
+    def test_db_and_cache_agree(self, ops):
+        db = ReplayDB(2, cache_capacity=CAPACITY)
+        try:
+            stored = {}  # tick -> (value, action, reward)
+            max_tick = None
+            for tick, kind in ops:
+                if kind == "obs":
+                    if max_tick is not None and tick <= max_tick - CAPACITY:
+                        continue  # cache would reject; skip
+                    value = float(tick) + 0.25
+                    db.put_observation(
+                        tick, np.array([value, 0.0]), reward=value
+                    )
+                    stored[tick] = [value, -1, value]
+                    max_tick = (
+                        tick if max_tick is None else max(max_tick, tick)
+                    )
+                elif kind == "action":
+                    db.put_action(tick, 3)
+                    if tick in stored and db.cache.has(tick):
+                        stored[tick][1] = 3
+                elif kind == "reward":
+                    if tick in stored:
+                        db.set_reward(tick, -1.5)
+                        if db.cache.has(tick):
+                            stored[tick][2] = -1.5
+            assert db.record_count() == len(stored)
+            for tick, (value, action, reward) in stored.items():
+                if db.cache.has(tick):
+                    rec = db.cache.get(tick)
+                    assert rec.frame[0] == value
+                    assert rec.action == action
+                    assert rec.reward == reward
+        finally:
+            db.close()
+
+
+def _dense_cache(n_ticks: int, frame_width: int = 2) -> ReplayCache:
+    cache = ReplayCache(frame_width, capacity=max(64, n_ticks + 1))
+    for t in range(n_ticks):
+        cache.put(
+            TickRecord(
+                tick=t,
+                frame=np.full(frame_width, float(t)),
+                action=t % 3,
+                reward=float(t),
+            )
+        )
+    return cache
+
+
+class TestPrioritizedProperties:
+    """Priority weights under arbitrary insert/update interleavings."""
+
+    @given(
+        n_ticks=st.integers(6, 20),
+        updates=st.lists(
+            st.tuples(
+                st.integers(0, 19), st.floats(0.0, 100.0, allow_nan=False)
+            ),
+            max_size=15,
+        ),
+        alpha=st.floats(0.0, 1.0),
+    )
+    @settings(**SETTINGS)
+    def test_probabilities_and_weights_normalized(
+        self, n_ticks, updates, alpha
+    ):
+        sampler = PrioritizedSampler(
+            _dense_cache(n_ticks), obs_ticks=2, alpha=alpha, seed=0
+        )
+        first, last = sampler.eligible_range()
+        for tick, err in updates:
+            sampler.update_priorities(
+                np.array([tick % n_ticks]), np.array([err])
+            )
+        # Every eligible tick's effective priority is positive and the
+        # induced distribution is a distribution.
+        prios = np.array(
+            [sampler.priority_of(t) for t in range(first, last + 1)]
+        )
+        assert (prios >= sampler.epsilon_priority).all() or alpha == 0.0
+        assert (prios > 0).all()
+        probs = prios**sampler.alpha
+        probs /= probs.sum()
+        assert probs.sum() == pytest.approx(1.0)
+        batch = sampler.sample_minibatch(4)
+        # IS weights: normalised to max 1, all in (0, 1].
+        assert batch.weights.max() == pytest.approx(1.0)
+        assert (batch.weights > 0).all()
+        assert (batch.weights <= 1.0 + 1e-12).all()
+        # Sampled ticks are eligible ones.
+        assert ((batch.ticks >= first) & (batch.ticks <= last)).all()
+
+    @given(n_ticks=st.integers(6, 16))
+    @settings(**SETTINGS)
+    def test_alpha_zero_is_uniform(self, n_ticks):
+        sampler = PrioritizedSampler(
+            _dense_cache(n_ticks), obs_ticks=2, alpha=0.0, seed=0
+        )
+        sampler.update_priorities(np.array([3]), np.array([1e6]))
+        first, last = sampler.eligible_range()
+        prios = np.array(
+            [sampler.priority_of(t) for t in range(first, last + 1)]
+        )
+        probs = prios**0.0
+        probs /= probs.sum()
+        assert np.allclose(probs, 1.0 / len(probs))
+
+
+class _VenvStub:
+    """The slice of VectorEnv the strided sampler reads."""
+
+    def __init__(self, tick_stride, synced):
+        self.tick_stride = tick_stride
+        self._synced = list(synced)
+
+
+class TestStridedSamplerProperties:
+    """Block-aware sampling over arbitrary per-env progress states."""
+
+    OBS_TICKS = 2
+
+    def _sampler(self, stride, synced):
+        cache = ReplayCache(2, capacity=stride * len(synced))
+        for i, top in enumerate(synced):
+            for t in range(max(0, top) + 1):
+                cache.put(
+                    TickRecord(
+                        tick=i * stride + t,
+                        frame=np.array([float(i), float(t)]),
+                        action=t % 3,
+                        reward=1.0,
+                    )
+                )
+        return StridedMinibatchSampler(
+            cache,
+            _VenvStub(stride, synced),
+            obs_ticks=self.OBS_TICKS,
+            seed=0,
+        )
+
+    @given(
+        stride=st.integers(8, 32),
+        synced=st.lists(st.integers(-1, 7), min_size=1, max_size=5),
+    )
+    @settings(**SETTINGS)
+    def test_spans_stay_inside_their_blocks(self, stride, synced):
+        sampler = self._sampler(stride, synced)
+        spans = sampler._block_spans()
+        for first, last in spans:
+            block = first // stride
+            assert first <= last
+            assert block == last // stride  # never crosses a boundary
+            assert first % stride >= self.OBS_TICKS - 1
+            assert last % stride <= synced[block] - 1
+        # Exactly the environments with a full window contribute a span.
+        expected = [
+            i
+            for i, top in enumerate(synced)
+            if top - 1 >= self.OBS_TICKS - 1
+        ]
+        assert [f // stride for f, _ in spans] == expected
+
+    @given(
+        stride=st.integers(8, 16),
+        synced=st.lists(st.integers(3, 7), min_size=1, max_size=4),
+    )
+    @settings(**SETTINGS)
+    def test_sampled_transitions_come_from_valid_spans(self, stride, synced):
+        sampler = self._sampler(stride, synced)
+        batch = sampler.sample_minibatch(8)
+        assert batch.s_t.shape == (8, self.OBS_TICKS * 2)
+        # Block identity rides in the frame's first column: every
+        # stacked frame in every observation belongs to one env.
+        blocks = batch.s_t[:, 0::2]
+        assert (blocks == blocks[:, :1]).all()
+
+    def test_starved_when_no_block_has_a_window(self):
+        sampler = self._sampler(8, [0, 1])
+        with pytest.raises(SamplerStarvedError):
+            sampler.sample_minibatch(2)

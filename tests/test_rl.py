@@ -249,3 +249,94 @@ class TestDQNAgent:
         agent.train_step(b)
         assert len(agent.loss_history) == 2
         assert agent.train_steps == 2
+
+    def test_loss_history_bounded(self):
+        """Long sweeps must not grow the trace without limit: the window
+        keeps exactly the most recent losses, in order."""
+        hp = Hyperparameters(
+            hidden_layer_size=8, exploration_ticks=50, discount_rate=0.0
+        )
+        agent = DQNAgent(
+            obs_dim=6, n_actions=3, hp=hp, loss_history_limit=10, rng=0
+        )
+        b = synthetic_batch(6, 8, np.random.default_rng(3))
+        losses = [agent.train_step(b) for _ in range(25)]
+        assert agent.train_steps == 25  # counters unaffected by the cap
+        assert len(agent.loss_history) == 10
+        assert list(agent.loss_history) == losses[-10:]
+
+    def test_loss_history_limit_validated(self):
+        with pytest.raises(ValueError, match="loss_history_limit"):
+            DQNAgent(obs_dim=6, n_actions=3, loss_history_limit=0, rng=0)
+
+
+class TestDoubleDQN:
+    """The ``double_dqn`` target split (van Hasselt et al., 2016)."""
+
+    GAMMA = 0.5
+
+    def make(self, double: bool) -> DQNAgent:
+        hp = Hyperparameters(hidden_layer_size=8, discount_rate=self.GAMMA)
+        agent = DQNAgent(
+            obs_dim=6, n_actions=3, hp=hp, double_dqn=double, rng=0
+        )
+        # Fresh agents clone online into target, which makes both
+        # argmaxes agree everywhere and the flag unobservable; desync
+        # the target so action *selection* and *evaluation* differ.
+        perturb = np.random.default_rng(7)
+        for p in agent.target.net.parameters():
+            p.value += 0.5 * perturb.normal(size=p.value.shape)
+        return agent
+
+    def batch(self):
+        return synthetic_batch(6, 16, np.random.default_rng(11))
+
+    def test_double_targets_select_online_evaluate_target(self):
+        """y = r + γ · Q_target(s', argmax_a Q_online(s', a))."""
+        agent = self.make(double=True)
+        b = self.batch()
+        q_next_online = agent.online.q_values(b.s_next)
+        q_next_target = agent.target.q_values(b.s_next)
+        chosen = np.argmax(q_next_online, axis=1)
+        expect = b.rewards + self.GAMMA * q_next_target[
+            np.arange(len(b)), chosen
+        ]
+        np.testing.assert_allclose(agent.bellman_targets(b), expect)
+        # The split must be observable: on some row the online argmax
+        # disagrees with the target argmax, so double != vanilla.
+        vanilla = b.rewards + self.GAMMA * q_next_target.max(axis=1)
+        assert (chosen != np.argmax(q_next_target, axis=1)).any()
+        assert not np.allclose(expect, vanilla)
+
+    def test_double_false_reproduces_vanilla_max(self):
+        """The default flag is Equation 1's plain max operator."""
+        agent = self.make(double=False)
+        b = self.batch()
+        q_next_target = agent.target.q_values(b.s_next)
+        expect = b.rewards + self.GAMMA * q_next_target.max(axis=1)
+        np.testing.assert_allclose(agent.bellman_targets(b), expect)
+
+    @pytest.mark.parametrize("double", [False, True])
+    def test_train_step_loss_matches_hand_computed_targets(self, double):
+        """train_step's reported loss is the MSE between the pre-update
+        online Q(s,a) and the hand-computed TD target."""
+        agent = self.make(double=double)
+        b = self.batch()
+        q_next_target = agent.target.q_values(b.s_next)
+        if double:
+            chosen = np.argmax(agent.online.q_values(b.s_next), axis=1)
+            future = q_next_target[np.arange(len(b)), chosen]
+        else:
+            future = q_next_target.max(axis=1)
+        targets = b.rewards + self.GAMMA * future
+        q_taken = agent.online.q_values(b.s_t)[np.arange(len(b)), b.actions]
+        expected_loss = float(np.mean((q_taken - targets) ** 2))
+        assert agent.train_step(b) == pytest.approx(expected_loss)
+
+    def test_double_never_exceeds_vanilla_targets(self):
+        """Evaluating the online pick with θ⁻ can only lower the future
+        term versus the max — the optimism-bias removal itself."""
+        vanilla = self.make(double=False)
+        double = self.make(double=True)
+        b = self.batch()
+        assert (double.bellman_targets(b) <= vanilla.bellman_targets(b) + 1e-12).all()

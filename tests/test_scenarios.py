@@ -1,0 +1,762 @@
+"""Tests for the scenario subsystem (repro.scenarios).
+
+Events are stateless picklable data; all run state lives in the
+per-environment runtime, perturbations apply at their scheduled tick
+and revert exactly, and the whole layer is wired through the env
+registry and the experiment spec.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.env import EnvConfig, VectorEnv, make_env
+from repro.env.registry import _make_sim_lustre
+from repro.exp import ExperimentSpec, RunBudget, WorkloadSpec
+from repro.rl import Hyperparameters
+from repro.scenarios import (
+    ClientChurn,
+    DiskDegradation,
+    LoadSpike,
+    NetworkCongestionWindow,
+    Scenario,
+    ScenarioError,
+    WorkloadPhaseShift,
+    make_scenario,
+    scenario_names,
+)
+from repro.workloads import RandomReadWrite, SequentialWrite
+
+TINY_HP = Hyperparameters(
+    hidden_layer_size=8,
+    exploration_ticks=20,
+    sampling_ticks_per_observation=3,
+)
+
+
+def tiny_workload(cluster, seed):
+    return RandomReadWrite(
+        cluster, read_fraction=0.1, seed=seed, instances_per_client=2
+    )
+
+
+def tiny_env(scenario=None, seed=0, workload_factory=tiny_workload):
+    return _make_sim_lustre(
+        config=EnvConfig(
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            workload_factory=workload_factory,
+            hp=TINY_HP,
+            seed=seed,
+            scenario=scenario,
+        )
+    )
+
+
+class TestEventValidation:
+    def test_at_tick_must_be_positive(self):
+        with pytest.raises(ValueError, match="at_tick"):
+            DiskDegradation(at_tick=0)
+
+    def test_duration_must_be_positive_or_none(self):
+        with pytest.raises(ValueError, match="duration_ticks"):
+            NetworkCongestionWindow(at_tick=1, duration_ticks=0)
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            DiskDegradation(at_tick=1, throughput_factor=0.0)
+        with pytest.raises(ValueError):
+            NetworkCongestionWindow(at_tick=1, bandwidth_factor=-1.0)
+        with pytest.raises(ValueError):
+            LoadSpike(at_tick=1, extra_instances_per_client=0)
+        with pytest.raises(ValueError):
+            WorkloadPhaseShift(at_tick=1)  # no knob at all
+        with pytest.raises(ValueError):
+            WorkloadPhaseShift(at_tick=1, read_fraction=1.5)
+
+    def test_events_are_frozen_and_picklable(self):
+        ev = ClientChurn(at_tick=5, duration_ticks=3, client_index=1)
+        with pytest.raises(AttributeError):
+            ev.at_tick = 9
+        assert pickle.loads(pickle.dumps(ev)) == ev
+
+
+class TestScenarioObject:
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            Scenario(name="bad", events=("not-an-event",))
+
+    def test_add_merges_timelines(self):
+        a = Scenario("a", (DiskDegradation(at_tick=3),))
+        b = Scenario("b", (LoadSpike(at_tick=5, duration_ticks=2),))
+        merged = a + b
+        assert merged.name == "a+b"
+        assert len(merged.events) == 2
+        assert merged.last_tick == 7  # spike reverts at 5 + 2
+
+    def test_compose_named(self):
+        merged = Scenario.compose(
+            "both",
+            make_scenario("sim-lustre-degraded"),
+            make_scenario("sim-lustre-churn"),
+        )
+        assert merged.name == "both"
+        assert len(merged.events) == 1 + 3
+
+    def test_scenario_pickles(self):
+        s = make_scenario("sim-lustre-bursty")
+        s2 = pickle.loads(pickle.dumps(s))
+        assert s2 == s
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {
+            "sim-lustre-degraded",
+            "sim-lustre-bursty",
+            "sim-lustre-churn",
+        } <= set(scenario_names())
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            make_scenario("nope")
+
+    def test_factory_kwargs(self):
+        s = make_scenario("sim-lustre-churn", first_tick=4, n_cycles=2)
+        assert len(s.events) == 2
+        assert s.events[0].at_tick == 4
+
+    def test_every_scenario_is_an_env_name(self):
+        from repro.env import env_names
+
+        assert set(scenario_names()) <= set(env_names())
+
+    def test_late_registered_scenario_resolves_as_env_key(self):
+        """Scenario→env keys resolve at call time, not import time."""
+        from repro.env import env_names
+        from repro.scenarios import register_scenario
+        from repro.scenarios.registry import _SCENARIOS
+
+        name = "test-late-scenario"
+        register_scenario(
+            name, lambda: Scenario(name, (DiskDegradation(at_tick=4),))
+        )
+        try:
+            assert name in env_names()
+            env = make_env(
+                name,
+                seed=1,
+                cluster=ClusterConfig(n_servers=2, n_clients=2),
+                hp=TINY_HP,
+                workload_factory=tiny_workload,
+            )
+            try:
+                assert env.config.scenario.name == name
+            finally:
+                env.close()
+        finally:
+            del _SCENARIOS[name]
+
+
+class TestEventEffects:
+    def test_disk_degradation_applies_and_reverts(self):
+        scen = Scenario(
+            "t",
+            (
+                DiskDegradation(
+                    at_tick=4,
+                    duration_ticks=2,
+                    throughput_factor=0.5,
+                    seek_factor=2.0,
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()  # warm-up = 3 ticks; nothing fired yet
+            disk = env.cluster.servers[0].disk
+            read0, seek0 = disk.read_bw, disk.max_seek
+            env.step(0)  # tick 4: applied
+            assert disk.read_bw == pytest.approx(read0 * 0.5)
+            assert disk.max_seek == pytest.approx(seek0 * 2.0)
+            env.step(0)  # tick 5: still degraded
+            assert env.scenario_runtime.active_count == 1
+            env.step(0)  # tick 6: reverted before the interval ran
+            assert disk.read_bw == read0
+            assert disk.max_seek == seek0
+            assert env.scenario_runtime.active_count == 0
+        finally:
+            env.close()
+
+    def test_congestion_scales_every_link_and_reverts(self):
+        scen = Scenario(
+            "t",
+            (
+                NetworkCongestionWindow(
+                    at_tick=4,
+                    duration_ticks=1,
+                    bandwidth_factor=0.25,
+                    latency_factor=2.0,
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            fabric = env.cluster.fabric
+            before = [link.bandwidth for link in fabric.links()]
+            lat0 = fabric.latency
+            env.step(0)
+            assert fabric.latency == pytest.approx(lat0 * 2.0)
+            for link, bw in zip(fabric.links(), before):
+                assert link.bandwidth == pytest.approx(bw * 0.25)
+            env.step(0)
+            assert fabric.latency == lat0
+            for link, bw in zip(fabric.links(), before):
+                assert link.bandwidth == bw
+        finally:
+            env.close()
+
+    def test_client_churn_pauses_and_rejoins(self):
+        scen = Scenario(
+            "t", (ClientChurn(at_tick=4, duration_ticks=2, client_index=0),)
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            wl = env.workload
+
+            def alive(cid):
+                return sum(
+                    1
+                    for p in wl._procs
+                    if p.is_alive and f".c{cid}." in p.name
+                )
+
+            assert alive(0) == alive(1) == 2
+            env.step(0)  # tick 4: client 0 leaves
+            assert alive(0) == 0 and alive(1) == 2
+            env.step(0)
+            env.step(0)  # tick 6: client 0 rejoined
+            assert alive(0) == 2 and alive(1) == 2
+        finally:
+            env.close()
+
+    def test_permanent_churn_never_rejoins(self):
+        scen = Scenario("t", (ClientChurn(at_tick=4, client_index=1),))
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            for _ in range(4):
+                env.step(0)
+            assert not any(
+                p.is_alive and ".c1." in p.name
+                for p in env.workload._procs
+            )
+        finally:
+            env.close()
+
+    def test_phase_shift_mutates_live_workload(self):
+        scen = Scenario(
+            "t",
+            (
+                WorkloadPhaseShift(
+                    at_tick=4, duration_ticks=2, read_fraction=0.9
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            assert env.workload.read_fraction == 0.1
+            env.step(0)
+            assert env.workload.read_fraction == 0.9
+            env.step(0)
+            env.step(0)
+            assert env.workload.read_fraction == 0.1  # reverted
+        finally:
+            env.close()
+
+    def test_phase_shift_rejects_knobless_workload(self):
+        def seq_workload(cluster, seed):
+            return SequentialWrite(cluster, seed=seed, instances_per_client=1)
+
+        scen = Scenario(
+            "t", (WorkloadPhaseShift(at_tick=4, read_fraction=0.5),)
+        )
+        env = tiny_env(scen, workload_factory=seq_workload)
+        try:
+            env.reset()
+            with pytest.raises(ScenarioError, match="read_fraction"):
+                env.step(0)
+        finally:
+            env.close()
+
+    def test_spike_skips_churned_out_clients(self):
+        """A LoadSpike during a churn absence must not start fresh
+        application loops on the absent client."""
+        scen = Scenario(
+            "t",
+            (
+                ClientChurn(at_tick=4, duration_ticks=4, client_index=0),
+                LoadSpike(
+                    at_tick=5, duration_ticks=2, extra_instances_per_client=1
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            wl = env.workload
+            env.step(0)  # tick 4: client 0 leaves
+            env.step(0)  # tick 5: spike — client 1 only
+            assert not any(
+                p.is_alive and ".c0." in p.name for p in wl._procs
+            )
+            assert any(
+                p.is_alive and ".c1.s" in p.name for p in wl._procs
+            )
+        finally:
+            env.close()
+
+    def test_churn_flag_resets_on_workload_restart(self):
+        scen = Scenario("t", (ClientChurn(at_tick=4, client_index=0),))
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            env.step(0)  # tick 4: pause
+            wl = env.workload
+            assert wl.client_paused(0)
+            wl.stop()
+            assert not wl.client_paused(0)  # restartable: churn state gone
+        finally:
+            env.close()
+
+    def test_load_spike_adds_then_removes_instances(self):
+        scen = Scenario(
+            "t",
+            (
+                LoadSpike(
+                    at_tick=4, duration_ticks=2, extra_instances_per_client=1
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            wl = env.workload
+
+            def alive():
+                return sum(1 for p in wl._procs if p.is_alive)
+
+            base = alive()
+            env.step(0)  # spike: +1 per client on 2 clients
+            assert alive() == base + 2
+            env.step(0)
+            env.step(0)  # spike ended
+            assert alive() == base
+        finally:
+            env.close()
+
+
+class TestOverlappingWindows:
+    def test_overlapping_congestion_windows_unstack_exactly(self):
+        """Regression: overlapping windows used to restore a saved
+        mid-overlap absolute, leaving the fabric permanently degraded.
+        Inverse scaling composes in any order."""
+        scen = Scenario(
+            "t",
+            (
+                NetworkCongestionWindow(
+                    at_tick=4, duration_ticks=4, bandwidth_factor=0.5
+                ),
+                NetworkCongestionWindow(
+                    at_tick=6, duration_ticks=4, bandwidth_factor=0.25
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            fabric = env.cluster.fabric
+            bw0 = fabric.nic_bw
+            env.step(0)  # tick 4: first window
+            assert fabric.nic_bw == bw0 * 0.5
+            env.step(0)
+            env.step(0)  # tick 6: overlap
+            assert fabric.nic_bw == bw0 * 0.5 * 0.25
+            env.step(0)
+            env.step(0)  # tick 8: first reverted, second still active
+            assert fabric.nic_bw == bw0 * 0.25
+            env.step(0)
+            env.step(0)  # tick 10: all clear, exactly restored
+            assert fabric.nic_bw == bw0
+            assert env.scenario_runtime.active_count == 0
+        finally:
+            env.close()
+
+    def test_overlapping_disk_windows_unstack_exactly(self):
+        scen = Scenario(
+            "t",
+            (
+                DiskDegradation(
+                    at_tick=4, duration_ticks=4, throughput_factor=0.5
+                ),
+                DiskDegradation(
+                    at_tick=5, duration_ticks=4, throughput_factor=0.5
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            disk = env.cluster.servers[0].disk
+            read0 = disk.read_bw
+            env.step(0)
+            env.step(0)  # tick 5: both active
+            assert disk.read_bw == read0 * 0.25
+            for _ in range(4):  # through tick 9: both reverted
+                env.step(0)
+            assert disk.read_bw == read0
+        finally:
+            env.close()
+
+    @pytest.mark.parametrize("second_tick", [4, 5])
+    def test_overlapping_churn_on_one_client_rejoins_once(self, second_tick):
+        """Staggered AND same-tick overlaps: interrupts deliver lazily,
+        so ownership must come from the synchronous paused flag — a
+        same-tick pair used to double the client's instances."""
+        scen = Scenario(
+            "t",
+            (
+                ClientChurn(at_tick=4, duration_ticks=3, client_index=0),
+                ClientChurn(
+                    at_tick=second_tick, duration_ticks=3, client_index=0
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            wl = env.workload
+            for _ in range(5):  # through tick 8: both windows closed
+                env.step(0)
+            alive = sum(
+                1 for p in wl._procs if p.is_alive and ".c0." in p.name
+            )
+            assert alive == wl.instances_per_client  # not doubled
+        finally:
+            env.close()
+
+
+class TestRuntimeOrdering:
+    def test_back_to_back_windows_hand_over_cleanly(self):
+        """A window ending exactly where the next begins: the revert
+        runs before the next apply, so factors never compound."""
+        scen = Scenario(
+            "t",
+            (
+                NetworkCongestionWindow(
+                    at_tick=4, duration_ticks=2, bandwidth_factor=0.5
+                ),
+                NetworkCongestionWindow(
+                    at_tick=6, duration_ticks=2, bandwidth_factor=0.5
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            fabric = env.cluster.fabric
+            bw0 = fabric.nic_bw
+            for _ in range(4):  # ticks 4..7
+                env.step(0)
+                assert fabric.nic_bw == pytest.approx(bw0 * 0.5)
+            env.step(0)  # tick 8: second window reverted
+            assert fabric.nic_bw == bw0
+            kinds = [(t, a) for t, a, _e in env.scenario_runtime.log]
+            assert kinds == [
+                (4, "apply"),
+                (6, "revert"),
+                (6, "apply"),
+                (8, "revert"),
+            ]
+        finally:
+            env.close()
+
+
+class TestDeterminismContracts:
+    N_TICKS = 6
+
+    def _rollout(self, env):
+        try:
+            out = [env.reset().copy()]
+            for t in range(self.N_TICKS):
+                obs, reward, _info = env.step(t % env.n_actions)
+                out.append(obs.copy())
+                out.append(reward)
+            return out
+        finally:
+            env.close()
+
+    def test_same_seed_same_trajectory(self):
+        scen = make_scenario(
+            "sim-lustre-churn", first_tick=4, period=4, absence_ticks=2
+        )
+        a = self._rollout(tiny_env(scen, seed=13))
+        b = self._rollout(tiny_env(scen, seed=13))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_scenario_changes_the_trajectory(self):
+        scen = make_scenario("sim-lustre-degraded", start_tick=4)
+        plain = self._rollout(tiny_env(None, seed=13))
+        perturbed = self._rollout(tiny_env(scen, seed=13))
+        assert not all(
+            np.array_equal(x, y) for x, y in zip(plain, perturbed)
+        )
+
+    def test_named_env_equals_scenario_kwarg(self):
+        kw = dict(
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            hp=TINY_HP,
+            workload_factory=tiny_workload,
+            seed=5,
+        )
+        a = self._rollout(
+            make_env(
+                "sim-lustre-degraded",
+                scenario_kwargs=dict(start_tick=4),
+                **kw,
+            )
+        )
+        b = self._rollout(
+            make_env(
+                "sim-lustre",
+                scenario="sim-lustre-degraded",
+                scenario_kwargs=dict(start_tick=4),
+                **kw,
+            )
+        )
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_env0_stream_independent_of_fleet_size(self):
+        """Replica i's perturbation stream depends on (base_seed, i),
+        never on how many replicas run beside it."""
+
+        def env0_rows(n):
+            venv = VectorEnv.from_config(
+                EnvConfig(
+                    cluster=ClusterConfig(n_servers=2, n_clients=2),
+                    workload_factory=tiny_workload,
+                    hp=TINY_HP,
+                    seed=21,
+                    scenario=make_scenario(
+                        "sim-lustre-churn",
+                        first_tick=4,
+                        period=4,
+                        absence_ticks=2,
+                        n_cycles=2,
+                    ),
+                ),
+                n,
+                tick_stride=256,
+            )
+            try:
+                rows = [venv.reset()[0].copy()]
+                for _ in range(4):
+                    obs, rewards, _ = venv.step([0] * n)
+                    rows.append(obs[0].copy())
+                    rows.append(float(rewards[0]))
+                return rows
+            finally:
+                venv.close()
+
+        for x, y in zip(env0_rows(2), env0_rows(3)):
+            assert np.array_equal(x, y)
+
+
+class TestRegistryArgumentHandling:
+    def test_scenario_kwargs_without_scenario_rejected(self):
+        with pytest.raises(ValueError, match="scenario_kwargs"):
+            make_env(
+                "sim-lustre",
+                workload_factory=tiny_workload,
+                scenario_kwargs={"start_tick": 3},
+            )
+
+    def test_scenario_object_with_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="already fully built"):
+            make_env(
+                "sim-lustre",
+                workload_factory=tiny_workload,
+                scenario=make_scenario("sim-lustre-degraded"),
+                scenario_kwargs={"start_tick": 3},
+            )
+
+    def test_config_scenario_never_silently_overwritten(self):
+        cfg = EnvConfig(
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            workload_factory=tiny_workload,
+            hp=TINY_HP,
+            scenario=make_scenario("sim-lustre-churn"),
+        )
+        with pytest.raises(ValueError, match="refusing to overwrite"):
+            make_env("sim-lustre-degraded", config=cfg)
+
+    def test_scenario_kwarg_on_sim_lustre_defaults_workload(self):
+        """The README composition example: a scenario= kwarg on plain
+        "sim-lustre" gets the default workload, same as named keys."""
+        both = make_scenario("sim-lustre-degraded") + make_scenario(
+            "sim-lustre-bursty"
+        )
+        env = make_env(
+            "sim-lustre",
+            scenario=both,
+            seed=0,
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            hp=TINY_HP,
+        )
+        try:
+            assert env.config.workload_factory is not None
+            assert env.config.scenario.name == (
+                "sim-lustre-degraded+sim-lustre-bursty"
+            )
+        finally:
+            env.close()
+
+    def test_default_workload_fills_in_for_named_scenario_env(self):
+        env = make_env(
+            "sim-lustre-degraded",
+            seed=3,
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            hp=TINY_HP,
+        )
+        try:
+            assert env.config.workload_factory is not None
+            env.reset()
+            assert isinstance(env.workload, RandomReadWrite)
+        finally:
+            env.close()
+
+
+class TestSpecIntegration:
+    def _spec(self, **overrides):
+        defaults = dict(
+            tuner="capes",
+            scenario="sim-lustre-degraded",
+            scenario_kwargs=dict(start_tick=4),
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            workload=WorkloadSpec(
+                "random_rw",
+                {"read_fraction": 0.1, "instances_per_client": 2},
+            ),
+            hp=TINY_HP,
+            budget=RunBudget(train_ticks=5, eval_ticks=3, epoch_ticks=2),
+        )
+        defaults.update(overrides)
+        return ExperimentSpec(**defaults)
+
+    def test_spec_attaches_registered_scenario(self):
+        cfg = self._spec().env_config()
+        assert cfg.scenario is not None
+        assert cfg.scenario.name == "sim-lustre-degraded"
+
+    def test_label_scenario_stays_a_label(self):
+        cfg = self._spec(scenario="1:9", scenario_kwargs={}).env_config()
+        assert cfg.scenario is None
+
+    def test_scenario_kwargs_on_label_rejected(self):
+        spec = self._spec(scenario="just-a-label")
+        with pytest.raises(KeyError, match="not a\n?.*registered scenario"):
+            spec.env_config()
+
+    def test_spec_round_trips_and_pickles(self):
+        spec = self._spec()
+        d = spec.to_dict()
+        assert d["scenario"] == "sim-lustre-degraded"
+        assert d["scenario_kwargs"] == {"start_tick": 4}
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.scenario_object() == spec.scenario_object()
+
+    def test_spec_id_uses_scenario(self):
+        assert self._spec(seed=3).spec_id == (
+            "sim-lustre-degraded/capes/seed3"
+        )
+
+    def test_scenario_on_foreign_env_rejected(self):
+        spec = self._spec(env="other-backend")
+        with pytest.raises(ValueError, match="sim-lustre"):
+            spec.build_env()
+
+    def test_scenario_named_env_honors_spec_config(self):
+        """env='sim-lustre-degraded' must run on the spec's configured
+        cluster (re-routed through the sim-lustre config path), not on
+        EnvConfig defaults."""
+        spec = self._spec(
+            env="sim-lustre-degraded",
+            scenario="",
+            scenario_kwargs={},
+        )
+        env = spec.build_env()
+        try:
+            assert env.config.cluster.n_servers == 2  # from the spec
+            assert env.config.hp.hidden_layer_size == 8
+            assert env.config.scenario.name == "sim-lustre-degraded"
+        finally:
+            env.close()
+
+    def test_env_and_scenario_naming_different_scenarios_rejected(self):
+        spec = self._spec(env="sim-lustre-bursty")  # scenario=...-degraded
+        with pytest.raises(ValueError, match="pick one"):
+            spec.build_env()
+
+    def test_scenario_named_env_applies_bare_scenario_kwargs(self):
+        """Naming the scenario via env= alone still lets
+        scenario_kwargs parametrize it — no redundant scenario= needed."""
+        spec = self._spec(
+            env="sim-lustre-degraded",
+            scenario="",
+            scenario_kwargs=dict(start_tick=7),
+        )
+        env = spec.build_env()
+        try:
+            assert env.config.scenario.events[0].at_tick == 7
+        finally:
+            env.close()
+
+    def test_env_kwargs_on_sim_lustre_rejected(self):
+        spec = self._spec(env_kwargs={"drop_probability": 0.1})
+        with pytest.raises(ValueError, match="env_kwargs"):
+            spec.build_env()
+
+    def test_grid_workloads_axis_rejects_registered_scenario(self):
+        """A workloads axis relabels the scenario field; it must not
+        silently drop the base spec's perturbation timeline."""
+        from repro.exp import grid
+
+        base = self._spec()
+        with pytest.raises(ValueError, match="workloads axis"):
+            grid(
+                base,
+                workloads=[("rw", base.workload)],
+            )
+        # Without the axis the registered scenario expands intact.
+        specs = grid(base, seeds=[0, 1])
+        assert all(s.scenario == "sim-lustre-degraded" for s in specs)
+
+    def test_end_to_end_run(self):
+        from repro.exp import execute_spec
+
+        result = execute_spec(self._spec())
+        assert result.scenario == "sim-lustre-degraded"
+        assert result.final.tuned_rewards.shape == (3,)
+
+    def test_vector_end_to_end_run(self):
+        from repro.exp import execute_spec
+
+        a = execute_spec(self._spec(n_envs=2, vector_backend="serial"))
+        b = execute_spec(self._spec(n_envs=2, vector_backend="fork"))
+        assert np.array_equal(a.final.tuned_rewards, b.final.tuned_rewards)
