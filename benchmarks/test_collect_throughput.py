@@ -4,14 +4,26 @@ The vectorized hot-path claims of the environment redesign, measured:
 
 - **batched act** — pricing N stacked observations with one forward
   pass (``DQNAgent.act_batch``) must beat N single-row ``act`` calls;
-- **collection** — ``VectorEnv`` stepping N clusters in lockstep with
-  shared-DB fan-in, against the plain Python loop over N independent
-  single environments (the pre-vectorization way to run N clusters).
+- **lockstep collection** — ``VectorEnv`` stepping N clusters with
+  per-tick actions and shared-DB fan-in, against the plain Python loop
+  over N independent single environments (the pre-vectorization way to
+  run N clusters);
+- **chunked collection** — monitoring-only ``VectorEnv.collect``
+  (§3.3), which advances a whole chunk of ticks per worker round-trip
+  and batches the replay fan-in (packed records + ``put_many``),
+  against the per-tick monitoring-only N-loop.
 
 Results land in ``BENCH_collect.json`` at the repository root — CI
 uploads it as an artifact on every run, so the collection-throughput
 trajectory is recorded over time.  ``REPRO_BENCH_N_ENVS`` picks the
 fleet size (default 2, the CI smoke setting).
+
+The chunked ``fork`` backend is the configuration that must actually
+*beat* the N-loop — its workers advance their simulations in parallel
+and the chunking keeps pipe traffic off the per-tick path — but only
+when there are cores to run them on, so that assertion is skipped on
+single-core boxes (where every backend necessarily degenerates to
+time-slicing the same simulation work).
 """
 
 import json
@@ -20,6 +32,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.cluster import ClusterConfig
 from repro.env import EnvConfig, StorageTuningEnv, VectorEnv, vector_seeds
@@ -28,9 +41,9 @@ from repro.workloads import RandomReadWrite
 
 N_ENVS = int(os.environ.get("REPRO_BENCH_N_ENVS", "2"))
 COLLECT_TICKS = 60
-#: Throughput runs per configuration; best-of wins (single-core boxes
+#: Throughput rounds per configuration; best-of wins (single-core boxes
 #: jitter by several percent run to run, swamping the effects measured).
-REPEATS = 3
+REPEATS = 4
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_collect.json"
 
 BENCH_HP = Hyperparameters(
@@ -55,15 +68,19 @@ def _config(seed: int = 42) -> EnvConfig:
     )
 
 
-def _nloop_collect(n_ticks: int) -> float:
-    """The baseline: N single envs stepped one-by-one, per-obs act."""
+def _make_nloop_envs():
     from dataclasses import replace
 
     cfg = _config()
-    envs = [
+    return [
         StorageTuningEnv(replace(cfg, seed=s))
         for s in vector_seeds(cfg.seed, N_ENVS)
     ]
+
+
+def _nloop_collect(n_ticks: int) -> float:
+    """The baseline: N single envs stepped one-by-one, per-obs act."""
+    envs = _make_nloop_envs()
     observations = [env.reset() for env in envs]
     agent = DQNAgent(envs[0].obs_dim, envs[0].n_actions, hp=BENCH_HP, rng=0)
     t0 = time.perf_counter()
@@ -77,7 +94,23 @@ def _nloop_collect(n_ticks: int) -> float:
     return n_ticks * N_ENVS / elapsed
 
 
+def _nloop_monitor(n_ticks: int) -> float:
+    """Monitoring-only baseline: N single envs, per-tick NULL steps."""
+    envs = _make_nloop_envs()
+    for env in envs:
+        env.reset()
+    t0 = time.perf_counter()
+    for _ in range(n_ticks):
+        for env in envs:
+            env.step(0)
+    elapsed = time.perf_counter() - t0
+    for env in envs:
+        env.close()
+    return n_ticks * N_ENVS / elapsed
+
+
 def _vector_collect(n_ticks: int, backend: str) -> float:
+    """Lockstep acting collection: batched act + per-tick fan-in."""
     venv = VectorEnv.from_config(_config(), N_ENVS, backend=backend)
     agent = DQNAgent(venv.obs_dim, venv.n_actions, hp=BENCH_HP, rng=0)
     obs = venv.reset()
@@ -85,6 +118,17 @@ def _vector_collect(n_ticks: int, backend: str) -> float:
     for _ in range(n_ticks):
         actions = agent.act_batch(obs, greedy=True)
         obs, _rewards, _infos = venv.step(actions)
+    elapsed = time.perf_counter() - t0
+    venv.close()
+    return n_ticks * N_ENVS / elapsed
+
+
+def _chunked_collect(n_ticks: int, backend: str) -> float:
+    """Chunked monitoring-only collection: the fan-in hot path."""
+    venv = VectorEnv.from_config(_config(), N_ENVS, backend=backend)
+    venv.reset()
+    t0 = time.perf_counter()
+    venv.collect(n_ticks)
     elapsed = time.perf_counter() - t0
     venv.close()
     return n_ticks * N_ENVS / elapsed
@@ -114,32 +158,96 @@ def _act_bench(n: int, repeats: int = 300) -> tuple:
     return loop_us, batch_us
 
 
-def test_collect_throughput_records_bench_json():
+@pytest.fixture(scope="module")
+def bench():
+    """Measure every configuration once; tests share the numbers.
+
+    The configurations are interleaved round-robin (one run of each per
+    round, best-of over rounds) rather than measured back to back —
+    shared boxes drift over a multi-minute benchmark, and sequential
+    blocks would fold that drift into the ratios.
+    """
     loop_us, batch_us = _act_bench(N_ENVS)
-    serial = max(_nloop_collect(COLLECT_TICKS) for _ in range(REPEATS))
-    vec_serial = max(
-        _vector_collect(COLLECT_TICKS, "serial") for _ in range(REPEATS)
+    runners = {
+        "nloop_act": lambda: _nloop_collect(COLLECT_TICKS),
+        "nloop_mon": lambda: _nloop_monitor(COLLECT_TICKS),
+        "vec_serial": lambda: _vector_collect(COLLECT_TICKS, "serial"),
+        "vec_fork": lambda: _vector_collect(COLLECT_TICKS, "fork"),
+        "chunk_serial": lambda: _chunked_collect(COLLECT_TICKS, "serial"),
+        "chunk_fork": lambda: _chunked_collect(COLLECT_TICKS, "fork"),
+    }
+    best: dict = {name: 0.0 for name in runners}
+    for _ in range(REPEATS):
+        for name, run in runners.items():
+            best[name] = max(best[name], run())
+    nloop_act, nloop_mon = best["nloop_act"], best["nloop_mon"]
+    vec_serial, vec_fork = best["vec_serial"], best["vec_fork"]
+    chunk_serial, chunk_fork = best["chunk_serial"], best["chunk_fork"]
+    best_speedup = max(
+        vec_serial / nloop_act,
+        vec_fork / nloop_act,
+        chunk_serial / nloop_mon,
+        chunk_fork / nloop_mon,
     )
-    vec_fork = max(
-        _vector_collect(COLLECT_TICKS, "fork") for _ in range(REPEATS)
-    )
-    result = {
+    return {
         "n_envs": N_ENVS,
         "collect_ticks": COLLECT_TICKS,
-        "nloop_ticks_per_s": round(serial, 1),
+        "cpu_count": os.cpu_count(),
+        "nloop_ticks_per_s": round(nloop_act, 1),
+        "nloop_collect_ticks_per_s": round(nloop_mon, 1),
         "vector_serial_ticks_per_s": round(vec_serial, 1),
         "vector_fork_ticks_per_s": round(vec_fork, 1),
+        "chunked_serial_ticks_per_s": round(chunk_serial, 1),
+        "chunked_fork_ticks_per_s": round(chunk_fork, 1),
         "act_nloop_us": round(loop_us, 1),
         "act_batch_us": round(batch_us, 1),
         "act_batch_speedup": round(loop_us / batch_us, 2),
-        "collect_best_speedup": round(max(vec_serial, vec_fork) / serial, 2),
+        "chunked_collect_speedup": round(
+            max(chunk_serial, chunk_fork) / nloop_mon, 2
+        ),
+        "collect_best_speedup": round(best_speedup, 2),
     }
-    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
-    print(f"\ncollection throughput ({N_ENVS} envs): " + json.dumps(result))
+
+
+def test_collect_throughput_records_bench_json(bench):
+    OUT_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"\ncollection throughput ({N_ENVS} envs): " + json.dumps(bench))
     # Batched inference must beat the N-loop outright.
-    assert batch_us < loop_us, result
-    # Vectorized collection (best backend) must beat the plain N-loop;
-    # the serial backend alone must at least stay in the same ballpark
-    # despite doing strictly more work (shared-DB fan-in).
-    assert max(vec_serial, vec_fork) > serial * 0.95, result
-    assert vec_serial > serial * 0.5, result
+    assert bench["act_batch_us"] < bench["act_nloop_us"], bench
+    # Vectorized acting collection (best backend) must stay in the
+    # N-loop's ballpark despite doing strictly more work (fan-in); the
+    # serial backend alone must not collapse.
+    nloop = bench["nloop_ticks_per_s"]
+    assert (
+        max(
+            bench["vector_serial_ticks_per_s"],
+            bench["vector_fork_ticks_per_s"],
+        )
+        > nloop * 0.95
+    ), bench
+    assert bench["vector_serial_ticks_per_s"] > nloop * 0.5, bench
+    # Chunked serial collection does the N-loop's simulation work plus
+    # the whole fan-in, minus the per-tick observation builds and
+    # per-record writes — it must hold parity with the monitoring-only
+    # N-loop on any box (0.9: single-core boxes jitter several percent
+    # between interleaved rounds).
+    assert (
+        bench["chunked_serial_ticks_per_s"]
+        > bench["nloop_collect_ticks_per_s"] * 0.9
+    ), bench
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="chunked fork collection needs >= 2 cores to advance "
+    "simulations in parallel; on 1 core every backend time-slices "
+    "the same work",
+)
+def test_chunked_fork_beats_nloop_on_multicore(bench):
+    """The point of the fan-in rebuild: with real parallelism, chunked
+    fork collection must beat the per-tick N-loop outright."""
+    assert (
+        bench["chunked_fork_ticks_per_s"]
+        > bench["nloop_collect_ticks_per_s"]
+    ), bench
+    assert bench["collect_best_speedup"] > 1.0, bench

@@ -10,6 +10,9 @@ so the equivalent surface is a single CLI over a conf.py:
     python -m repro.cli evaluate --config conf.py --ticks 300 \
                                  --checkpoint model.npz
     python -m repro.cli baseline --config conf.py --ticks 300
+    python -m repro.cli collect  --config conf.py --ticks 600 \
+                                 --n-envs 4 --vector-backend fork \
+                                 --out replay.sqlite
     python -m repro.cli sweep    --config conf.py \
                                  --tuners capes,random --seeds 0-4 --jobs 4
     python -m repro.cli sweep    --config conf.py --env sim-lustre \
@@ -20,7 +23,11 @@ so the equivalent surface is a single CLI over a conf.py:
 
 ``train`` runs an online training session and saves the model;
 ``evaluate`` reloads it and measures tuned throughput; ``baseline``
-measures the untouched system; ``sweep`` fans a multi-tuner,
+measures the untouched system; ``collect`` is §3.3's "solely
+monitoring" mode — N clusters advance in chunks (one worker round-trip
+per chunk, replay records batched into the reply) and every NULL-action
+transition fans into one replay DB, durable when ``--out`` names a
+file, for later offline training; ``sweep`` fans a multi-tuner,
 multi-seed experiment grid out through
 :class:`~repro.exp.runner.ExperimentRunner` — ``--env`` names any
 registered environment backend, ``--n-envs N`` trains each CAPES
@@ -35,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -95,6 +103,63 @@ def cmd_baseline(args: argparse.Namespace) -> int:
     capes = _build(args)
     rewards = capes.measure_baseline(args.ticks)
     _summarize("baseline throughput", rewards)
+    return 0
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    """Monitoring-only chunked collection into one shared replay DB."""
+    from repro.env import VectorEnv
+
+    if args.n_envs < 1:
+        print(f"--n-envs must be >= 1, got {args.n_envs}", file=sys.stderr)
+        return 2
+    if args.ticks < 1:
+        print(f"--ticks must be >= 1, got {args.ticks}", file=sys.stderr)
+        return 2
+    if args.chunk is not None and args.chunk < 1:
+        print(f"--chunk must be >= 1, got {args.chunk}", file=sys.stderr)
+        return 2
+    if args.out and os.path.exists(args.out):
+        # A fresh fleet fences (clears) its shared DB on reset;
+        # collecting "into" an existing store would destroy it.
+        print(
+            f"refusing to overwrite existing replay DB {args.out!r}; "
+            f"each collection session is one fresh store — pick a new "
+            f"path or remove the old file first",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.replaydb import CACHE_ONLY
+
+    config = load_config(args.config)
+    venv = VectorEnv.from_config(
+        config.env,
+        args.n_envs,
+        backend=args.vector_backend,
+        # No --out: still fan in, just without a durable layer (useful
+        # as a throughput smoke and for in-process offline training).
+        shared_db_path=args.out if args.out else CACHE_ONLY,
+    )
+    try:
+        venv.reset()
+        rewards = venv.collect(args.ticks, chunk=args.chunk)
+        venv.commit_replay()
+        _summarize(
+            f"monitored throughput ({args.n_envs} cluster(s), "
+            f"{args.ticks} ticks)",
+            rewards.mean(axis=0),
+        )
+        stored = len(venv.shared_db)
+        if args.out:
+            print(
+                f"{stored} records -> {args.out} "
+                f"({venv.shared_db.record_count()} durable rows, "
+                f"{venv.shared_db.on_disk_bytes()} bytes)"
+            )
+        else:
+            print(f"{stored} records collected (cache-only, not persisted)")
+    finally:
+        venv.close()
     return 0
 
 
@@ -301,6 +366,39 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("baseline", help="measure untuned performance")
     common(p, 300)
     p.set_defaults(fn=cmd_baseline)
+
+    p = sub.add_parser(
+        "collect",
+        help="monitoring-only data collection into a replay DB (§3.3)",
+    )
+    common(p, 600)
+    p.add_argument(
+        "--n-envs",
+        type=int,
+        default=1,
+        help="clusters collecting in parallel, fanned into one replay DB",
+    )
+    p.add_argument(
+        "--vector-backend",
+        choices=("serial", "fork"),
+        default="serial",
+        help="how the collecting clusters are stepped",
+    )
+    p.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="ticks per worker round-trip (default: all of --ticks)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="SQLite path for the collected replay DB; omitted = "
+        "cache-only (records are not persisted).  With --n-envs N > 1 "
+        "the stored ticks are block-strided (cluster i's tick t lands "
+        "at i*65536 + t), so offline consumers must sample block-aware",
+    )
+    p.set_defaults(fn=cmd_collect)
 
     p = sub.add_parser(
         "sweep",

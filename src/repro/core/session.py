@@ -105,6 +105,19 @@ class CapesSession:
         """Bump ε whenever the schedule starts a new workload phase."""
         schedule.on_phase_change(lambda _p: self.agent.notify_workload_change())
 
+    def _flush_replay(self) -> None:
+        """Commit the environment's durable replay store, if it has one.
+
+        The per-record writers never commit (they would serialize the
+        hot path); instead every session segment boundary — the natural
+        checkpoint — flushes, so a crash mid-session loses at most the
+        current segment, not the whole store Figure 4's multi-session
+        reload depends on.
+        """
+        commit = getattr(self.env, "commit_replay", None)
+        if commit is not None:
+            commit()
+
     # -- training -------------------------------------------------------------
     def train(self, n_ticks: int) -> TrainResult:
         """Run ``n_ticks`` of online ε-greedy training."""
@@ -130,6 +143,7 @@ class CapesSession:
                 if loss is not None:
                     losses.append(loss)
         self._obs = obs
+        self._flush_replay()
         return TrainResult(
             n_ticks=n_ticks,
             rewards=rewards,
@@ -155,6 +169,7 @@ class CapesSession:
             rewards[i] = reward
             params_trace.append(info["params"])
         self._obs = obs
+        self._flush_replay()
         return EvalResult(
             n_ticks=n_ticks,
             rewards=rewards,
@@ -181,6 +196,7 @@ class CapesSession:
             _obs, reward, _info = self.env.step(0, out=obs_buf)  # NULL action
             rewards[i] = reward
         self._obs = self.env.current_observation()
+        self._flush_replay()
         return rewards
 
     def train_offline(self, n_steps: int) -> np.ndarray:
@@ -211,6 +227,7 @@ class CapesSession:
 
     # -- checkpointing -------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
+        self._flush_replay()
         save_checkpoint(
             path,
             self.agent.online.net,

@@ -26,6 +26,7 @@ from repro.env.tuning_env import EnvConfig, StorageTuningEnv
 from repro.env.vector import (
     StridedMinibatchSampler,
     VectorEnv,
+    WorkerCrashError,
     per_env_rngs,
     vector_seeds,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "StorageTuningEnv",
     "StridedMinibatchSampler",
     "VectorEnv",
+    "WorkerCrashError",
     "env_names",
     "make_env",
     "per_env_rngs",

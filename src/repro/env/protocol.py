@@ -42,6 +42,18 @@ class Environment(Protocol):
     checks member presence only, so existing call sites that construct a
     bare :class:`~repro.env.tuning_env.StorageTuningEnv` keep working
     unchanged.
+
+    Optional hot-path extensions (duck-typed, never required): backends
+    may additionally provide ``records_since(after_tick)`` /
+    ``records_since_packed(after_tick)`` (the replay-record feed
+    :class:`~repro.env.vector.VectorEnv` fans into its shared DB — the
+    packed form ships one
+    :class:`~repro.replaydb.records.PackedRecords` array block instead
+    of a pickled object list), ``run_chunk(k, action=None)`` (advance k
+    ticks per call on the chunked collection path), and
+    ``commit_replay()`` (flush a durable replay layer at session
+    checkpoints).  ``VectorEnv`` and the session fall back to the
+    required surface when an extension is absent.
     """
 
     #: Discrete action vocabulary (direction-per-parameter plus NULL).

@@ -27,7 +27,7 @@ from repro.core.checker import ActionChecker
 from repro.core.control import ControlAgent
 from repro.core.interface_daemon import InterfaceDaemon
 from repro.replaydb.db import ReplayDB
-from repro.replaydb.records import TickRecord
+from repro.replaydb.records import PackedRecords, TickRecord
 from repro.replaydb.sampler import MinibatchSampler
 from repro.rl.hyperparams import Hyperparameters
 from repro.scenarios.scenario import Scenario, ScenarioRuntime
@@ -326,11 +326,55 @@ class StorageTuningEnv:
             if cache.has(t)
         ]
 
+    def records_since_packed(self, after_tick: int) -> "PackedRecords":
+        """:meth:`records_since` in column-packed array form.
+
+        Field-for-field identical content, but shipped as one
+        ``(k, frame_dim)`` frame block plus tick/action/reward vectors —
+        the transport the vectorized fan-in hot path uses so a worker
+        reply costs four array pickles instead of k object pickles.
+        """
+        self._require_reset()
+        cache = self.db.cache
+        if cache.max_tick is None:
+            return PackedRecords.empty(self.frame_dim)
+        return cache.records_between(after_tick + 1, cache.max_tick)
+
+    def commit_replay(self) -> None:
+        """Flush the durable replay store (a session-checkpoint hook).
+
+        The per-record writers never commit; sessions call this at
+        segment boundaries so a crash mid-run cannot lose the whole
+        store Figure 4's multi-session reload depends on.
+        """
+        if self.db is not None:
+            self.db.commit()
+
     # -- baseline/measurement helpers ----------------------------------------
+    def run_chunk(self, k: int, action: Optional[int] = None) -> np.ndarray:
+        """Advance ``k`` ticks in one call; returns per-tick rewards.
+
+        ``action`` (when given) is performed before every tick — the
+        chunked form of k identical ``step(action)`` calls, minus the k
+        per-tick observation builds nobody reads in monitoring-only
+        collection.  ``action=None`` performs no actions at all (the
+        baseline-measurement mode of :meth:`run_ticks`).  Rewards,
+        replay records and the post-chunk observation are byte-identical
+        to the per-tick loop.
+        """
+        self._require_reset()
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        rewards = np.empty(k)
+        for j in range(k):
+            if action is not None:
+                self.daemon.perform_action(self.tick, action)
+            rewards[j] = self._advance_one_tick()
+        return rewards
+
     def run_ticks(self, n: int) -> np.ndarray:
         """Advance ``n`` ticks with no actions; returns per-tick rewards."""
-        self._require_reset()
-        return np.array([self._advance_one_tick() for _ in range(n)])
+        return self.run_chunk(n)
 
     def set_params(self, values: Dict[str, float]) -> None:
         """Directly apply a parameter assignment (baselines, experiments)."""

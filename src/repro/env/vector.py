@@ -22,6 +22,19 @@ Backends
     simulations advance in parallel.  ``fork`` inherits memory, so
     unpicklable workload factories work unchanged.
 
+Fan-in transport
+----------------
+Every reply that advances ticks carries the environment's new replay
+records inline, packed as one
+:class:`~repro.replaydb.records.PackedRecords` array block rather than
+a pickled object list, and the master lands each batch with one
+:meth:`~repro.replaydb.db.ReplayDB.put_many`.  Acting paths stay in
+per-tick lockstep (the policy needs every observation) but pay no
+separate records round-trip; monitoring-only :meth:`VectorEnv.collect`
+and :meth:`VectorEnv.run_ticks` additionally run *chunked* — one
+``run_chunk`` round-trip advances many ticks — which is pure
+transport: chunked and per-tick stepping are byte-identical.
+
 Determinism contract
 --------------------
 Per-env trajectories are a pure function of the per-env seed and the
@@ -53,7 +66,8 @@ import numpy as np
 
 from repro.env.protocol import Environment
 from repro.env.tuning_env import EnvConfig, StorageTuningEnv
-from repro.replaydb.db import ReplayDB
+from repro.replaydb.db import CACHE_ONLY, ReplayDB
+from repro.replaydb.records import PackedRecords
 from repro.replaydb.sampler import MinibatchSampler, SamplerStarvedError
 from repro.util.rng import derive_rng, ensure_rng
 from repro.util.validation import check_positive
@@ -98,6 +112,75 @@ def per_env_rngs(
 # --------------------------------------------------------------------------
 
 
+def _fetch_packed(env: Environment, since: int) -> PackedRecords:
+    """New replay records after ``since``, in packed array form.
+
+    Uses the backend's native packed feed when it has one; otherwise
+    packs the object-form ``records_since`` so any Environment with a
+    record feed can join a fan-in fleet.
+    """
+    fn = getattr(env, "records_since_packed", None)
+    if fn is not None:
+        return fn(since)
+    return PackedRecords.from_records(env.records_since(since), env.frame_dim)
+
+
+def _chunk_rewards(env: Environment, action: Optional[int], k: int) -> np.ndarray:
+    """Advance ``k`` ticks (``action`` per tick, or none); per-tick rewards.
+
+    Prefers the backend's ``run_chunk`` (which skips the per-tick
+    observation builds nobody reads during chunked collection); the
+    fallback per-tick loop is byte-identical, just slower.
+    """
+    fn = getattr(env, "run_chunk", None)
+    if fn is not None:
+        return np.asarray(fn(k, action=action))
+    if action is None:
+        return np.asarray(env.run_ticks(k))
+    rewards = np.empty(k)
+    for j in range(k):
+        _obs, rewards[j], _info = env.step(action)
+    return rewards
+
+
+def _exec_env_cmd(env: Environment, cmd: str, payload: Any) -> Any:
+    """One worker command against one environment — both backends run
+    exactly this, so serial and fork stay behaviourally identical.
+
+    Replies that advance ticks carry the new replay records inline
+    (``since`` is the master's last-synced tick, or ``None`` when
+    fan-in is off), collapsing the old step-then-fetch double
+    round-trip into one.
+    """
+    if cmd == "reset":
+        want_records = payload
+        obs = env.reset()
+        packed = _fetch_packed(env, -1) if want_records else None
+        return obs, packed
+    if cmd == "step":
+        action, out, since = payload
+        obs, reward, info = env.step(action, out=out)
+        packed = _fetch_packed(env, since) if since is not None else None
+        return obs, reward, info, packed
+    if cmd == "run_chunk":
+        action, k, since, out = payload
+        rewards = _chunk_rewards(env, action, k)
+        obs = env.current_observation(out=out)
+        packed = _fetch_packed(env, since) if since is not None else None
+        return rewards, obs, packed
+    if cmd == "records":
+        return _fetch_packed(env, payload)
+    if cmd == "call":
+        name, args, kwargs = payload
+        return getattr(env, name)(*args, **kwargs)
+    if cmd == "commit":
+        fn = getattr(env, "commit_replay", None)
+        if fn is not None:
+            fn()
+        return None
+    raise ValueError(f"unknown worker command {cmd!r}")  # pragma: no cover
+
+
 class _SerialWorker:
     """In-process backend: submit computes immediately."""
 
@@ -106,25 +189,41 @@ class _SerialWorker:
         self._result: Any = None
 
     def submit(self, cmd: str, payload: Any = None) -> None:
-        if cmd == "reset":
-            self._result = self.env.reset()
-        elif cmd == "step":
-            action, out = payload
-            self._result = self.env.step(action, out=out)
-        elif cmd == "records":
-            self._result = self.env.records_since(payload)
-        elif cmd == "call":
-            name, args, kwargs = payload
-            self._result = getattr(self.env, name)(*args, **kwargs)
-        elif cmd == "close":
+        if cmd == "close":
             self.env.close()
             self._result = None
-        else:  # pragma: no cover - internal protocol
-            raise ValueError(f"unknown worker command {cmd!r}")
+        else:
+            self._result = _exec_env_cmd(self.env, cmd, payload)
 
     def result(self) -> Any:
         out, self._result = self._result, None
         return out
+
+
+class WorkerCrashError(RuntimeError):
+    """A fork worker raised an exception that could not cross the pipe.
+
+    Carries the original exception's type name, message and full
+    traceback as text — everything the real exception knew, minus the
+    unpicklable payload (open connections, generators, ...) that would
+    otherwise have killed the pipe and surfaced as a bare ``EOFError``.
+    """
+
+
+def _transportable(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round-trip, else a text wrapper."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        import traceback
+
+        return WorkerCrashError(
+            f"{type(exc).__name__}: {exc}\n"
+            f"[worker traceback]\n{traceback.format_exc()}"
+        )
 
 
 def _env_worker(factory: EnvFactoryFn, conn) -> None:
@@ -134,24 +233,13 @@ def _env_worker(factory: EnvFactoryFn, conn) -> None:
         while True:
             cmd, payload = conn.recv()
             try:
-                if cmd == "reset":
-                    result = env.reset()
-                elif cmd == "step":
-                    action, _out = payload  # out-buffers don't cross pipes
-                    result = env.step(action)
-                elif cmd == "records":
-                    result = env.records_since(payload)
-                elif cmd == "call":
-                    name, args, kwargs = payload
-                    result = getattr(env, name)(*args, **kwargs)
-                elif cmd == "close":
+                if cmd == "close":
                     env.close()
                     conn.send(("ok", None))
                     return
-                else:  # pragma: no cover - internal protocol
-                    raise ValueError(f"unknown worker command {cmd!r}")
-            except Exception as exc:  # surface remote failures verbatim
-                conn.send(("err", exc))
+                result = _exec_env_cmd(env, cmd, payload)
+            except Exception as exc:  # surface remote failures
+                conn.send(("err", _transportable(exc)))
             else:
                 conn.send(("ok", result))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
@@ -206,8 +294,12 @@ class VectorEnv:
         ``"serial"`` (in-process) or ``"fork"`` (one worker process per
         environment).  Results are byte-identical either way.
     shared_db_path:
-        Where the shared fan-in :class:`ReplayDB` lives (default
-        in-memory); ``None`` disables fan-in entirely.
+        Where the shared fan-in :class:`ReplayDB` lives.  The default,
+        :data:`~repro.replaydb.db.CACHE_ONLY`, keeps the fan-in store
+        in the NumPy cache alone — an in-memory SQLite layer under it
+        buys no durability, only per-write overhead on the collection
+        hot path.  Pass a filesystem path (or ``":memory:"``) for a
+        SQLite-backed store, or ``None`` to disable fan-in entirely.
     tick_stride:
         Tick-space block size per environment in the shared DB; an
         environment raises once its local tick reaches the stride.
@@ -217,7 +309,7 @@ class VectorEnv:
         self,
         factories: Sequence[EnvFactoryFn],
         backend: str = "serial",
-        shared_db_path: Optional[str] = ":memory:",
+        shared_db_path: Optional[str] = CACHE_ONLY,
         tick_stride: int = 65536,
     ):
         if not factories:
@@ -270,13 +362,14 @@ class VectorEnv:
         """N sim-lustre clusters from one base config.
 
         Per-env seeds come from :func:`vector_seeds` over
-        ``config.seed``; each cluster gets its own in-memory replay DB
-        (the shared fan-in DB is the cross-cluster store).
+        ``config.seed``; each cluster gets its own cache-only replay
+        store — per-cluster records are staging for the fan-in, so the
+        shared DB is the only store that can want a durable layer.
         """
         factories = [
             functools.partial(
                 StorageTuningEnv,
-                replace(config, seed=s, db_path=":memory:"),
+                replace(config, seed=s, db_path=CACHE_ONLY),
             )
             for s in vector_seeds(config.seed, n_envs)
         ]
@@ -329,51 +422,70 @@ class VectorEnv:
         return result
 
     # -- shared-DB fan-in ------------------------------------------------
-    def _sync_env(self, i: int) -> None:
-        """Mirror env ``i``'s new replay records into the shared DB.
+    def _since(self, i: int) -> Optional[int]:
+        """The records-after tick for env ``i``'s next reply, or ``None``
+        when fan-in is off.
 
-        Re-fetches the last synced tick too: its action is recorded one
-        step later than its frame (the action decided *after* observing
-        that tick), so the refresh picks it up.
+        One behind the synced high-water mark: the synced tick's action
+        is recorded one step later than its frame (the action decided
+        *after* observing that tick), so re-fetching it picks the
+        action up.
+        """
+        if self.shared_db is None:
+            return None
+        return self._synced[i] - 1
+
+    def _ingest(self, i: int, packed: Optional[PackedRecords]) -> None:
+        """Batch-write env ``i``'s new records into the shared DB."""
+        if self.shared_db is None or packed is None or len(packed) == 0:
+            return
+        top = int(packed.ticks[-1])
+        if top >= self.tick_stride:
+            raise RuntimeError(
+                f"env {i} reached tick {top} >= tick_stride "
+                f"{self.tick_stride}; raise tick_stride to run longer "
+                f"vectorized sessions"
+            )
+        self.shared_db.put_many(
+            packed.ticks + i * self.tick_stride,
+            packed.frames,
+            packed.rewards,
+            packed.actions,
+        )
+        if top > self._synced[i]:
+            self._synced[i] = top
+
+    def _sync_env(self, i: int) -> None:
+        """Pull-and-ingest env ``i``'s new records (one worker round-trip).
+
+        Only needed after :meth:`env_method` — every lockstep path folds
+        the records into the stepping reply instead.
         """
         if self.shared_db is None:
             return
-        worker = self._workers[i]
-        worker.submit("records", self._synced[i] - 1)
-        offset = i * self.tick_stride
-        for rec in worker.result():
-            if rec.tick >= self.tick_stride:
-                raise RuntimeError(
-                    f"env {i} reached tick {rec.tick} >= tick_stride "
-                    f"{self.tick_stride}; raise tick_stride to run longer "
-                    f"vectorized sessions"
-                )
-            self.shared_db.put_observation(
-                offset + rec.tick, rec.frame, rec.reward
-            )
-            if rec.action >= 0:
-                self.shared_db.put_action(offset + rec.tick, rec.action)
-            if rec.tick > self._synced[i]:
-                self._synced[i] = rec.tick
-
-    def _sync_all(self) -> None:
-        for i in range(self.n_envs):
-            self._sync_env(i)
+        self._workers[i].submit("records", self._since(i))
+        self._ingest(i, self._workers[i].result())
 
     # -- lockstep lifecycle ----------------------------------------------
     def reset(self) -> np.ndarray:
         """Reset every cluster; returns the stacked ``(n, obs_dim)``
         observation.
 
-        The returned array is an internal buffer reused by ``step`` —
-        copy it if you need it beyond the next tick.
+        The shared fan-in DB is cleared first — a reused vector env must
+        never serve transitions recorded by the previous episode's
+        target systems.  The returned array is an internal buffer reused
+        by ``step`` — copy it if you need it beyond the next tick.
         """
-        for w in self._workers:
-            w.submit("reset")
-        for i, w in enumerate(self._workers):
-            self._obs_buf[i] = w.result()
+        if self.shared_db is not None:
+            self.shared_db.clear()
         self._synced = [-1] * self.n_envs
-        self._sync_all()
+        want_records = self.shared_db is not None
+        for w in self._workers:
+            w.submit("reset", want_records)
+        for i, w in enumerate(self._workers):
+            obs, packed = w.result()
+            self._obs_buf[i] = obs
+            self._ingest(i, packed)
         return self._obs_buf
 
     def step(
@@ -384,7 +496,9 @@ class VectorEnv:
         Returns ``(obs, rewards, infos)`` where ``obs`` is the reused
         ``(n, obs_dim)`` buffer and ``rewards`` the reused ``(n,)``
         buffer.  All submissions go out before any result is collected,
-        so the ``fork`` backend steps clusters in parallel.
+        so the ``fork`` backend steps clusters in parallel; each reply
+        carries the cluster's new replay records, so fan-in costs no
+        extra round-trip.
         """
         actions = np.asarray(actions)
         if actions.shape != (self.n_envs,):
@@ -393,45 +507,85 @@ class VectorEnv:
             )
         for i, w in enumerate(self._workers):
             out = self._obs_buf[i] if self.backend == "serial" else None
-            w.submit("step", (int(actions[i]), out))
+            w.submit("step", (int(actions[i]), out, self._since(i)))
         infos: List[dict] = []
         for i, w in enumerate(self._workers):
-            obs, reward, info = w.result()
+            obs, reward, info, packed = w.result()
             if self.backend != "serial":
                 # Serial steps wrote straight into the buffer via out=;
                 # pipe-crossing observations need the one copy.
                 self._obs_buf[i] = obs
             self._reward_buf[i] = reward
             infos.append(info)
-        self._sync_all()
+            self._ingest(i, packed)
         return self._obs_buf, self._reward_buf, infos
 
-    def run_ticks(self, n: int) -> np.ndarray:
-        """Advance all clusters ``n`` ticks with no actions.
+    def _run_chunks(
+        self, action: Optional[int], n_ticks: int, chunk: Optional[int]
+    ) -> np.ndarray:
+        """Advance all clusters ``n_ticks`` ticks, ``chunk`` per
+        round-trip; per-env per-tick rewards, shape ``(n_envs, n_ticks)``.
 
-        Returns per-env per-tick rewards, shape ``(n_envs, n)``.
+        One worker round-trip per chunk replaces two pipe crossings per
+        tick: each reply carries the chunk's rewards, the post-chunk
+        observation and the new replay records together.
         """
-        check_positive("n", n)
-        for w in self._workers:
-            w.submit("call", ("run_ticks", (n,), {}))
-        rewards = np.stack([w.result() for w in self._workers])
-        self._sync_all()
+        check_positive("n_ticks", n_ticks)
+        if chunk is None:
+            chunk = n_ticks
+        check_positive("chunk", chunk)
+        rewards = np.empty((self.n_envs, n_ticks))
+        done = 0
+        while done < n_ticks:
+            k = min(chunk, n_ticks - done)
+            for i, w in enumerate(self._workers):
+                out = self._obs_buf[i] if self.backend == "serial" else None
+                w.submit("run_chunk", (action, k, self._since(i), out))
+            for i, w in enumerate(self._workers):
+                r, obs, packed = w.result()
+                rewards[i, done : done + k] = r
+                if self.backend != "serial":
+                    self._obs_buf[i] = obs
+                self._ingest(i, packed)
+            done += k
         return rewards
 
-    def collect(self, n_ticks: int) -> np.ndarray:
+    def run_ticks(self, n: int, chunk: Optional[int] = None) -> np.ndarray:
+        """Advance all clusters ``n`` ticks with no actions.
+
+        Returns per-env per-tick rewards, shape ``(n_envs, n)``.  Runs
+        chunked (``chunk`` ticks per worker round-trip, default all of
+        them) and leaves :meth:`current_observation` refreshed.
+        """
+        return self._run_chunks(None, n, chunk)
+
+    def collect(self, n_ticks: int, chunk: Optional[int] = None) -> np.ndarray:
         """Monitoring-only collection: NULL actions on every cluster.
 
         §3.3's "solely monitoring" mode, vectorized — every tick lands
         one valid (NULL-action) transition per cluster in the shared
         replay DB.  Returns rewards of shape ``(n_envs, n_ticks)``.
+
+        Runs fully chunked: ``chunk`` ticks (default: all ``n_ticks``)
+        advance per worker round-trip, with the records batched into
+        the same reply — byte-identical to per-tick stepping
+        (``chunk=1``), without the per-tick pipe crossings, observation
+        builds and per-record DB writes.
         """
-        check_positive("n_ticks", n_ticks)
-        nulls = np.zeros(self.n_envs, dtype=np.int64)
-        rewards = np.zeros((self.n_envs, n_ticks))
-        for t in range(n_ticks):
-            _obs, r, _infos = self.step(nulls)
-            rewards[:, t] = r
-        return rewards
+        return self._run_chunks(0, n_ticks, chunk)
+
+    def commit_replay(self) -> None:
+        """Flush every durable replay layer (session-checkpoint hook).
+
+        Broadcasts to the workers (their local stores commit, when they
+        have a durable layer) and commits the shared fan-in DB.
+        """
+        for w in self._workers:
+            w.submit("commit")
+        for w in self._workers:
+            w.result()
+        if self.shared_db is not None:
+            self.shared_db.commit()
 
     def current_observation(self) -> np.ndarray:
         """The stacked observation buffer as of the last reset/step."""

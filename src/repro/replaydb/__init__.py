@@ -18,13 +18,15 @@ arrays").  This package reproduces that split:
 
 from repro.replaydb.cache import ReplayCache
 from repro.replaydb.prioritized import PrioritizedMinibatch, PrioritizedSampler
-from repro.replaydb.db import ReplayDB
-from repro.replaydb.records import TickRecord, Transition
+from repro.replaydb.db import CACHE_ONLY, ReplayDB
+from repro.replaydb.records import PackedRecords, TickRecord, Transition
 from repro.replaydb.sampler import MinibatchSampler
 
 __all__ = [
+    "CACHE_ONLY",
     "PrioritizedSampler",
     "PrioritizedMinibatch",
+    "PackedRecords",
     "ReplayDB",
     "ReplayCache",
     "MinibatchSampler",

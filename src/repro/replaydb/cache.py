@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.replaydb.records import TickRecord
+from repro.replaydb.records import PackedRecords, TickRecord
 from repro.util.validation import check_positive
 
 
@@ -90,6 +90,117 @@ class ReplayCache:
         horizon = self._max_tick - self.capacity + 1
         if self._min_tick is not None and self._min_tick < horizon:
             self._min_tick = horizon
+
+    def put_many(
+        self,
+        ticks: np.ndarray,
+        frames: np.ndarray,
+        rewards: np.ndarray,
+        actions: Optional[np.ndarray] = None,
+    ) -> None:
+        """Bulk :meth:`put`: one array assignment instead of k calls.
+
+        Same signature as :meth:`ReplayDB.put_many` (``actions`` last
+        and optional, ``-1`` = no action) so the two bulk writers can
+        never be called with swapped columns.  Equivalent
+        record-for-record to ``for r in …: put(r)``.  The vectorized
+        fast path requires strictly ascending ticks spanning less than
+        one ring capacity (the shape every fan-in batch has); anything
+        irregular falls back to the per-record loop, which also
+        enforces the too-old rejection with its usual message.
+        """
+        ticks = np.asarray(ticks, dtype=np.int64)
+        frames = np.asarray(frames, dtype=np.float64)
+        rewards = np.asarray(rewards, dtype=np.float64)
+        if actions is None:
+            actions = np.full(ticks.shape[0], -1, dtype=np.int64)
+        else:
+            actions = np.asarray(actions, dtype=np.int64)
+        k = ticks.shape[0]
+        if frames.shape != (k, self.frame_width):
+            raise ValueError(
+                f"frames shape {frames.shape} != ({k}, {self.frame_width})"
+            )
+        if actions.shape != (k,) or rewards.shape != (k,):
+            raise ValueError(
+                f"actions/rewards must have shape ({k},), got "
+                f"{actions.shape}/{rewards.shape}"
+            )
+        if k == 0:
+            return
+        irregular = (
+            np.any(np.diff(ticks) <= 0)
+            or int(ticks[-1]) - int(ticks[0]) >= self.capacity
+            or int(ticks[0]) < 0
+            or (
+                self._max_tick is not None
+                and int(ticks[0]) <= self._max_tick - self.capacity
+            )
+        )
+        if irregular:
+            for i in range(k):
+                self.put(
+                    TickRecord(
+                        tick=int(ticks[i]),
+                        frame=frames[i],
+                        action=int(actions[i]),
+                        reward=float(rewards[i]),
+                    )
+                )
+            return
+        slots = ticks % self.capacity
+        self._count += int(np.count_nonzero(self._ticks[slots] < 0))
+        self._frames[slots] = frames
+        self._actions[slots] = actions
+        self._rewards[slots] = rewards
+        self._ticks[slots] = ticks
+        if self._max_tick is None or int(ticks[-1]) > self._max_tick:
+            self._max_tick = int(ticks[-1])
+        if self._min_tick is None or int(ticks[0]) < self._min_tick:
+            self._min_tick = int(ticks[0])
+        horizon = self._max_tick - self.capacity + 1
+        if self._min_tick < horizon:
+            self._min_tick = horizon
+
+    def records_between(self, first_tick: int, last_tick: int) -> PackedRecords:
+        """Stored records with ``first_tick <= tick <= last_tick``, packed.
+
+        Ticks come back strictly ascending; ticks never stored (dropped
+        monitoring messages) are simply absent.  Arrays are copies, safe
+        to ship across process boundaries.
+        """
+        if self._max_tick is None or last_tick < first_tick:
+            return PackedRecords.empty(self.frame_width)
+        lo = max(int(first_tick), self._min_tick or 0, 0)
+        hi = min(int(last_tick), self._max_tick)
+        if hi < lo:
+            return PackedRecords.empty(self.frame_width)
+        ticks = np.arange(lo, hi + 1, dtype=np.int64)
+        slots = ticks % self.capacity
+        present = self._ticks[slots] == ticks
+        ticks, slots = ticks[present], slots[present]
+        # Fancy indexing already materializes fresh arrays, detached
+        # from the ring storage.
+        return PackedRecords(
+            ticks=ticks,
+            frames=self._frames[slots],
+            actions=self._actions[slots],
+            rewards=self._rewards[slots],
+        )
+
+    def clear(self) -> None:
+        """Drop every record in place (the arrays stay allocated).
+
+        Samplers holding a reference to this cache see it empty rather
+        than dangling — the fence :class:`~repro.env.vector.VectorEnv`
+        applies on reset so a reused fleet cannot serve transitions
+        from a previous episode.
+        """
+        self._ticks.fill(-1)
+        self._actions.fill(-1)
+        self._min_tick = None
+        self._max_tick = None
+        self._count = 0
 
     def set_action(self, tick: int, action: int) -> None:
         """Attach the action taken at ``tick`` (arrives separately)."""

@@ -49,10 +49,15 @@ class EpsilonSchedule:
         return current
 
     def bump(self) -> None:
-        """Workload change: raise ε to the bump value (never lowers it)."""
+        """Workload change: raise ε to the bump value (never lowers it).
+
+        ``bumps`` counts every notification, whether or not ε moved —
+        it is workload-change telemetry, and a change arriving while ε
+        is already high is still a change.
+        """
+        self.bumps += 1
         if self._value < self.bump_value:
             self._value = self.bump_value
-            self.bumps += 1
 
     def freeze_final(self) -> None:
         """Jump straight to the final ε (evaluation sessions)."""

@@ -74,7 +74,14 @@ class TestLoadConfig:
 class TestCLI:
     def test_parser_subcommands(self):
         parser = make_parser()
-        for cmd in ("train", "evaluate", "baseline", "sweep", "window-sweep"):
+        for cmd in (
+            "train",
+            "evaluate",
+            "baseline",
+            "collect",
+            "sweep",
+            "window-sweep",
+        ):
             args = parser.parse_args([cmd, "--config", "x.py"])
             assert args.command == cmd
 
@@ -99,6 +106,76 @@ class TestCLI:
         rc = main(["baseline", "--config", conf_path, "--ticks", "6"])
         assert rc == 0
         assert "baseline throughput" in capsys.readouterr().out
+
+    def test_collect_command_persists_replay_db(self, conf_path, tmp_path, capsys):
+        out_db = str(tmp_path / "collected.sqlite")
+        rc = main(
+            [
+                "collect",
+                "--config",
+                conf_path,
+                "--ticks",
+                "6",
+                "--n-envs",
+                "2",
+                "--chunk",
+                "3",
+                "--out",
+                out_db,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "monitored throughput" in out
+        assert "durable rows" in out
+        # 2 envs x (3 warm-up + 6 collection) ticks, reloadable.
+        from repro.replaydb import ReplayDB
+
+        db = ReplayDB(44, path=out_db)
+        assert db.record_count() == 2 * 9
+        db.close()
+
+    def test_collect_command_cache_only(self, conf_path, capsys):
+        rc = main(["collect", "--config", conf_path, "--ticks", "4"])
+        assert rc == 0
+        assert "not persisted" in capsys.readouterr().out
+
+    def test_collect_rejects_bad_n_envs(self, conf_path, capsys):
+        rc = main(["collect", "--config", conf_path, "--n-envs", "0"])
+        assert rc == 2
+        assert "--n-envs" in capsys.readouterr().err
+
+    def test_collect_rejects_bad_ticks_and_chunk(self, conf_path, capsys):
+        rc = main(["collect", "--config", conf_path, "--ticks", "0"])
+        assert rc == 2
+        assert "--ticks" in capsys.readouterr().err
+        rc = main(
+            ["collect", "--config", conf_path, "--ticks", "4", "--chunk", "0"]
+        )
+        assert rc == 2
+        assert "--chunk" in capsys.readouterr().err
+
+    def test_collect_refuses_to_overwrite_existing_db(
+        self, conf_path, tmp_path, capsys
+    ):
+        """The reset fence clears the shared DB, so collecting into an
+        existing store would silently destroy it; the CLI must refuse."""
+        out_db = tmp_path / "already.sqlite"
+        out_db.write_bytes(b"not empty")
+        rc = main(
+            [
+                "collect",
+                "--config",
+                conf_path,
+                "--ticks",
+                "4",
+                "--out",
+                str(out_db),
+            ]
+        )
+        assert rc == 2
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert out_db.read_bytes() == b"not empty"  # untouched
 
     def test_window_sweep_command(self, conf_path, capsys):
         rc = main(

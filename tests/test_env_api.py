@@ -161,6 +161,25 @@ class TestProtocol:
         assert [r.tick for r in new] == [env.tick]
         env.close()
 
+    def test_records_since_packed_matches_object_form(self):
+        """The packed transport is a pure encoding change: field for
+        field identical to the TickRecord list, at every watermark."""
+        env = StorageTuningEnv(tiny_config())
+        env.reset()
+        for _ in range(3):
+            env.step(1)
+        for since in (-1, 0, env.tick - 2, env.tick):
+            records = env.records_since(since)
+            packed = env.records_since_packed(since)
+            assert len(packed) == len(records)
+            assert packed.frames.shape == (len(records), env.frame_dim)
+            for i, rec in enumerate(records):
+                assert int(packed.ticks[i]) == rec.tick
+                assert int(packed.actions[i]) == rec.action
+                assert float(packed.rewards[i]) == rec.reward
+                np.testing.assert_array_equal(packed.frames[i], rec.frame)
+        env.close()
+
 
 class TestDerivedStreams:
     def test_vector_seeds_independent_of_n(self):

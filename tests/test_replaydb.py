@@ -1,11 +1,20 @@
 """Tests for the replay database: cache, SQLite store, Algorithm 1."""
 
+import sqlite3
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.replaydb import MinibatchSampler, ReplayCache, ReplayDB, TickRecord
+from repro.replaydb import (
+    CACHE_ONLY,
+    MinibatchSampler,
+    PackedRecords,
+    ReplayCache,
+    ReplayDB,
+    TickRecord,
+)
 from repro.replaydb.sampler import SamplerStarvedError
 
 
@@ -76,6 +85,195 @@ class TestReplayCache:
 
     def test_nbytes_positive(self):
         assert ReplayCache(4, capacity=8).nbytes() > 0
+
+    def test_clear_empties_in_place(self):
+        c = ReplayCache(2, capacity=8)
+        for t in range(5):
+            c.put(TickRecord(t, np.full(2, float(t)), action=1))
+        c.clear()
+        assert len(c) == 0
+        assert c.min_tick is None and c.max_tick is None
+        assert not c.has(0)
+        # Reusable after the fence, including ticks below the old max.
+        c.put(TickRecord(1, np.ones(2)))
+        assert c.has(1) and len(c) == 1
+
+
+def _random_batch(k, fw, seed=0, start_tick=0, action_every=2):
+    """Ascending ticks with gaps; every ``action_every``-th has an action."""
+    rng = np.random.default_rng(seed)
+    ticks = start_tick + np.cumsum(rng.integers(1, 3, size=k))
+    frames = rng.normal(size=(k, fw))
+    actions = np.where(np.arange(k) % action_every == 0, 3, -1)
+    rewards = rng.normal(size=k)
+    return ticks.astype(np.int64), frames, actions.astype(np.int64), rewards
+
+
+class TestBulkWrites:
+    """put_many / records_between: byte-equivalent to per-record loops."""
+
+    def test_cache_put_many_equals_put_loop(self):
+        ticks, frames, actions, rewards = _random_batch(30, 3)
+        bulk = ReplayCache(3, capacity=256)
+        bulk.put_many(ticks, frames, rewards, actions)
+        loop = ReplayCache(3, capacity=256)
+        for i in range(30):
+            loop.put(
+                TickRecord(int(ticks[i]), frames[i], int(actions[i]), float(rewards[i]))
+            )
+        assert len(bulk) == len(loop)
+        assert bulk.min_tick == loop.min_tick and bulk.max_tick == loop.max_tick
+        for t in ticks:
+            got_b, got_l = bulk.get(int(t)), loop.get(int(t))
+            np.testing.assert_array_equal(got_b.frame, got_l.frame)
+            assert got_b.action == got_l.action
+            assert got_b.reward == got_l.reward
+
+    def test_cache_put_many_irregular_falls_back(self):
+        # Unsorted ticks take the per-record path and still land right.
+        c = ReplayCache(2, capacity=16)
+        c.put_many(
+            np.array([5, 2, 9]),
+            np.ones((3, 2)),
+            np.array([0.5, 1.5, 2.5]),
+            np.array([-1, 1, -1]),
+        )
+        assert len(c) == 3 and c.get(2).action == 1 and c.get(9).reward == 2.5
+
+    def test_cache_put_many_too_old_rejected(self):
+        c = ReplayCache(2, capacity=4)
+        c.put(TickRecord(10, np.zeros(2)))
+        with pytest.raises(ValueError):
+            c.put_many(np.array([3]), np.zeros((1, 2)), np.zeros(1))
+
+    def test_cache_put_many_shape_validation(self):
+        c = ReplayCache(3, capacity=8)
+        with pytest.raises(ValueError):
+            c.put_many(np.array([0]), np.zeros((1, 2)), np.zeros(1))
+        with pytest.raises(ValueError):
+            c.put_many(
+                np.array([0]), np.zeros((1, 3)), np.zeros(1), np.array([-1, 2])
+            )
+
+    def test_db_put_many_equals_writer_loop(self, tmp_path):
+        ticks, frames, actions, rewards = _random_batch(20, 4, seed=3)
+        bulk = ReplayDB(4, path=str(tmp_path / "bulk.sqlite"))
+        bulk.put_many(ticks, frames, rewards, actions)
+        loop = ReplayDB(4, path=str(tmp_path / "loop.sqlite"))
+        for i in range(20):
+            loop.put_observation(int(ticks[i]), frames[i], float(rewards[i]))
+            if actions[i] >= 0:
+                loop.put_action(int(ticks[i]), int(actions[i]))
+        loop.commit()
+        assert bulk.record_count() == loop.record_count() == 20
+        for db in (bulk, loop):
+            db.close()
+        # Reload both from disk: identical durable content.
+        re_bulk = ReplayDB(4, path=str(tmp_path / "bulk.sqlite"))
+        re_loop = ReplayDB(4, path=str(tmp_path / "loop.sqlite"))
+        for t in ticks:
+            got_b, got_l = re_bulk.cache.get(int(t)), re_loop.cache.get(int(t))
+            np.testing.assert_array_equal(got_b.frame, got_l.frame)
+            assert got_b.action == got_l.action
+            assert got_b.reward == got_l.reward
+        re_bulk.close()
+        re_loop.close()
+
+    def test_put_many_commits_at_chunk_boundary(self, tmp_path):
+        """Regression: the per-record writers never commit, so a crash
+        lost the whole store; put_many must be durable on return."""
+        path = str(tmp_path / "durable.sqlite")
+        db = ReplayDB(2, path=path)
+        ticks, frames, actions, rewards = _random_batch(6, 2, seed=1)
+        db.put_many(ticks, frames, rewards, actions)
+        # Read through an independent connection while the writer is
+        # still open — only committed rows are visible to it.
+        other = sqlite3.connect(path)
+        (n,) = other.execute("SELECT COUNT(*) FROM observations").fetchone()
+        other.close()
+        assert n == 6
+        db.close()
+
+    def test_put_many_empty_batch_is_noop(self):
+        db = ReplayDB(2, path=CACHE_ONLY)
+        db.put_many(np.empty(0, dtype=np.int64), np.empty((0, 2)), np.empty(0))
+        assert len(db) == 0
+
+
+class TestCacheOnlyMode:
+    def test_cache_only_has_no_sqlite_layer(self):
+        db = ReplayDB(3, path=CACHE_ONLY)
+        assert db.path is None
+        fill_db(db, 12, 3)
+        assert len(db) == 12
+        assert db.record_count() == 12  # reports cache occupancy
+        assert db.on_disk_bytes() == 0
+        assert db.in_memory_bytes() > 0
+        db.set_reward(3, 9.0)
+        assert db.cache.get(3).reward == 9.0
+        db.commit()  # no-ops, never raises
+        db.close()
+
+    def test_none_path_means_cache_only_too(self):
+        db = ReplayDB(2, path=None)
+        db.put_observation(0, np.zeros(2))
+        assert db.path is None and db.record_count() == 1
+        db.close()
+
+    def test_cache_only_samples(self):
+        db = ReplayDB(3, path=CACHE_ONLY)
+        fill_db(db, 40, 3)
+        batch = MinibatchSampler(db.cache, obs_ticks=5, seed=0).sample_minibatch(8)
+        assert batch.s_t.shape == (8, 15)
+        db.close()
+
+
+class TestPackedRecords:
+    def test_round_trip_field_for_field(self):
+        recs = [
+            TickRecord(2, np.array([1.0, 2.0]), action=1, reward=0.5),
+            TickRecord(4, np.array([3.0, 4.0]), action=-1, reward=-1.5),
+        ]
+        packed = PackedRecords.from_records(recs, 2)
+        assert len(packed) == 2
+        back = packed.to_records()
+        for a, b in zip(recs, back):
+            assert a.tick == b.tick and a.action == b.action
+            assert a.reward == b.reward
+            np.testing.assert_array_equal(a.frame, b.frame)
+
+    def test_records_between_matches_gets(self):
+        c = ReplayCache(2, capacity=32)
+        for t in (3, 4, 7, 9):
+            c.put(TickRecord(t, np.full(2, float(t)), action=t % 2, reward=t * 0.5))
+        packed = c.records_between(4, 9)
+        assert packed.ticks.tolist() == [4, 7, 9]
+        for i, t in enumerate(packed.ticks):
+            rec = c.get(int(t))
+            np.testing.assert_array_equal(packed.frames[i], rec.frame)
+            assert packed.actions[i] == rec.action
+            assert packed.rewards[i] == rec.reward
+
+    def test_records_between_empty_ranges(self):
+        c = ReplayCache(2, capacity=8)
+        assert len(c.records_between(0, 10)) == 0  # empty cache
+        c.put(TickRecord(5, np.zeros(2)))
+        assert len(c.records_between(6, 10)) == 0  # above max
+        assert len(c.records_between(4, 3)) == 0  # inverted
+
+
+class TestClear:
+    def test_db_clear_drops_durable_rows(self, tmp_path):
+        path = str(tmp_path / "clear.sqlite")
+        db = ReplayDB(2, path=path)
+        fill_db(db, 8, 2)
+        db.clear()
+        assert db.record_count() == 0 and len(db) == 0
+        db.put_observation(0, np.zeros(2))
+        db.close()
+        db2 = ReplayDB(2, path=path)
+        assert db2.record_count() == 1
+        db2.close()
 
 
 class TestReplayDB:

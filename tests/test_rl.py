@@ -63,10 +63,12 @@ class TestEpsilonSchedule:
         s.bump()
         assert s.value == 0.2
         assert s.bumps == 1
-        # bumping while epsilon is higher does nothing
+        # bumping while epsilon is higher leaves epsilon alone, but the
+        # notification still counts: bumps is workload-change telemetry,
+        # not raised-epsilon telemetry.
         s2 = EpsilonSchedule(anneal_ticks=10)
         s2.bump()
-        assert s2.value == 1.0 and s2.bumps == 0
+        assert s2.value == 1.0 and s2.bumps == 1
 
     def test_anneal_continues_after_bump(self):
         s = EpsilonSchedule(initial=1.0, final=0.0, anneal_ticks=10, bump_value=0.5)
@@ -234,6 +236,18 @@ class TestDQNAgent:
             agent.act(np.zeros(6))
         assert agent.epsilon.value == 0.05
         agent.notify_workload_change()
+        assert agent.epsilon.value == 0.20
+
+    def test_workload_change_telemetry_counts_every_notification(self):
+        """Regression: a change arriving while epsilon is still high
+        must count in ``bumps`` even though epsilon does not move."""
+        agent = self.make()
+        agent.notify_workload_change()  # epsilon still at initial
+        assert agent.epsilon.bumps == 1
+        for _ in range(100):
+            agent.act(np.zeros(6))
+        agent.notify_workload_change()  # now it raises epsilon too
+        assert agent.epsilon.bumps == 2
         assert agent.epsilon.value == 0.20
 
     def test_train_from_sampler_starved_returns_none(self):

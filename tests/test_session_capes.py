@@ -61,6 +61,34 @@ class TestCapesSession:
         assert len(ev.params_trace) == 10
         assert ev.mean_reward >= 0
 
+    def test_segment_boundaries_commit_durable_replay(self, tmp_path):
+        """Regression: nothing on the write path ever committed, so a
+        crash mid-session lost the entire durable store that Figure 4's
+        multi-session reload depends on.  Session segments (collect /
+        train here) must leave the rows visible to an independent
+        reader *before* the database is closed."""
+        import sqlite3
+        from dataclasses import replace
+
+        path = str(tmp_path / "replay.sqlite")
+        cfg = replace(fast_env_config(), db_path=path)
+        session = CapesSession(StorageTuningEnv(cfg), seed=0)
+        session.collect(5)
+
+        def durable_rows():
+            other = sqlite3.connect(path)
+            (n,) = other.execute(
+                "SELECT COUNT(*) FROM observations"
+            ).fetchone()
+            other.close()
+            return n
+
+        warm = FAST_HP.sampling_ticks_per_observation
+        assert durable_rows() == warm + 5
+        session.train(4)
+        assert durable_rows() == warm + 9
+        session.env.close()
+
     def test_measure_baseline_runs_without_actions(self):
         session = CapesSession(StorageTuningEnv(fast_env_config()), seed=0)
         rewards = session.measure_baseline(10)

@@ -18,6 +18,7 @@ from repro.env import (
     EnvConfig,
     StorageTuningEnv,
     VectorEnv,
+    WorkerCrashError,
     vector_seeds,
 )
 from repro.exp import ExperimentSpec, RunBudget, WorkloadSpec, execute_spec
@@ -186,6 +187,202 @@ class TestFanIn:
             assert venv.shared_db is None
             with pytest.raises(RuntimeError, match="no shared replay DB"):
                 venv.make_sampler()
+        finally:
+            venv.close()
+
+
+class TestChunkedCollect:
+    """Chunked stepping is transport, not semantics: one big chunk must
+    be byte-identical to per-tick round-trips on both backends."""
+
+    def _collect_state(self, backend: str, chunk):
+        venv = VectorEnv.from_config(
+            tiny_config(seed=5), 2, backend=backend, tick_stride=64
+        )
+        try:
+            venv.reset()
+            rewards = venv.collect(8, chunk=chunk)
+            cache = venv.shared_db.cache
+            packed = cache.records_between(0, cache.max_tick)
+            obs = venv.current_observation().copy()
+            return rewards, packed, obs, list(venv._synced)
+        finally:
+            venv.close()
+
+    @pytest.mark.parametrize("backend", ["serial", "fork"])
+    def test_chunked_equals_per_tick(self, backend):
+        r1, p1, o1, s1 = self._collect_state(backend, chunk=1)
+        r8, p8, o8, s8 = self._collect_state(backend, chunk=None)
+        np.testing.assert_array_equal(r1, r8)
+        np.testing.assert_array_equal(o1, o8)
+        assert s1 == s8
+        np.testing.assert_array_equal(p1.ticks, p8.ticks)
+        np.testing.assert_array_equal(p1.frames, p8.frames)
+        np.testing.assert_array_equal(p1.actions, p8.actions)
+        np.testing.assert_array_equal(p1.rewards, p8.rewards)
+
+    def test_chunked_serial_equals_fork(self):
+        r_s, p_s, o_s, _ = self._collect_state("serial", chunk=3)
+        r_f, p_f, o_f, _ = self._collect_state("fork", chunk=3)
+        np.testing.assert_array_equal(r_s, r_f)
+        np.testing.assert_array_equal(o_s, o_f)
+        np.testing.assert_array_equal(p_s.frames, p_f.frames)
+
+    def test_collect_records_null_actions(self):
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=64)
+        try:
+            venv.reset()
+            venv.collect(4)
+            cache = venv.shared_db.cache
+            warm = TINY_HP.sampling_ticks_per_observation
+            # Collection ticks carry the NULL action (index 0); the
+            # newest tick's action lands one sync later, and warm-up
+            # ticks never acted.
+            for offset in (0, 64):
+                for t in range(warm + 1, warm + 4):
+                    assert cache.get(offset + t).action == 0
+                assert cache.get(offset + 1).action == -1
+        finally:
+            venv.close()
+
+    def test_run_ticks_chunked_refreshes_observation(self):
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=64)
+        try:
+            venv.reset()
+            rewards = venv.run_ticks(4)
+            assert rewards.shape == (2, 4)
+            live = venv.env_method(0, "current_observation")
+            np.testing.assert_array_equal(venv.current_observation()[0], live)
+        finally:
+            venv.close()
+
+
+class TestResetFence:
+    def test_reset_clears_stale_episode_records(self):
+        """Regression: a reused vector env must not keep the previous
+        episode's transitions in the shared DB."""
+        warm = TINY_HP.sampling_ticks_per_observation
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=64)
+        try:
+            venv.reset()
+            venv.collect(6)
+            assert len(venv.shared_db) == 2 * (warm + 6)
+            venv.reset()
+            cache = venv.shared_db.cache
+            # Only the fresh warm-up records remain...
+            assert len(venv.shared_db) == 2 * warm
+            assert venv.shared_db.record_count() == 2 * warm
+            # ...and the old episode's post-warm-up ticks are gone.
+            for offset in (0, 64):
+                assert not cache.has(offset + warm + 1)
+        finally:
+            venv.close()
+
+    def test_reset_fence_with_sqlite_backed_shared_db(self, tmp_path):
+        warm = TINY_HP.sampling_ticks_per_observation
+        venv = VectorEnv.from_config(
+            tiny_config(),
+            2,
+            shared_db_path=str(tmp_path / "shared.db"),
+            tick_stride=64,
+        )
+        try:
+            venv.reset()
+            venv.collect(3)
+            venv.reset()
+            assert venv.shared_db.record_count() == 2 * warm
+        finally:
+            venv.close()
+
+
+class _CrashEnv:
+    """Minimal Environment whose methods raise unpicklable exceptions."""
+
+    obs_dim = 4
+    n_actions = 2
+    frame_dim = 2
+    action_space = None
+    hp = None
+
+    def reset(self):
+        return np.zeros(4)
+
+    def step(self, action, out=None):
+        return np.zeros(4), 0.0, {}
+
+    def current_observation(self, out=None):
+        return np.zeros(4)
+
+    def explode(self):
+        class Evil(RuntimeError):
+            def __init__(self, gen):
+                super().__init__("the real cause")
+                self.gen = gen  # generators never pickle
+
+        raise Evil(iter(()))
+
+    def close(self):
+        pass
+
+
+class TestWorkerCrash:
+    def test_unpicklable_exception_reports_real_cause(self):
+        """Regression: an unpicklable worker exception used to kill the
+        pipe and surface as a bare EOFError."""
+        venv = VectorEnv(
+            [_CrashEnv, _CrashEnv], backend="fork", shared_db_path=None
+        )
+        try:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                venv.env_method(0, "explode")
+            assert "Evil" in str(excinfo.value)
+            assert "the real cause" in str(excinfo.value)
+            assert "worker traceback" in str(excinfo.value)
+            # The pipe survived: the worker still answers.
+            assert venv.env_method(1, "current_observation").shape == (4,)
+        finally:
+            venv.close()
+
+    def test_picklable_exception_still_verbatim(self):
+        venv = VectorEnv.from_config(
+            tiny_config(), 1, backend="fork", tick_stride=64
+        )
+        try:
+            with pytest.raises(RuntimeError, match="reset"):
+                venv.env_method(0, "step", 0)  # stepping before reset
+        finally:
+            venv.close()
+
+
+class TestSharedDbModes:
+    def test_default_shared_db_is_cache_only(self):
+        venv = VectorEnv.from_config(tiny_config(), 2, tick_stride=64)
+        try:
+            assert venv.shared_db.path is None  # no SQLite layer
+            venv.reset()
+            venv.collect(4)
+            warm = TINY_HP.sampling_ticks_per_observation
+            assert len(venv.shared_db) == 2 * (warm + 4)
+            assert venv.shared_db.on_disk_bytes() == 0
+            # Sampling works off the cache alone.
+            batch = venv.make_sampler(seed=0).sample_minibatch(8)
+            assert batch.s_t.shape == (8, venv.obs_dim)
+        finally:
+            venv.close()
+
+    def test_commit_replay_broadcast(self, tmp_path):
+        venv = VectorEnv.from_config(
+            tiny_config(),
+            2,
+            backend="fork",
+            shared_db_path=str(tmp_path / "shared.db"),
+            tick_stride=64,
+        )
+        try:
+            venv.reset()
+            venv.collect(2)
+            venv.commit_replay()  # must round-trip through every worker
+            assert venv.shared_db.record_count() == len(venv.shared_db)
         finally:
             venv.close()
 
