@@ -11,7 +11,12 @@ The vectorized hot-path claims of the environment redesign, measured:
 - **chunked collection** — monitoring-only ``VectorEnv.collect``
   (§3.3), which advances a whole chunk of ticks per worker round-trip
   and batches the replay fan-in (packed records + ``put_many``),
-  against the per-tick monitoring-only N-loop.
+  against the per-tick monitoring-only N-loop;
+- **train+collect overlap** — the decoupled trainer (``repro.train``)
+  running against the fan-in stream *while* the fleet collects:
+  serial interleaving (collection and SGD round-robin on one core)
+  vs the process backend (SGD in a forked trainer worker, overlapped
+  with collection).
 
 Results land in ``BENCH_collect.json`` at the repository root — CI
 uploads it as an artifact on every run, so the collection-throughput
@@ -23,7 +28,9 @@ The chunked ``fork`` backend is the configuration that must actually
 and the chunking keeps pipe traffic off the per-tick path — but only
 when there are cores to run them on, so that assertion is skipped on
 single-core boxes (where every backend necessarily degenerates to
-time-slicing the same simulation work).
+time-slicing the same simulation work).  The same gating applies to
+the train+collect overlap claim (process beats serial): the overlap
+row is *recorded* everywhere, *asserted* only on >= 2 cores.
 """
 
 import json
@@ -37,6 +44,7 @@ import pytest
 from repro.cluster import ClusterConfig
 from repro.env import EnvConfig, StorageTuningEnv, VectorEnv, vector_seeds
 from repro.rl import DQNAgent, Hyperparameters
+from repro.train import TrainerConfig, train_collect
 from repro.workloads import RandomReadWrite
 
 N_ENVS = int(os.environ.get("REPRO_BENCH_N_ENVS", "2"))
@@ -134,6 +142,41 @@ def _chunked_collect(n_ticks: int, backend: str) -> float:
     return n_ticks * N_ENVS / elapsed
 
 
+#: Overlap rows: SGD steps granted per collected action tick.  High
+#: enough that training is a comparable share of the work (the regime
+#: the decoupling targets), low enough to keep the bench quick.
+OVERLAP_TRAIN_RATIO = 2.0
+OVERLAP_CHUNK = 10
+
+
+def _overlap_collect(n_ticks: int, trainer_backend: str) -> float:
+    """Train+collect: the decoupled trainer against live collection.
+
+    ``serial`` interleaves collection chunks with training bursts on
+    one core; ``process`` runs the same SGD budget in a forked trainer
+    worker while the (fork-backend) fleet keeps simulating — the §3
+    continuous-DRL-engine overlap this PR exists to buy.
+    """
+    venv = VectorEnv.from_config(_config(), N_ENVS, backend="fork")
+    agent = DQNAgent(venv.obs_dim, venv.n_actions, hp=BENCH_HP, rng=0)
+    t0 = time.perf_counter()
+    train_collect(
+        venv,
+        agent,
+        TrainerConfig(
+            backend=trainer_backend,
+            train_ratio=OVERLAP_TRAIN_RATIO,
+            sync_every=32,
+        ),
+        n_ticks,
+        chunk=OVERLAP_CHUNK,
+        sampler_seed=0,
+    )
+    elapsed = time.perf_counter() - t0
+    venv.close()
+    return n_ticks * N_ENVS / elapsed
+
+
 def _act_bench(n: int, repeats: int = 300) -> tuple:
     """Per-call cost of N-loop act vs one batched act, microseconds."""
     agent = DQNAgent(
@@ -175,6 +218,8 @@ def bench():
         "vec_fork": lambda: _vector_collect(COLLECT_TICKS, "fork"),
         "chunk_serial": lambda: _chunked_collect(COLLECT_TICKS, "serial"),
         "chunk_fork": lambda: _chunked_collect(COLLECT_TICKS, "fork"),
+        "overlap_serial": lambda: _overlap_collect(COLLECT_TICKS, "serial"),
+        "overlap_process": lambda: _overlap_collect(COLLECT_TICKS, "process"),
     }
     best: dict = {name: 0.0 for name in runners}
     for _ in range(REPEATS):
@@ -183,6 +228,8 @@ def bench():
     nloop_act, nloop_mon = best["nloop_act"], best["nloop_mon"]
     vec_serial, vec_fork = best["vec_serial"], best["vec_fork"]
     chunk_serial, chunk_fork = best["chunk_serial"], best["chunk_fork"]
+    overlap_serial = best["overlap_serial"]
+    overlap_process = best["overlap_process"]
     best_speedup = max(
         vec_serial / nloop_act,
         vec_fork / nloop_act,
@@ -199,6 +246,9 @@ def bench():
         "vector_fork_ticks_per_s": round(vec_fork, 1),
         "chunked_serial_ticks_per_s": round(chunk_serial, 1),
         "chunked_fork_ticks_per_s": round(chunk_fork, 1),
+        "overlap_serial_ticks_per_s": round(overlap_serial, 1),
+        "overlap_process_ticks_per_s": round(overlap_process, 1),
+        "overlap_train_ratio": OVERLAP_TRAIN_RATIO,
         "act_nloop_us": round(loop_us, 1),
         "act_batch_us": round(batch_us, 1),
         "act_batch_speedup": round(loop_us / batch_us, 2),
@@ -206,6 +256,7 @@ def bench():
             max(chunk_serial, chunk_fork) / nloop_mon, 2
         ),
         "collect_best_speedup": round(best_speedup, 2),
+        "train_overlap_speedup": round(overlap_process / overlap_serial, 2),
     }
 
 
@@ -251,3 +302,20 @@ def test_chunked_fork_beats_nloop_on_multicore(bench):
         > bench["nloop_collect_ticks_per_s"]
     ), bench
     assert bench["collect_best_speedup"] > 1.0, bench
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="the overlap claim needs a core for the trainer worker in "
+    "addition to the collection workers; on 1 core serial and process "
+    "time-slice the same SGD+simulation work",
+)
+def test_process_trainer_overlap_beats_serial_on_multicore(bench):
+    """The point of the trainer decoupling: the same collect+train
+    budget must finish faster when SGD overlaps collection in its own
+    worker than when the two interleave on one loop."""
+    assert (
+        bench["overlap_process_ticks_per_s"]
+        > bench["overlap_serial_ticks_per_s"]
+    ), bench
+    assert bench["train_overlap_speedup"] > 1.0, bench

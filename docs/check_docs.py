@@ -1,0 +1,295 @@
+#!/usr/bin/env python
+"""Documentation checks (the CI docs job; also run by tests/test_docs.py).
+
+Keeps the docs layer honest, mechanically:
+
+- **mermaid**: every ```mermaid fence in the checked files must parse
+  under a minimal grammar — a known diagram type on the first line,
+  a non-empty body, and balanced brackets on every line (the failure
+  modes that actually break GitHub's renderer);
+- **links**: every relative markdown link must resolve to an existing
+  file, and every ``#anchor`` to a real heading in its target;
+- **snippets**: every ```python fence must byte-compile;
+- **docstrings**: every ``__all__`` member (and its public methods) of
+  the audited packages must carry a docstring;
+- **api-index**: the generated index in docs/API.md must match what
+  :func:`render_api_index` produces from the live packages
+  (``python docs/check_docs.py --write-api-index`` refreshes it).
+
+Run from the repository root:  ``python docs/check_docs.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown files under the documentation contract.
+DOC_FILES = (
+    "README.md",
+    "EXPERIMENTS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/API.md",
+)
+
+#: Packages whose public API must be fully docstringed and indexed.
+API_MODULES = (
+    "repro.env",
+    "repro.exp",
+    "repro.replaydb",
+    "repro.scenarios",
+    "repro.train",
+)
+
+MERMAID_TYPES = (
+    "flowchart",
+    "graph",
+    "sequenceDiagram",
+    "classDiagram",
+    "stateDiagram",
+    "erDiagram",
+    "gantt",
+)
+
+API_INDEX_BEGIN = "<!-- api-index:begin (generated: check_docs.py --write-api-index) -->"
+API_INDEX_END = "<!-- api-index:end -->"
+
+
+def _fences(text: str, lang: str) -> List[str]:
+    """The bodies of every ```lang fenced block in ``text``."""
+    return re.findall(
+        rf"^```{lang}[ \t]*\n(.*?)^```[ \t]*$",
+        text,
+        flags=re.M | re.S,
+    )
+
+
+def _strip_fences(text: str) -> str:
+    """``text`` with every fenced code block removed (for link scans)."""
+    return re.sub(r"^```.*?^```[ \t]*$", "", text, flags=re.M | re.S)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    """Every heading anchor ``path`` exposes."""
+    out = set()
+    for line in _strip_fences(path.read_text()).splitlines():
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if m:
+            out.add(_slugify(m.group(1)))
+    return out
+
+
+def check_mermaid(path: Path) -> List[str]:
+    """Validate every mermaid block in ``path``."""
+    errors = []
+    for i, body in enumerate(_fences(path.read_text(), "mermaid")):
+        lines = [ln for ln in body.splitlines() if ln.strip()]
+        where = f"{path.name} mermaid block {i + 1}"
+        if not lines:
+            errors.append(f"{where}: empty diagram")
+            continue
+        first = lines[0].strip()
+        if not any(first.startswith(t) for t in MERMAID_TYPES):
+            errors.append(
+                f"{where}: unknown diagram type {first!r} "
+                f"(expected one of {MERMAID_TYPES})"
+            )
+        if len(lines) < 2:
+            errors.append(f"{where}: diagram has no content")
+        for ln in lines:
+            for op, cl in ("[]", "()", "{}"):
+                if ln.count(op) != ln.count(cl):
+                    errors.append(
+                        f"{where}: unbalanced {op}{cl} in line {ln.strip()!r}"
+                    )
+    return errors
+
+
+def check_links(path: Path) -> List[str]:
+    """Validate every relative link (and anchor) in ``path``."""
+    errors = []
+    text = _strip_fences(path.read_text())
+    for label, target in re.findall(r"\[([^\]]*)\]\(([^)\s]+)\)", text):
+        if re.match(r"[a-z]+:", target):  # http:, https:, mailto:
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = (
+            (path.parent / file_part).resolve() if file_part else path
+        )
+        if file_part and not dest.exists():
+            errors.append(
+                f"{path.name}: link [{label}]({target}) -> missing file "
+                f"{file_part}"
+            )
+            continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in _anchors(dest):
+                errors.append(
+                    f"{path.name}: link [{label}]({target}) -> no heading "
+                    f"#{anchor} in {dest.name}"
+                )
+    return errors
+
+
+def check_snippets(path: Path) -> List[str]:
+    """Byte-compile every embedded python snippet in ``path``."""
+    errors = []
+    for i, body in enumerate(_fences(path.read_text(), "python")):
+        try:
+            compile(body, f"{path.name}:snippet{i + 1}", "exec")
+        except SyntaxError as exc:
+            errors.append(
+                f"{path.name} python snippet {i + 1}: {exc.msg} "
+                f"(line {exc.lineno})"
+            )
+    return errors
+
+
+def _public_members(modname: str):
+    """Yield ``(qualname, object)`` for every documented-API member."""
+    mod = importlib.import_module(modname)
+    for name in sorted(mod.__all__):
+        obj = getattr(mod, name)
+        yield f"{modname}.{name}", obj
+        if inspect.isclass(obj):
+            for mname, m in sorted(vars(obj).items()):
+                if mname.startswith("_"):
+                    continue
+                target = m.fget if isinstance(m, property) else m
+                if callable(target):
+                    yield f"{modname}.{name}.{mname}", target
+
+
+def _first_line(doc) -> str:
+    """First line of a docstring, tolerating None/empty."""
+    return doc.splitlines()[0] if doc else ""
+
+
+def check_docstrings() -> List[str]:
+    """Every audited package and public member has a docstring."""
+    errors = []
+    for modname in API_MODULES:
+        if not _first_line(inspect.getdoc(importlib.import_module(modname))):
+            errors.append(f"missing module docstring: {modname}")
+    for qualname, obj in [
+        pair for modname in API_MODULES for pair in _public_members(modname)
+    ]:
+        if not (inspect.isclass(obj) or callable(obj)):
+            continue  # constants document themselves in the module
+        if not inspect.getdoc(obj):
+            errors.append(f"missing docstring: {qualname}")
+    return errors
+
+
+def _kind(obj) -> str:
+    if inspect.isclass(obj):
+        return "class"
+    if callable(obj):
+        return "function"
+    return "constant"
+
+
+def render_api_index() -> str:
+    """The generated public-API index (one table per package)."""
+    lines: List[str] = []
+    for modname in API_MODULES:
+        mod = importlib.import_module(modname)
+        lines.append(f"### `{modname}`")
+        lines.append("")
+        lines.append(_first_line(inspect.getdoc(mod)))
+        lines.append("")
+        lines.append("| name | kind | summary |")
+        lines.append("|---|---|---|")
+        for name in sorted(mod.__all__):
+            obj = getattr(mod, name)
+            kind = _kind(obj)
+            if kind == "constant":
+                summary = f"`{obj!r}`"
+            else:
+                summary = _first_line(inspect.getdoc(obj))
+            lines.append(f"| `{name}` | {kind} | {summary} |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def check_api_index(api_md: Path) -> List[str]:
+    """docs/API.md's generated section matches the live packages."""
+    text = api_md.read_text()
+    if API_INDEX_BEGIN not in text or API_INDEX_END not in text:
+        return [f"{api_md.name}: missing api-index markers"]
+    current = text.split(API_INDEX_BEGIN)[1].split(API_INDEX_END)[0]
+    if current.strip() != render_api_index().strip():
+        return [
+            f"{api_md.name}: generated API index is stale — run "
+            f"`python docs/check_docs.py --write-api-index`"
+        ]
+    return []
+
+
+def write_api_index(api_md: Path) -> None:
+    """Refresh the generated section of docs/API.md in place."""
+    text = api_md.read_text()
+    head, _, rest = text.partition(API_INDEX_BEGIN)
+    _, _, tail = rest.partition(API_INDEX_END)
+    api_md.write_text(
+        head
+        + API_INDEX_BEGIN
+        + "\n\n"
+        + render_api_index()
+        + "\n"
+        + API_INDEX_END
+        + tail
+    )
+
+
+def run_checks() -> List[str]:
+    """Every documentation check; returns the list of failures."""
+    errors: List[str] = []
+    for rel in DOC_FILES:
+        path = REPO / rel
+        if not path.exists():
+            errors.append(f"missing documentation file: {rel}")
+            continue
+        errors += check_mermaid(path)
+        errors += check_links(path)
+        errors += check_snippets(path)
+    errors += check_docstrings()
+    errors += check_api_index(REPO / "docs" / "API.md")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-api-index",
+        action="store_true",
+        help="refresh the generated index in docs/API.md, then check",
+    )
+    args = parser.parse_args(argv)
+    if args.write_api_index:
+        write_api_index(REPO / "docs" / "API.md")
+    errors = run_checks()
+    for err in errors:
+        print(f"DOCS: {err}", file=sys.stderr)
+    if not errors:
+        n_files = len(DOC_FILES)
+        print(f"docs OK ({n_files} files, {len(API_MODULES)} packages)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

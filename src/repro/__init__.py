@@ -23,6 +23,10 @@ substrate the paper's evaluation depends on:
   ``Environment`` protocol with a string-keyed registry (``make_env``;
   ``"sim-lustre"`` is the reference backend) and ``VectorEnv`` for
   many-clusters-one-engine vectorized experience collection;
+- the **decoupled async trainer** (:mod:`repro.train`) — the paper's
+  continuously running DRL engine: ``TrainerLoop`` with
+  inline/serial/process backends, versioned weight broadcasts, and
+  ``train_collect`` for monitoring-plus-training over a fleet;
 - the **experiment orchestration layer** (:mod:`repro.exp`) — one
   ``Tuner`` protocol over CAPES and every baseline, declarative
   ``ExperimentSpec`` grids, and a parallel ``ExperimentRunner`` with
@@ -74,8 +78,9 @@ from repro.exp import (
     grid,
 )
 from repro.rl import DQNAgent, Hyperparameters
+from repro.train import TrainerConfig, TrainerLoop, train_collect
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CAPES",
@@ -98,8 +103,11 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentSpec",
     "RunBudget",
+    "TrainerConfig",
+    "TrainerLoop",
     "WorkloadSpec",
     "grid",
     "hours",
+    "train_collect",
     "__version__",
 ]

@@ -27,7 +27,10 @@ measures the untouched system; ``collect`` is §3.3's "solely
 monitoring" mode — N clusters advance in chunks (one worker round-trip
 per chunk, replay records batched into the reply) and every NULL-action
 transition fans into one replay DB, durable when ``--out`` names a
-file, for later offline training; ``sweep`` fans a multi-tuner,
+file, for later offline training — and with ``--train`` the decoupled
+DRL engine (:mod:`repro.train`) trains against the fan-in stream while
+collection runs (``--trainer-backend serial|process``, ``--train-ratio``,
+``--sync-every``, ``--checkpoint``); ``sweep`` fans a multi-tuner,
 multi-seed experiment grid out through
 :class:`~repro.exp.runner.ExperimentRunner` — ``--env`` names any
 registered environment backend, ``--n-envs N`` trains each CAPES
@@ -107,7 +110,8 @@ def cmd_baseline(args: argparse.Namespace) -> int:
 
 
 def cmd_collect(args: argparse.Namespace) -> int:
-    """Monitoring-only chunked collection into one shared replay DB."""
+    """Monitoring-only chunked collection into one shared replay DB,
+    optionally with the decoupled trainer running against it."""
     from repro.env import VectorEnv
 
     if args.n_envs < 1:
@@ -129,6 +133,14 @@ def cmd_collect(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if not args.train:
+        for flag in ("checkpoint", "train_ratio", "sync_every", "trainer_backend"):
+            if getattr(args, flag) is not None:
+                print(
+                    f"--{flag.replace('_', '-')} needs --train",
+                    file=sys.stderr,
+                )
+                return 2
     from repro.replaydb import CACHE_ONLY
 
     config = load_config(args.config)
@@ -141,14 +153,88 @@ def cmd_collect(args: argparse.Namespace) -> int:
         shared_db_path=args.out if args.out else CACHE_ONLY,
     )
     try:
-        venv.reset()
-        rewards = venv.collect(args.ticks, chunk=args.chunk)
+        stats = None
+        if args.train:
+            # §3.3 monitoring + the continuously running DRL engine:
+            # collect in chunks while training against the fan-in DB.
+            from repro.rl import DQNAgent
+            from repro.train import TrainerConfig, train_collect
+            from repro.util.rng import derive_rng, ensure_rng
+
+            root = ensure_rng(config.seed)
+            agent = DQNAgent(
+                obs_dim=venv.obs_dim,
+                n_actions=venv.n_actions,
+                hp=venv.hp,
+                loss=config.loss,
+                rng=derive_rng(root, "agent"),
+            )
+            # Flag > conf > default, for every trainer knob.  The conf
+            # may name the inline backend (it is the session default);
+            # collection has no tick loop to train inside, so that
+            # resolves to serial interleaving here.
+            backend = args.trainer_backend or config.trainer_backend
+            if backend == "inline":
+                backend = "serial"
+            ratio = (
+                args.train_ratio
+                if args.train_ratio is not None
+                else config.train_ratio
+            )
+            trainer_config = TrainerConfig(
+                backend=backend,
+                train_ratio=(
+                    float(ratio)
+                    if ratio is not None
+                    else float(config.train_steps_per_tick)
+                ),
+                sync_every=(
+                    args.sync_every
+                    if args.sync_every is not None
+                    else config.sync_every
+                ),
+            )
+            rewards, stats = train_collect(
+                venv,
+                agent,
+                trainer_config,
+                args.ticks,
+                chunk=args.chunk,
+                sampler_seed=int(derive_rng(root, "sampler").integers(2**31)),
+            )
+        else:
+            venv.reset()
+            rewards = venv.collect(args.ticks, chunk=args.chunk)
         venv.commit_replay()
         _summarize(
             f"monitored throughput ({args.n_envs} cluster(s), "
             f"{args.ticks} ticks)",
             rewards.mean(axis=0),
         )
+        if stats is not None:
+            losses = np.asarray(stats.losses)
+            summary = (
+                f"first {losses[0]:.5f} -> last-100 mean "
+                f"{np.mean(losses[-100:]):.5f}"
+                if len(losses)
+                else "replay too sparse, no minibatch completed"
+            )
+            print(
+                f"trained {stats.steps_attempted} SGD steps "
+                f"({stats.backend} backend, "
+                f"{stats.broadcasts_applied} weight broadcasts); "
+                f"prediction error: {summary}"
+            )
+            if args.checkpoint:
+                from repro.nn.checkpoint import save_checkpoint
+
+                save_checkpoint(
+                    args.checkpoint,
+                    agent.online.net,
+                    optimizer=agent.optimizer,
+                    extra={"train_steps": agent.train_steps},
+                )
+                print(f"model saved to {args.checkpoint}")
         stored = len(venv.shared_db)
         if args.out:
             print(
@@ -213,6 +299,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # also runs any register_env() calls the conf makes, so the --env
     # check below must come after it.
     cfg = load_config(args.config)
+    # Trainer cadence: flag > conf > default, knob by knob.
+    trainer_backend = args.trainer_backend or cfg.trainer_backend
+    train_ratio = (
+        args.train_ratio if args.train_ratio is not None else cfg.train_ratio
+    )
+    sync_every = (
+        args.sync_every if args.sync_every is not None else cfg.sync_every
+    )
+    if (
+        trainer_backend != "inline" or train_ratio is not None
+    ) and set(tuners) != {"capes"}:
+        print(
+            "--trainer-backend/--train-ratio (or the conf's "
+            "TRAINER_BACKEND/TRAIN_RATIO) configure the DQN training "
+            "cadence; they apply to the 'capes' tuner only",
+            file=sys.stderr,
+        )
+        return 2
     from repro.env import env_names
 
     if args.env not in env_names():
@@ -282,6 +386,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         env=args.env,
         n_envs=args.n_envs,
         vector_backend=args.vector_backend,
+        trainer_backend=trainer_backend,
+        train_ratio=train_ratio,
+        sync_every=sync_every,
         budget=RunBudget(
             train_ticks=args.train_ticks,
             eval_ticks=args.eval_ticks,
@@ -398,6 +505,41 @@ def make_parser() -> argparse.ArgumentParser:
         "the stored ticks are block-strided (cluster i's tick t lands "
         "at i*65536 + t), so offline consumers must sample block-aware",
     )
+    p.add_argument(
+        "--train",
+        action="store_true",
+        help="run the decoupled DRL engine against the fan-in replay DB "
+        "while collecting (§3's continuous training)",
+    )
+    p.add_argument(
+        "--trainer-backend",
+        choices=("serial", "process"),
+        default=None,
+        help="with --train: interleave training bursts with collection "
+        "chunks (serial) or overlap them in a forked trainer worker "
+        "(process).  Default: the conf's TRAINER_BACKEND (inline "
+        "resolves to serial here)",
+    )
+    p.add_argument(
+        "--train-ratio",
+        type=float,
+        default=None,
+        help="with --train: SGD steps per collected action tick "
+        "(fractions accumulate; default: the conf's TRAIN_RATIO, "
+        "else TRAIN_STEPS_PER_TICK)",
+    )
+    p.add_argument(
+        "--sync-every",
+        type=int,
+        default=None,
+        help="with --train, process backend: SGD steps per weight "
+        "broadcast (default: the conf's SYNC_EVERY)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        help="with --train: save the trained model here",
+    )
     p.set_defaults(fn=cmd_collect)
 
     p = sub.add_parser(
@@ -436,6 +578,29 @@ def make_parser() -> argparse.ArgumentParser:
         choices=("serial", "fork"),
         default="serial",
         help="how vectorized clusters are stepped",
+    )
+    p.add_argument(
+        "--trainer-backend",
+        choices=("inline", "serial", "process"),
+        default=None,
+        help="DQN training cadence (repro.train): inline = historical "
+        "train-in-the-tick-loop, serial = interleaved bursts, process "
+        "= continuous training in a forked worker (capes tuner only; "
+        "default: the conf's TRAINER_BACKEND)",
+    )
+    p.add_argument(
+        "--train-ratio",
+        type=float,
+        default=None,
+        help="SGD steps per collected action tick (may be fractional; "
+        "default: the conf's TRAIN_RATIO, else TRAIN_STEPS_PER_TICK)",
+    )
+    p.add_argument(
+        "--sync-every",
+        type=int,
+        default=None,
+        help="process trainer: SGD steps per weight broadcast (policy "
+        "staleness bound; default: the conf's SYNC_EVERY)",
     )
     p.add_argument(
         "--train-ticks", type=int, default=600, help="training ticks per run"

@@ -33,12 +33,21 @@ def hours(h: float, tick_length: float = 1.0) -> int:
 
 @dataclass
 class CapesConfig:
-    """Facade configuration: the environment plus session knobs."""
+    """Facade configuration: the environment plus session knobs.
+
+    ``trainer_backend`` / ``train_ratio`` / ``sync_every`` select and
+    tune the decoupled trainer (:mod:`repro.train`); the ``inline``
+    default reproduces the historical train-in-the-tick-loop sessions
+    byte-identically.
+    """
 
     env: EnvConfig
     seed: int = 0
     train_steps_per_tick: int = 1
     loss: str = "mse"
+    trainer_backend: str = "inline"
+    train_ratio: Optional[float] = None
+    sync_every: int = 64
 
 
 class CAPES:
@@ -52,6 +61,9 @@ class CAPES:
             seed=config.seed,
             train_steps_per_tick=config.train_steps_per_tick,
             loss=config.loss,
+            trainer_backend=config.trainer_backend,
+            train_ratio=config.train_ratio,
+            sync_every=config.sync_every,
         )
 
     # -- the four workflow verbs -----------------------------------------

@@ -64,6 +64,10 @@ DEFAULTS: Dict[str, Any] = {
     # session
     "TRAIN_STEPS_PER_TICK": 1,
     "LOSS": "mse",
+    # decoupled trainer (repro.train): inline | serial | process
+    "TRAINER_BACKEND": "inline",
+    "TRAIN_RATIO": None,
+    "SYNC_EVERY": 64,
 }
 
 _HP_KEYS = {
@@ -139,4 +143,11 @@ def load_config(path: Union[str, Path]) -> CapesConfig:
         seed=int(values["SEED"]),
         train_steps_per_tick=int(values["TRAIN_STEPS_PER_TICK"]),
         loss=str(values["LOSS"]),
+        trainer_backend=str(values["TRAINER_BACKEND"]),
+        train_ratio=(
+            None
+            if values["TRAIN_RATIO"] is None
+            else float(values["TRAIN_RATIO"])
+        ),
+        sync_every=int(values["SYNC_EVERY"]),
     )

@@ -6,7 +6,11 @@ reference is the ``"sim-lustre"`` simulated cluster) and reproduces the
 paper's operational cycle (appendix A.4):
 
 1. ``train(n_ticks)`` — online training: ε-greedy actions every action
-   tick, one (configurable) SGD step per tick against the replay DB;
+   tick, with SGD delegated to a :class:`~repro.train.loop.TrainerLoop`
+   (``trainer_backend="inline"`` keeps the historical
+   one-burst-per-tick cadence byte-identically; ``"serial"``
+   interleaves bursts; ``"process"`` trains continuously in a forked
+   worker, §3);
 2. ``evaluate(n_ticks)`` — measurement: greedy policy, no training;
 3. ``save()`` / ``load()`` — "CAPES automatically checkpoints and
    stores the trained model when being stopped, and loads the saved
@@ -28,7 +32,7 @@ from repro.env.protocol import Environment
 from repro.nn.checkpoint import load_checkpoint, save_checkpoint
 from repro.replaydb.sampler import MinibatchSampler
 from repro.rl.agent import DQNAgent
-from repro.rl.qnetwork import QNetwork
+from repro.train.loop import PackedFeed, TrainerConfig, TrainerLoop
 from repro.util.rng import derive_rng, ensure_rng
 from repro.util.validation import check_positive
 from repro.workloads.schedule import WorkloadSchedule
@@ -73,10 +77,26 @@ class CapesSession:
         seed: int = 0,
         train_steps_per_tick: int = 1,
         loss: str = "mse",
+        trainer_backend: str = "inline",
+        train_ratio: Optional[float] = None,
+        sync_every: int = 64,
     ):
         check_positive("train_steps_per_tick", train_steps_per_tick)
         self.env = env
         self.train_steps_per_tick = int(train_steps_per_tick)
+        #: SGD steps granted per action tick; defaults to the session's
+        #: ``train_steps_per_tick`` (the historical knob), but may be
+        #: fractional for decoupled backends.
+        self.train_ratio = (
+            float(train_ratio)
+            if train_ratio is not None
+            else float(self.train_steps_per_tick)
+        )
+        self.trainer_config = TrainerConfig(
+            backend=trainer_backend,
+            train_ratio=self.train_ratio,
+            sync_every=sync_every,
+        )
         root = ensure_rng(seed)
         self.agent = DQNAgent(
             obs_dim=env.obs_dim,
@@ -87,6 +107,7 @@ class CapesSession:
         )
         self._sampler_seed = int(derive_rng(root, "sampler").integers(2**31))
         self.sampler: Optional[MinibatchSampler] = None
+        self.trainer: Optional[TrainerLoop] = None
         self._obs: Optional[np.ndarray] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -98,8 +119,54 @@ class CapesSession:
 
     def restart_environment(self) -> None:
         """Force a fresh target system (keeps the trained agent)."""
+        self.shutdown_trainer()
         self._obs = self.env.reset()
         self.sampler = self.env.make_sampler(seed=self._sampler_seed)
+
+    def _ensure_trainer(self) -> TrainerLoop:
+        """Build (once) the trainer loop this session delegates SGD to.
+
+        In-process backends share the session's live sampler (rebuilt
+        on environment restarts, hence the callable); the process
+        backend mirrors the environment's replay feed into its worker
+        and samples there.
+        """
+        if self.trainer is None:
+            if self.trainer_config.backend == "process":
+                # Mirror-cache sizing: match the env's own replay cache
+                # when it exposes one (the ``db`` attribute is sim-lustre
+                # convention, not an Environment protocol member).
+                db = getattr(self.env, "db", None)
+                self.trainer = TrainerLoop(
+                    self.agent,
+                    self.trainer_config,
+                    feed=PackedFeed(self.env),
+                    frame_width=self.env.frame_dim,
+                    stride=None,
+                    sampler_seed=self._sampler_seed,
+                    cache_capacity=(
+                        db.cache.capacity if db is not None else 250_000
+                    ),
+                )
+            else:
+                self.trainer = TrainerLoop(
+                    self.agent,
+                    self.trainer_config,
+                    sampler=lambda: self.sampler,
+                )
+            self.trainer.begin()
+        return self.trainer
+
+    def shutdown_trainer(self) -> None:
+        """Stop and discard the trainer loop (fresh one on next train).
+
+        Called on environment restarts — the replay tick space starts
+        over, so a process worker's mirrored cache would go stale — and
+        available to tests/drivers for deterministic teardown.
+        """
+        if self.trainer is not None:
+            self.trainer.stop()
+            self.trainer = None
 
     def attach_schedule(self, schedule: WorkloadSchedule) -> None:
         """Bump ε whenever the schedule starts a new workload phase."""
@@ -120,10 +187,20 @@ class CapesSession:
 
     # -- training -------------------------------------------------------------
     def train(self, n_ticks: int) -> TrainResult:
-        """Run ``n_ticks`` of online ε-greedy training."""
+        """Run ``n_ticks`` of online ε-greedy training.
+
+        Acting stays on this loop; SGD cadence belongs to the trainer
+        backend.  ``inline`` (default) runs its burst inside every tick
+        exactly as the historical session did; ``serial`` interleaves;
+        ``process`` trains concurrently in its worker, the policy here
+        refreshing from versioned weight broadcasts.  Every backend
+        ends the call fully drained — the same total step budget spent,
+        the same weights adopted — so segment boundaries line up.
+        """
         check_positive("n_ticks", n_ticks)
         self.ensure_started()
         assert self._obs is not None and self.sampler is not None
+        trainer = self._ensure_trainer()
         rewards = np.zeros(n_ticks)
         eps_trace = np.zeros(n_ticks)
         action_counts = np.zeros(self.env.n_actions, dtype=np.int64)
@@ -138,10 +215,8 @@ class CapesSession:
             action_counts[action] += 1
             obs, reward, _info = self.env.step(action, out=obs_buf)
             rewards[i] = reward
-            for _ in range(self.train_steps_per_tick):
-                loss = self.agent.train_from_sampler(self.sampler)
-                if loss is not None:
-                    losses.append(loss)
+            losses.extend(trainer.notify_ticks(1))
+        losses.extend(trainer.drain())
         self._obs = obs
         self._flush_replay()
         return TrainResult(
@@ -227,6 +302,14 @@ class CapesSession:
 
     # -- checkpointing -------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
+        """Checkpoint the trained model (+ optimiser state, ε, steps).
+
+        A live decoupled trainer is drained first, so the stored
+        weights include every SGD step granted so far — identical to
+        what an inline session would have stored.
+        """
+        if self.trainer is not None:
+            self.trainer.drain()
         self._flush_replay()
         save_checkpoint(
             path,
@@ -239,15 +322,23 @@ class CapesSession:
         )
 
     def load(self, path: Union[str, Path]) -> None:
+        """Restore a checkpoint into the live agent.
+
+        If a decoupled trainer is running, its weight-version lineage
+        is invalidated: any broadcast already in flight belongs to the
+        pre-load weights and must not overwrite what was just loaded
+        (the worker itself restarts from the restored weights).
+        """
         net, extras = load_checkpoint(path, optimizer=self.agent.optimizer)
         if net.layer_dims != self.agent.online.net.layer_dims:
             raise ValueError(
                 f"checkpoint topology {net.layer_dims} does not match this "
                 f"session's network {self.agent.online.net.layer_dims}"
             )
-        self.agent.online = QNetwork(net, loss=self.agent.online.loss_name)
-        self.agent.target = QNetwork(net.clone(), loss=self.agent.online.loss_name)
+        self.agent.adopt_network(net)
         if "epsilon" in extras:
             self.agent.epsilon._value = float(extras["epsilon"])
         if "train_steps" in extras:
             self.agent.train_steps = int(extras["train_steps"])
+        if self.trainer is not None:
+            self.trainer.invalidate_weights()

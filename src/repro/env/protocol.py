@@ -69,6 +69,7 @@ class Environment(Protocol):
 
     @property
     def n_actions(self) -> int:
+        """Size of the discrete action vocabulary."""
         ...  # pragma: no cover - protocol
 
     @property
@@ -93,6 +94,7 @@ class Environment(Protocol):
         ...  # pragma: no cover - protocol
 
     def close(self) -> None:
+        """Release the target system's resources (idempotent)."""
         ...  # pragma: no cover - protocol
 
     # -- measurement -----------------------------------------------------
@@ -101,9 +103,11 @@ class Environment(Protocol):
         ...  # pragma: no cover - protocol
 
     def set_params(self, values: Dict[str, float]) -> None:
+        """Directly apply a tunable-parameter assignment."""
         ...  # pragma: no cover - protocol
 
     def current_params(self) -> Dict[str, float]:
+        """The tunable parameters currently applied, by name."""
         ...  # pragma: no cover - protocol
 
     def current_observation(

@@ -40,6 +40,7 @@ def register_env(name: str, factory: EnvFactory) -> None:
 
 
 def env_names() -> List[str]:
+    """Every currently registered environment key, sorted."""
     # Scenario names resolve dynamically (see make_env), so scenarios
     # registered after this module imported are env keys too.
     return sorted(set(_ENVS) | set(scenario_names()))

@@ -114,6 +114,7 @@ class StorageTuningEnv:
     # -- dimensions ------------------------------------------------------
     @property
     def n_actions(self) -> int:
+        """Size of the discrete action vocabulary."""
         return self.action_space.n_actions
 
     @property
@@ -387,6 +388,7 @@ class StorageTuningEnv:
                 agent.apply(name, value)
 
     def current_params(self) -> Dict[str, float]:
+        """The tunable parameters currently applied, by name."""
         self._require_reset()
         return self.daemon.parameter_values()
 
@@ -405,5 +407,6 @@ class StorageTuningEnv:
         return StorageTuningEnv(replace(self.config, perturb_seed=perturb_seed))
 
     def close(self) -> None:
+        """Release the replay store (the simulator needs no teardown)."""
         if self.db is not None:
             self.db.close()

@@ -68,7 +68,7 @@ from repro.env.protocol import Environment
 from repro.env.tuning_env import EnvConfig, StorageTuningEnv
 from repro.replaydb.db import CACHE_ONLY, ReplayDB
 from repro.replaydb.records import PackedRecords
-from repro.replaydb.sampler import MinibatchSampler, SamplerStarvedError
+from repro.replaydb.spans import StridedMinibatchSampler, TickSpans
 from repro.util.rng import derive_rng, ensure_rng
 from repro.util.validation import check_positive
 
@@ -344,7 +344,11 @@ class VectorEnv:
                 path=shared_db_path,
                 cache_capacity=self.n_envs * self.tick_stride,
             )
-        self._synced = [-1] * self.n_envs
+        #: Per-env fan-in frontier: which local tick each cluster's
+        #: records are synced through.  Shared with the strided sampler
+        #: (candidate spans) and re-read on every draw.
+        self.spans = TickSpans(self.n_envs, self.tick_stride)
+        self._ingest_listeners: List[Callable[[PackedRecords], None]] = []
         # Reused every tick: the stacked observation and reward buffers
         # (the hot-path allocation the collection loop must not repeat).
         self._obs_buf = np.zeros((self.n_envs, self.obs_dim))
@@ -402,7 +406,13 @@ class VectorEnv:
     # -- worker plumbing -------------------------------------------------
     @property
     def n_envs(self) -> int:
+        """Number of sub-environments in the fleet."""
         return len(self._workers)
+
+    @property
+    def _synced(self) -> List[int]:
+        """Per-env synced tops (read-only view of :attr:`spans`)."""
+        return self.spans.tops()
 
     def _get_attr(self, i: int, name: str) -> Any:
         self._workers[i].submit("call", ("__getattribute__", (name,), {}))
@@ -433,7 +443,22 @@ class VectorEnv:
         """
         if self.shared_db is None:
             return None
-        return self._synced[i] - 1
+        return self.spans.top(i) - 1
+
+    def add_ingest_listener(
+        self, fn: Callable[[PackedRecords], None]
+    ) -> None:
+        """Call ``fn`` with every global-tick batch landed in the shared
+        DB — the tap a decoupled trainer (:mod:`repro.train`) uses to
+        mirror the fan-in stream without a second records round-trip.
+        """
+        self._ingest_listeners.append(fn)
+
+    def remove_ingest_listener(
+        self, fn: Callable[[PackedRecords], None]
+    ) -> None:
+        """Detach a listener added by :meth:`add_ingest_listener`."""
+        self._ingest_listeners.remove(fn)
 
     def _ingest(self, i: int, packed: Optional[PackedRecords]) -> None:
         """Batch-write env ``i``'s new records into the shared DB."""
@@ -446,14 +471,21 @@ class VectorEnv:
                 f"{self.tick_stride}; raise tick_stride to run longer "
                 f"vectorized sessions"
             )
-        self.shared_db.put_many(
-            packed.ticks + i * self.tick_stride,
-            packed.frames,
-            packed.rewards,
-            packed.actions,
+        global_batch = PackedRecords(
+            ticks=packed.ticks + i * self.tick_stride,
+            frames=packed.frames,
+            actions=packed.actions,
+            rewards=packed.rewards,
         )
-        if top > self._synced[i]:
-            self._synced[i] = top
+        self.shared_db.put_many(
+            global_batch.ticks,
+            global_batch.frames,
+            global_batch.rewards,
+            global_batch.actions,
+        )
+        self.spans.observe_top(i, top)
+        for fn in self._ingest_listeners:
+            fn(global_batch)
 
     def _sync_env(self, i: int) -> None:
         """Pull-and-ingest env ``i``'s new records (one worker round-trip).
@@ -478,7 +510,7 @@ class VectorEnv:
         """
         if self.shared_db is not None:
             self.shared_db.clear()
-        self._synced = [-1] * self.n_envs
+        self.spans.reset()
         want_records = self.shared_db is not None
         for w in self._workers:
             w.submit("reset", want_records)
@@ -620,13 +652,15 @@ class VectorEnv:
             )
         return StridedMinibatchSampler(
             self.shared_db.cache,
-            self,
+            self.spans,
             obs_ticks=self.hp.sampling_ticks_per_observation,
             missing_tolerance=self.hp.missing_entry_tolerance,
             seed=seed,
         )
 
     def close(self) -> None:
+        """Close every sub-environment (and fork worker) and the
+        shared fan-in DB."""
         for w in self._workers:
             w.submit("close")
         for w in self._workers:
@@ -644,83 +678,3 @@ class VectorEnv:
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-
-class StridedMinibatchSampler(MinibatchSampler):
-    """Algorithm 1 over a block-strided shared replay DB.
-
-    The base sampler draws candidate timestamps uniformly from
-    ``[min_tick, max_tick]`` — over a blocked tick space that range is
-    almost entirely empty, so rejection sampling would starve.  This
-    subclass draws a uniform index over the concatenated candidate
-    spans of every non-empty block instead, which stays uniform over
-    all stored transitions even when one cluster has run ahead (e.g.
-    after a checkpoint measurement on the reference cluster).
-    """
-
-    def __init__(
-        self,
-        cache,
-        venv: VectorEnv,
-        obs_ticks: int = 10,
-        missing_tolerance: float = 0.20,
-        seed=None,
-    ):
-        super().__init__(
-            cache,
-            obs_ticks=obs_ticks,
-            missing_tolerance=missing_tolerance,
-            seed=seed,
-        )
-        self._venv = venv
-
-    def _block_spans(self) -> List[tuple[int, int]]:
-        """Inclusive global-tick candidate spans, one per non-empty env."""
-        spans = []
-        stride = self._venv.tick_stride
-        for i, top in enumerate(self._venv._synced):
-            first = self.obs_ticks - 1
-            last = top - 1  # t+1 must exist
-            if last >= first:
-                spans.append((i * stride + first, i * stride + last))
-        return spans
-
-    def sample_minibatch(self, n: int, max_attempts: int = 200):
-        check_positive("n", n)
-        spans = self._block_spans()
-        if not spans:
-            raise SamplerStarvedError(
-                "shared replay DB does not yet span one full observation "
-                "window in any environment"
-            )
-        from repro.replaydb.records import Minibatch, Transition
-
-        lengths = np.array([last - first + 1 for first, last in spans])
-        cum = np.cumsum(lengths)
-        collected: list[Transition] = []
-        needed = n
-        attempts = 0
-        while needed > 0:
-            attempts += 1
-            if attempts > max_attempts:
-                raise SamplerStarvedError(
-                    f"could not fill a minibatch of {n} after "
-                    f"{max_attempts} rounds; too many incomplete timestamps"
-                )
-            # Uniform over the concatenation of all candidate spans.
-            flat = self.rng.integers(0, int(cum[-1]), size=needed)
-            for idx in flat:
-                b = int(np.searchsorted(cum, idx, side="right"))
-                offset_in_block = int(idx) - (int(cum[b - 1]) if b else 0)
-                t = spans[b][0] + offset_in_block
-                tr = self.transition_at(t)
-                if tr is not None:
-                    collected.append(tr)
-            needed = n - len(collected)
-        collected = collected[:n]
-        return Minibatch(
-            s_t=np.stack([t.s_t for t in collected]),
-            s_next=np.stack([t.s_next for t in collected]),
-            actions=np.array([t.action for t in collected], dtype=np.int64),
-            rewards=np.array([t.reward for t in collected], dtype=np.float64),
-        )

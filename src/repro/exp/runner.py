@@ -65,6 +65,7 @@ class RunRecord:
     duration_s: float
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (one runs.jsonl line)."""
         return {
             "index": self.index,
             "spec": self.spec.to_dict(),
@@ -106,6 +107,7 @@ class ExperimentResults:
 
     @property
     def results(self) -> List[RunResult]:
+        """Bare per-run results, in completion order."""
         return [r.result for r in self.records]
 
     def summarize(self) -> List[ScenarioSummary]:
@@ -218,6 +220,8 @@ class ExperimentRunner:
 
     # -- execution ------------------------------------------------------
     def run(self, specs: Sequence[ExperimentSpec]) -> ExperimentResults:
+        """Execute every spec (serially or across worker processes);
+        results are byte-identical either way."""
         specs = list(specs)
         if not specs:
             return ExperimentResults([])

@@ -43,6 +43,7 @@ def register_workload(name: str, builder: WorkloadBuilder) -> None:
 
 
 def workload_names() -> List[str]:
+    """Every currently registered workload name, sorted."""
     return sorted(_WORKLOADS)
 
 
@@ -86,6 +87,7 @@ class WorkloadSpec:
         return functools.partial(_WORKLOADS[self.name], **self.kwargs)
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form for artifact headers."""
         return {"name": self.name, "kwargs": dict(self.kwargs)}
 
 
@@ -117,13 +119,16 @@ class RunBudget:
 
     @property
     def segments(self) -> Tuple[int, ...]:
+        """Training segments as a tuple (one entry per checkpoint)."""
         return self.train_ticks  # normalized to a tuple in __post_init__
 
     @property
     def total_train_ticks(self) -> int:
+        """Whole-run training length (all segments summed)."""
         return sum(self.segments)
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form for artifact headers."""
         return {
             "train_ticks": list(self.segments),
             "eval_ticks": self.eval_ticks,
@@ -178,6 +183,17 @@ class ExperimentSpec:
     n_envs: int = 1
     #: VectorEnv backend: "serial" or "fork".
     vector_backend: str = "serial"
+    #: Decoupled trainer backend (repro.train): "inline" (historical
+    #: train-in-the-tick-loop, byte-identical default), "serial"
+    #: (interleaved bursts), or "process" (continuous training in a
+    #: forked worker, §3).  CAPES tuner only.
+    trainer_backend: str = "inline"
+    #: SGD steps per collected action tick (may be fractional); None
+    #: defers to the tuner's ``train_steps_per_tick``.
+    train_ratio: Optional[float] = None
+    #: Process backend: SGD steps per weight broadcast (the staleness
+    #: bound on the acting policy).
+    sync_every: int = 64
     workload: WorkloadSpec = field(
         default_factory=lambda: WorkloadSpec(
             "random_rw", {"read_fraction": 0.1, "instances_per_client": 5}
@@ -200,6 +216,7 @@ class ExperimentSpec:
 
     @property
     def spec_id(self) -> str:
+        """Human-readable run key: scenario/tuner/seed."""
         scen = self.scenario or self.workload.name
         return f"{scen}/{self.tuner}/seed{self.seed}"
 
@@ -220,6 +237,8 @@ class ExperimentSpec:
         return None
 
     def env_config(self) -> EnvConfig:
+        """The sim-lustre :class:`EnvConfig` this spec describes
+        (inline fields, or the conf.py when ``conf_path`` is set)."""
         if self.conf_path is not None:
             from repro.core.config import load_config
 
@@ -310,6 +329,7 @@ class ExperimentSpec:
         )
 
     def build_tuner(self):
+        """Instantiate the named tuner with this spec's knobs."""
         from repro.exp.tuners import make_tuner
 
         # tuner_kwargs may override the shared seed to decouple the
@@ -319,6 +339,16 @@ class ExperimentSpec:
             "scenario": self.scenario or self.workload.name,
             **self.tuner_kwargs,
         }
+        if self.tuner == "capes":
+            kwargs.setdefault("trainer_backend", self.trainer_backend)
+            kwargs.setdefault("train_ratio", self.train_ratio)
+            kwargs.setdefault("sync_every", self.sync_every)
+        elif self.trainer_backend != "inline" or self.train_ratio is not None:
+            raise ValueError(
+                f"trainer_backend/train_ratio configure the DQN training "
+                f"cadence; tuner {self.tuner!r} does not train a network "
+                f"(use tuner='capes' or drop the trainer fields)"
+            )
         return make_tuner(self.tuner, **kwargs)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -341,6 +371,9 @@ class ExperimentSpec:
             "env_kwargs": dict(self.env_kwargs),
             "n_envs": self.n_envs,
             "vector_backend": self.vector_backend,
+            "trainer_backend": self.trainer_backend,
+            "train_ratio": self.train_ratio,
+            "sync_every": self.sync_every,
             "workload": None if from_conf else self.workload.to_dict(),
             "cluster": None if from_conf else asdict(self.cluster),
             "hp": None if from_conf else asdict(self.hp),

@@ -18,7 +18,7 @@ single run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Protocol, runtime_checkable
+from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from repro.env.vector import VectorEnv, per_env_rngs
 from repro.exp.spec import RunBudget
 from repro.rl.agent import DQNAgent
 from repro.stats import compare_measurements
+from repro.train.loop import TrainerConfig, TrainerLoop
 from repro.stats.summary import Comparison
 from repro.util.rng import derive_rng, ensure_rng
 
@@ -49,11 +50,13 @@ class PhaseResult:
     final_params: Dict[str, float]
 
     def comparison(self, trim: bool = True) -> Comparison:
+        """Pilot-style baseline-vs-tuned statistics for this phase."""
         return compare_measurements(
             self.baseline_rewards, self.tuned_rewards, trim=trim
         )
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (inverse of :meth:`from_dict`)."""
         return {
             "trained_ticks": int(self.trained_ticks),
             "baseline_rewards": [float(x) for x in self.baseline_rewards],
@@ -85,9 +88,11 @@ class RunResult:
 
     @property
     def final(self) -> PhaseResult:
+        """The last checkpoint's measurement pair."""
         return self.phases[-1]
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (inverse of :meth:`from_dict`)."""
         return {
             "tuner": self.tuner,
             "scenario": self.scenario,
@@ -119,6 +124,7 @@ class Tuner(Protocol):
     name: str
 
     def run(self, env: Environment, budget: RunBudget) -> RunResult:
+        """Tune ``env`` within ``budget``; one result per checkpoint."""
         ...  # pragma: no cover - protocol
 
 
@@ -141,7 +147,9 @@ class CapesTuner:
     Wraps :class:`~repro.core.session.CapesSession`; session knobs
     (``train_steps_per_tick``, ``loss``) pass through unchanged, so a
     spec-driven run is bit-identical to the hand-rolled drivers it
-    replaced.
+    replaced.  The trainer knobs (``trainer_backend``, ``train_ratio``,
+    ``sync_every``) select the :mod:`repro.train` cadence; the
+    ``inline`` default stays golden-trace identical.
     """
 
     name = "capes"
@@ -153,14 +161,33 @@ class CapesTuner:
         train_steps_per_tick: int = 1,
         loss: str = "mse",
         greedy_eval: bool = True,
+        trainer_backend: str = "inline",
+        train_ratio: Optional[float] = None,
+        sync_every: int = 64,
     ):
         self.seed = int(seed)
         self.scenario = scenario
         self.train_steps_per_tick = int(train_steps_per_tick)
         self.loss = loss
         self.greedy_eval = greedy_eval
+        self.trainer_backend = trainer_backend
+        self.train_ratio = train_ratio
+        self.sync_every = int(sync_every)
+
+    def _trainer_config(self) -> TrainerConfig:
+        return TrainerConfig(
+            backend=self.trainer_backend,
+            train_ratio=(
+                float(self.train_ratio)
+                if self.train_ratio is not None
+                else float(self.train_steps_per_tick)
+            ),
+            sync_every=self.sync_every,
+        )
 
     def run(self, env: Environment, budget: RunBudget) -> RunResult:
+        """One CAPES session over ``env``: train each budget segment,
+        measure baseline/tuned at every checkpoint."""
         if isinstance(env, VectorEnv):
             return self._run_vector(env, budget)
         session = CapesSession(
@@ -168,28 +195,36 @@ class CapesTuner:
             seed=self.seed,
             train_steps_per_tick=self.train_steps_per_tick,
             loss=self.loss,
+            trainer_backend=self.trainer_backend,
+            train_ratio=self.train_ratio,
+            sync_every=self.sync_every,
         )
         phases: List[PhaseResult] = []
         trained = 0
         first_loss = last_loss = None
-        for segment in budget.segments:
-            train = session.train(segment)
-            trained += segment
-            if len(train.losses):
-                if first_loss is None:
-                    first_loss = float(train.losses[0])
-                last_loss = float(np.mean(train.losses[-100:]))
-            env.set_params(env.action_space.defaults())
-            baseline = session.measure_baseline(budget.eval_ticks)
-            tuned = session.evaluate(budget.eval_ticks, greedy=self.greedy_eval)
-            phases.append(
-                PhaseResult(
-                    trained_ticks=trained,
-                    baseline_rewards=baseline,
-                    tuned_rewards=tuned.rewards,
-                    final_params=tuned.final_params,
+        try:
+            for segment in budget.segments:
+                train = session.train(segment)
+                trained += segment
+                if len(train.losses):
+                    if first_loss is None:
+                        first_loss = float(train.losses[0])
+                    last_loss = float(np.mean(train.losses[-100:]))
+                env.set_params(env.action_space.defaults())
+                baseline = session.measure_baseline(budget.eval_ticks)
+                tuned = session.evaluate(
+                    budget.eval_ticks, greedy=self.greedy_eval
                 )
-            )
+                phases.append(
+                    PhaseResult(
+                        trained_ticks=trained,
+                        baseline_rewards=baseline,
+                        tuned_rewards=tuned.rewards,
+                        final_params=tuned.final_params,
+                    )
+                )
+        finally:
+            session.shutdown_trainer()
         extra: Dict[str, Any] = {}
         if first_loss is not None:
             extra["loss_first"] = first_loss
@@ -223,52 +258,76 @@ class CapesTuner:
             loss=self.loss,
             rng=derive_rng(root, "agent"),
         )
-        sampler = venv.make_sampler(
-            seed=int(derive_rng(root, "sampler").integers(2**31))
-        )
+        sampler_seed = int(derive_rng(root, "sampler").integers(2**31))
+        trainer_config = self._trainer_config()
+        if trainer_config.backend == "process":
+            trainer = TrainerLoop(
+                agent,
+                trainer_config,
+                frame_width=venv.frame_dim,
+                stride=venv.tick_stride,
+                n_blocks=venv.n_envs,
+                sampler_seed=sampler_seed,
+                cache_capacity=venv.n_envs * venv.tick_stride,
+            )
+            venv.add_ingest_listener(trainer.ingest)
+        else:
+            trainer = TrainerLoop(
+                agent,
+                trainer_config,
+                sampler=venv.make_sampler(seed=sampler_seed),
+            )
         act_rngs = per_env_rngs(self.seed, venv.n_envs)
+        trainer.begin()
         obs = venv.reset()
         phases: List[PhaseResult] = []
         trained = 0
         first_loss = last_loss = None
-        for segment in budget.segments:
-            # Per-segment window, matching the single-env path: the
-            # reported last-100 mean never reaches into older segments.
-            seg_losses: List[float] = []
-            for _ in range(segment):
-                actions = agent.act_batch(obs, rngs=act_rngs)
-                obs, _rewards, _infos = venv.step(actions)
-                for _ in range(self.train_steps_per_tick):
-                    loss = agent.train_from_sampler(sampler)
-                    if loss is not None:
-                        seg_losses.append(loss)
-            trained += segment
-            if seg_losses:
-                if first_loss is None:
-                    first_loss = float(seg_losses[0])
-                last_loss = float(np.mean(seg_losses[-100:]))
-            # Checkpoint measurement on the reference cluster (env 0).
-            venv.env_method(0, "set_params", venv.action_space.defaults())
-            baseline = venv.env_method(0, "run_ticks", budget.eval_ticks)
-            tuned = np.zeros(budget.eval_ticks)
-            eval_obs = venv.env_method(0, "current_observation")
-            for i in range(budget.eval_ticks):
-                action = int(agent.act(eval_obs, greedy=self.greedy_eval))
-                eval_obs, reward, _info = venv.env_method(0, "step", action)
-                tuned[i] = reward
-            phases.append(
-                PhaseResult(
-                    trained_ticks=trained,
-                    baseline_rewards=baseline,
-                    tuned_rewards=tuned,
-                    final_params=venv.env_method(0, "current_params"),
+        try:
+            for segment in budget.segments:
+                # Per-segment window, matching the single-env path: the
+                # reported last-100 mean never reaches into older
+                # segments.
+                seg_losses: List[float] = []
+                for _ in range(segment):
+                    actions = agent.act_batch(obs, rngs=act_rngs)
+                    obs, _rewards, _infos = venv.step(actions)
+                    seg_losses.extend(trainer.notify_ticks(1))
+                # Segment boundary: every granted SGD step lands before
+                # the checkpoint is measured, whichever backend ran it.
+                seg_losses.extend(trainer.drain())
+                trained += segment
+                if seg_losses:
+                    if first_loss is None:
+                        first_loss = float(seg_losses[0])
+                    last_loss = float(np.mean(seg_losses[-100:]))
+                # Checkpoint measurement on the reference cluster (env 0).
+                venv.env_method(0, "set_params", venv.action_space.defaults())
+                baseline = venv.env_method(0, "run_ticks", budget.eval_ticks)
+                tuned = np.zeros(budget.eval_ticks)
+                eval_obs = venv.env_method(0, "current_observation")
+                for i in range(budget.eval_ticks):
+                    action = int(agent.act(eval_obs, greedy=self.greedy_eval))
+                    eval_obs, reward, _info = venv.env_method(0, "step", action)
+                    tuned[i] = reward
+                phases.append(
+                    PhaseResult(
+                        trained_ticks=trained,
+                        baseline_rewards=baseline,
+                        tuned_rewards=tuned,
+                        final_params=venv.env_method(0, "current_params"),
+                    )
                 )
-            )
-            # The checkpoint drove cluster 0 out of lockstep; the next
-            # training segment must act on its *current* state, not the
-            # pre-measurement one (mirrors the single-env session, which
-            # refreshes its observation after measuring).
-            obs = venv.refresh_observation(0)
+                # The checkpoint drove cluster 0 out of lockstep; the
+                # next training segment must act on its *current* state,
+                # not the pre-measurement one (mirrors the single-env
+                # session, which refreshes its observation after
+                # measuring).
+                obs = venv.refresh_observation(0)
+        finally:
+            trainer.stop()
+            if trainer_config.backend == "process":
+                venv.remove_ingest_listener(trainer.ingest)
         extra: Dict[str, Any] = {"n_envs": venv.n_envs}
         if first_loss is not None:
             extra["loss_first"] = first_loss
@@ -306,6 +365,8 @@ class SearchTuner:
         self.tuner_kwargs = tuner_kwargs
 
     def run(self, env: Environment, budget: RunBudget) -> RunResult:
+        """Search ``env``'s parameter space epoch by epoch, measuring
+        the best-found setting after each budget segment."""
         if isinstance(env, VectorEnv):
             raise TypeError(
                 f"tuner {self.name!r} searches one live system; vectorized "
@@ -364,6 +425,7 @@ def register_tuner(name: str, factory: TunerFactory) -> None:
 
 
 def tuner_names() -> List[str]:
+    """Every currently registered tuner name, sorted."""
     return sorted(_TUNERS)
 
 

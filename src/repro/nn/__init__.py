@@ -21,7 +21,12 @@ vectorisation advice targets.
 """
 
 from repro.nn.activations import Activation, Identity, ReLU, Tanh
-from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.checkpoint import (
+    checkpoint_from_bytes,
+    checkpoint_to_bytes,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.nn.initializers import he_uniform, xavier_uniform, zeros
 from repro.nn.layers import Dense, Layer, Parameter
 from repro.nn.losses import huber_loss, mse_loss
@@ -51,4 +56,6 @@ __all__ = [
     "Adam",
     "save_checkpoint",
     "load_checkpoint",
+    "checkpoint_to_bytes",
+    "checkpoint_from_bytes",
 ]

@@ -6,10 +6,16 @@ being stopped, and loads the saved model when being started next time."
 Checkpoints are single ``.npz`` files holding the MLP topology, all
 weights, and (optionally) optimiser state, so a Figure 4-style
 multi-session experiment can stop and resume training bit-exactly.
+
+The same format also travels as in-memory bytes
+(:func:`checkpoint_to_bytes` / :func:`checkpoint_from_bytes`) — the
+versioned weight snapshots the decoupled trainer (:mod:`repro.train`)
+broadcasts from its worker process back to the acting agent.
 """
 
 from __future__ import annotations
 
+import io
 from pathlib import Path
 from typing import Optional, Union
 
@@ -21,13 +27,12 @@ from repro.nn.optimizers import Optimizer
 FORMAT_VERSION = 1
 
 
-def save_checkpoint(
-    path: Union[str, Path],
+def _checkpoint_arrays(
     network: MLP,
     optimizer: Optional[Optimizer] = None,
     extra: Optional[dict] = None,
-) -> None:
-    """Serialise ``network`` (+ optimiser state, + scalar extras) to npz."""
+) -> dict:
+    """The flat array mapping one checkpoint serialises."""
     arrays = {
         "__version__": np.array([FORMAT_VERSION]),
         "__dims__": np.array(network.layer_dims),
@@ -47,14 +52,52 @@ def save_checkpoint(
     if extra:
         for key, val in extra.items():
             arrays[f"extra::{key}"] = np.asarray(val)
-    np.savez(path, **arrays)
+    return arrays
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    network: MLP,
+    optimizer: Optional[Optimizer] = None,
+    extra: Optional[dict] = None,
+) -> None:
+    """Serialise ``network`` (+ optimiser state, + scalar extras) to npz."""
+    np.savez(path, **_checkpoint_arrays(network, optimizer, extra))
+
+
+def checkpoint_to_bytes(
+    network: MLP,
+    optimizer: Optional[Optimizer] = None,
+    extra: Optional[dict] = None,
+) -> bytes:
+    """:func:`save_checkpoint`, but to in-memory npz bytes.
+
+    The transport form of a weight snapshot: small enough to cross a
+    worker pipe, self-describing enough to rebuild the network on the
+    other side with :func:`checkpoint_from_bytes`.
+    """
+    buf = io.BytesIO()
+    np.savez(buf, **_checkpoint_arrays(network, optimizer, extra))
+    return buf.getvalue()
+
+
+def checkpoint_from_bytes(
+    blob: bytes,
+    optimizer: Optional[Optimizer] = None,
+) -> tuple[MLP, dict]:
+    """Rebuild an MLP from :func:`checkpoint_to_bytes` output.
+
+    If ``optimizer`` is given, its state arrays are restored in place.
+    """
+    return load_checkpoint(io.BytesIO(blob), optimizer=optimizer)
 
 
 def load_checkpoint(
-    path: Union[str, Path],
+    path,
     optimizer: Optional[Optimizer] = None,
 ) -> tuple[MLP, dict]:
-    """Rebuild the MLP from ``path``; returns ``(network, extras)``.
+    """Rebuild the MLP from ``path`` (or file object); returns
+    ``(network, extras)``.
 
     If ``optimizer`` is given, its state arrays are restored in place.
     """

@@ -11,7 +11,12 @@ arrays").  This package reproduces that split:
   training actually reads;
 - :mod:`sampler` — Algorithm 1: uniform-timestamp minibatch
   construction with per-observation completeness checking and the 20 %
-  missing-entry tolerance of Table 1.
+  missing-entry tolerance of Table 1;
+- :mod:`spans` — block-strided tick spaces: the
+  :class:`~repro.replaydb.spans.TickSpans` sampling frontier shared by
+  the fan-in writer and any concurrent reader, and the
+  :class:`~repro.replaydb.spans.StridedMinibatchSampler` that samples
+  uniformly across blocks.
 
 :class:`~repro.replaydb.db.ReplayDB` is the façade combining all three.
 """
@@ -21,6 +26,7 @@ from repro.replaydb.prioritized import PrioritizedMinibatch, PrioritizedSampler
 from repro.replaydb.db import CACHE_ONLY, ReplayDB
 from repro.replaydb.records import PackedRecords, TickRecord, Transition
 from repro.replaydb.sampler import MinibatchSampler
+from repro.replaydb.spans import StridedMinibatchSampler, TickSpans
 
 __all__ = [
     "CACHE_ONLY",
@@ -30,6 +36,8 @@ __all__ = [
     "ReplayDB",
     "ReplayCache",
     "MinibatchSampler",
+    "StridedMinibatchSampler",
     "TickRecord",
+    "TickSpans",
     "Transition",
 ]

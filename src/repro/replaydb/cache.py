@@ -47,10 +47,12 @@ class ReplayCache:
 
     @property
     def min_tick(self) -> Optional[int]:
+        """Oldest retained tick, or None when empty."""
         return self._min_tick
 
     @property
     def max_tick(self) -> Optional[int]:
+        """Newest stored tick, or None when empty."""
         return self._max_tick
 
     def _slot(self, tick: int) -> int:
@@ -209,11 +211,13 @@ class ReplayCache:
         self._actions[self._slot(int(tick))] = int(action)
 
     def set_reward(self, tick: int, reward: float) -> None:
+        """Attach the objective measured over ``tick``."""
         if not self.has(int(tick)):
             raise KeyError(f"no frame stored for tick {tick}")
         self._rewards[self._slot(int(tick))] = float(reward)
 
     def has(self, tick: int) -> bool:
+        """Whether a record for exactly ``tick`` is stored."""
         if tick < 0 or self._max_tick is None:
             return False
         if tick > self._max_tick or tick <= self._max_tick - self.capacity:
@@ -224,6 +228,7 @@ class ReplayCache:
         return bool(self._ticks[self._slot(tick)] == tick)
 
     def get(self, tick: int) -> TickRecord:
+        """The stored record for ``tick`` (a copy); KeyError if absent."""
         if not self.has(tick):
             raise KeyError(f"tick {tick} not in cache")
         slot = self._slot(tick)

@@ -100,6 +100,7 @@ class ReplayDB:
 
     # -- writer API (used by the Interface Daemon) -------------------------
     def put_observation(self, tick: int, frame: np.ndarray, reward: float = 0.0) -> None:
+        """Store one tick's PI frame (+ objective), durably and cached."""
         frame = np.ascontiguousarray(frame, dtype=np.float64)
         if self._conn is not None:
             self._conn.execute(
@@ -110,6 +111,7 @@ class ReplayDB:
         self.cache.put(TickRecord(tick=int(tick), frame=frame, reward=float(reward)))
 
     def put_action(self, tick: int, action: int) -> None:
+        """Store the action index taken at ``tick``."""
         if self._conn is not None:
             self._conn.execute(
                 "INSERT OR REPLACE INTO actions (tick, action) VALUES (?, ?)",
@@ -167,6 +169,7 @@ class ReplayDB:
         self.cache.put_many(ticks, frames, rewards, actions)
 
     def set_reward(self, tick: int, reward: float) -> None:
+        """Attach the objective measured over ``tick``."""
         if self._conn is not None:
             self._conn.execute(
                 "UPDATE observations SET reward = ? WHERE tick = ?",
@@ -189,10 +192,12 @@ class ReplayDB:
         self.cache.clear()
 
     def commit(self) -> None:
+        """Flush the durable layer (no-op for cache-only stores)."""
         if self._conn is not None:
             self._conn.commit()
 
     def close(self) -> None:
+        """Commit and release the SQLite handle (idempotent)."""
         if self._conn is not None:
             self._conn.commit()
             self._conn.close()
@@ -223,6 +228,7 @@ class ReplayDB:
         return int(pages) * int(size)
 
     def in_memory_bytes(self) -> int:
+        """Resident size of the NumPy cache (Table 2's in-memory row)."""
         return self.cache.nbytes()
 
     def __enter__(self) -> "ReplayDB":

@@ -84,6 +84,7 @@ class PrioritizedSampler(MinibatchSampler):
         self._frozen_next = max(self._frozen_next, last + 1)
 
     def priority_of(self, tick: int) -> float:
+        """Current sampling priority of ``tick`` (max for unseen ticks)."""
         self._freeze_new_ticks()
         return self._priorities.get(tick, self._max_priority)
 

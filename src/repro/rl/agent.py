@@ -163,6 +163,39 @@ class DQNAgent:
         """§3.6: bump ε when the Interface Daemon reports a new workload."""
         self.epsilon.bump()
 
+    # -- weight transport ------------------------------------------------
+    def snapshot_weights(self, include_optimizer: bool = False) -> bytes:
+        """The online network (optionally + optimiser state) as
+        checkpoint bytes — the broadcast payload a decoupled trainer
+        ships back to the acting agent (:mod:`repro.train`)."""
+        from repro.nn.checkpoint import checkpoint_to_bytes
+
+        return checkpoint_to_bytes(
+            self.online.net,
+            optimizer=self.optimizer if include_optimizer else None,
+        )
+
+    def snapshot_target(self) -> bytes:
+        """The target network as checkpoint bytes (no optimiser state)."""
+        from repro.nn.checkpoint import checkpoint_to_bytes
+
+        return checkpoint_to_bytes(self.target.net)
+
+    def adopt_network(self, net: "MLP", target_net: Optional["MLP"] = None) -> None:
+        """Replace the online (and target) networks with ``net``.
+
+        The single mutation point for externally produced weights —
+        checkpoint loads and trainer broadcasts both go through here,
+        preserving the configured loss.  Without ``target_net`` the
+        target becomes a fresh clone of ``net`` (the checkpoint-load
+        semantics: a restored model restarts its slow tracking copy).
+        """
+        loss = self.online.loss_name
+        self.online = QNetwork(net, loss=loss)
+        self.target = QNetwork(
+            target_net if target_net is not None else net.clone(), loss=loss
+        )
+
     # -- training --------------------------------------------------------------
     def bellman_targets(self, batch: Minibatch) -> np.ndarray:
         """y = r + γ·max_a' Q(s', a'; θ⁻) — Equation 1's target.

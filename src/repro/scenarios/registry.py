@@ -46,6 +46,7 @@ def register_scenario(name: str, factory: ScenarioFactory) -> None:
 
 
 def scenario_names() -> List[str]:
+    """Every currently registered scenario name, sorted."""
     return sorted(_SCENARIOS)
 
 

@@ -104,6 +104,8 @@ class ScenarioRuntime:
         return len(self._pending_reverts)
 
     def on_tick(self, tick: int) -> None:
+        """Apply events scheduled at ``tick`` and any due reverts
+        (called by the environment before the tick's interval runs)."""
         due = [pr for pr in self._pending_reverts if pr[0] <= tick]
         if due:
             self._pending_reverts = [

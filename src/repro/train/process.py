@@ -1,0 +1,436 @@
+"""The process trainer backend: a DRL engine in its own fork worker.
+
+The paper runs the DRL engine *continuously, in parallel* with the
+monitoring agents that stream observations into the central replay DB
+(§3).  This module reproduces that split inside one reproduction run:
+the master process keeps collecting experience (stepping environments,
+fanning records in) while a forked worker owns a clone of the DQN
+agent, mirrors the replay stream into its own
+:class:`~repro.replaydb.cache.ReplayCache`, and runs SGD at its own
+cadence.
+
+Protocol (all messages are ``(kind, payload)`` tuples over one pipe):
+
+master → worker
+    ``("records", (PackedRecords | None, tick_budget))`` — mirror a
+    fan-in batch and/or grant ``tick_budget × train_ratio`` SGD steps;
+    ``("reload", (epoch, online_blob, target_blob))`` — replace the
+    worker's weights (checkpoint load landed on the master: any
+    broadcast from an earlier epoch is now stale);
+    ``("drain", None)`` — train until the step budget is spent, then
+    report; ``("stop", None)`` — drain, report, exit.
+
+worker → master
+    ``("weights", (epoch, version, online_blob, losses, steps,
+    batches))`` — a versioned weight broadcast, sent every
+    ``sync_every`` completed steps; ``("drained", ...)`` /
+    ``("done", ...)`` — budget exhausted, full state (online weights +
+    optimiser, target weights) attached; ``("err", exc)`` — the worker
+    raised.
+
+Weight snapshots travel as :mod:`repro.nn.checkpoint` npz bytes.  The
+master applies a broadcast only when its ``(epoch, version)`` is newer
+than what it already holds, which is what bounds policy staleness to
+``sync_every`` SGD steps and lets :meth:`~repro.core.session.CapesSession.load`
+invalidate in-flight broadcasts wholesale by bumping the epoch.
+
+Deadlock discipline: the master never receives on the pipe from its
+main thread — a daemon reader thread drains every worker message into
+a queue, so the worker's (potentially megabyte-sized) weight sends can
+never block against a master blocked in ``send``.  The worker is
+single-threaded and drains its inbox before every training slice, so
+master record sends block at most one bounded slice.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from typing import Any, List, Optional, Tuple
+
+from repro.replaydb.records import PackedRecords
+
+
+def _build_worker_agent(init: dict):
+    """Reconstruct the training agent clone inside the worker."""
+    from repro.nn.checkpoint import checkpoint_from_bytes
+    from repro.rl.agent import DQNAgent
+
+    agent = DQNAgent(
+        obs_dim=init["obs_dim"],
+        n_actions=init["n_actions"],
+        hp=init["hp"],
+        loss=init["loss"],
+        double_dqn=init["double_dqn"],
+        rng=0,
+    )
+    net, _ = checkpoint_from_bytes(
+        init["online_blob"], optimizer=agent.optimizer
+    )
+    target_net, _ = checkpoint_from_bytes(init["target_blob"])
+    agent.adopt_network(net, target_net)
+    agent.train_steps = int(init["train_steps"])
+    return agent
+
+
+def _build_worker_sampler(init: dict, cache):
+    """The worker-side Algorithm 1 sampler (strided when the feed is)."""
+    from repro.replaydb.sampler import MinibatchSampler
+    from repro.replaydb.spans import StridedMinibatchSampler, TickSpans
+
+    hp = init["hp"]
+    if init["stride"] is None:
+        return MinibatchSampler(
+            cache,
+            obs_ticks=hp.sampling_ticks_per_observation,
+            missing_tolerance=hp.missing_entry_tolerance,
+            seed=init["sampler_seed"],
+        ), None
+    spans = TickSpans(init["n_blocks"], init["stride"])
+    return StridedMinibatchSampler(
+        cache,
+        spans,
+        obs_ticks=hp.sampling_ticks_per_observation,
+        missing_tolerance=hp.missing_entry_tolerance,
+        seed=init["sampler_seed"],
+    ), spans
+
+
+def _trainer_worker(conn, init: dict) -> None:
+    """Worker main loop: mirror records, train, broadcast weights."""
+    from repro.env.vector import _transportable
+    from repro.replaydb.cache import ReplayCache
+
+    try:
+        agent = _build_worker_agent(init)
+        cache = ReplayCache(
+            init["frame_width"], capacity=init["cache_capacity"]
+        )
+        sampler, spans = _build_worker_sampler(init, cache)
+        ratio = float(init["train_ratio"])
+        sync_every = int(init["sync_every"])
+        epoch = int(init["epoch"])
+        version = 0
+        budget = 0.0
+        since_sync = 0
+        attempted = 0
+        pending: List[float] = []
+        batches = 0
+        draining = stopping = False
+
+        def full_state() -> Tuple:
+            return (
+                epoch,
+                version,
+                agent.snapshot_weights(include_optimizer=True),
+                agent.snapshot_target(),
+                pending,
+                agent.train_steps,
+                attempted,
+                batches,
+            )
+
+        while True:
+            # Drain the inbox; block here when there is nothing to train.
+            while conn.poll() or (
+                budget < 1.0 and not (draining or stopping)
+            ):
+                try:
+                    kind, payload = conn.recv()
+                except EOFError:  # master went away
+                    return
+                if kind == "records":
+                    packed, tick_budget = payload
+                    if packed is not None and len(packed):
+                        packed.validate()  # torn-read guard
+                        cache.put_many(
+                            packed.ticks,
+                            packed.frames,
+                            packed.rewards,
+                            packed.actions,
+                        )
+                        if spans is not None:
+                            spans.observe(packed.ticks)
+                        batches += 1
+                    budget += float(tick_budget) * ratio
+                elif kind == "reload":
+                    epoch, online_blob, target_blob = payload
+                    from repro.nn.checkpoint import checkpoint_from_bytes
+
+                    net, _ = checkpoint_from_bytes(
+                        online_blob, optimizer=agent.optimizer
+                    )
+                    target_net, _ = checkpoint_from_bytes(target_blob)
+                    agent.adopt_network(net, target_net)
+                    version = 0
+                    since_sync = 0
+                    # Losses of the discarded pre-load steps belong to
+                    # the old lineage; they must not leak into the new
+                    # epoch's first broadcast.
+                    pending = []
+                elif kind == "drain":
+                    draining = True
+                elif kind == "stop":
+                    stopping = True
+                else:  # pragma: no cover - protocol error
+                    raise ValueError(f"unknown trainer command {kind!r}")
+            if budget >= 1.0:
+                n = int(min(budget, sync_every - since_sync))
+                for _ in range(n):
+                    loss = agent.train_from_sampler(sampler)
+                    if loss is not None:
+                        pending.append(float(loss))
+                budget -= n
+                since_sync += n
+                attempted += n
+                if since_sync >= sync_every:
+                    version += 1
+                    conn.send(
+                        (
+                            "weights",
+                            (
+                                epoch,
+                                version,
+                                agent.snapshot_weights(),
+                                pending,
+                                agent.train_steps,
+                                attempted,
+                                batches,
+                            ),
+                        )
+                    )
+                    pending = []
+                    since_sync = 0
+            if budget < 1.0 and draining:
+                conn.send(("drained", full_state()))
+                pending = []
+                draining = False
+            if budget < 1.0 and stopping:
+                conn.send(("done", full_state()))
+                conn.close()
+                return
+    except Exception as exc:  # surface worker failures to the master
+        try:
+            conn.send(("err", _transportable(exc)))
+        except (BrokenPipeError, OSError):  # pragma: no cover - teardown
+            pass
+
+
+class ProcessTrainer:
+    """Master-side handle on the forked trainer worker.
+
+    Ships record batches and step budget in, applies versioned weight
+    broadcasts out.  All pipe receives happen on a daemon reader
+    thread; the public methods below are meant for one driving thread
+    (the session/collection loop).
+    """
+
+    def __init__(self, agent, init: dict):
+        self.agent = agent
+        self.epoch = int(init["epoch"])
+        self.weights_version = 0
+        self.broadcasts_applied = 0
+        self.stale_discarded = 0
+        self.batches_validated = 0
+        self.worker_train_steps = int(init["train_steps"])
+        #: Granted SGD steps the worker has consumed (including
+        #: sampler-starved attempts) — the number comparable to the
+        #: in-process backends' step accounting.
+        self.worker_attempted = 0
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        self._conn, child = context.Pipe()
+        self._proc = context.Process(
+            target=_trainer_worker, args=(child, init), daemon=True
+        )
+        self._proc.start()
+        child.close()
+        self._inbox: "queue.Queue[Tuple[str, Any]]" = queue.Queue()
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+        self._closed = False
+
+    def _read_loop(self) -> None:
+        """Reader thread: drain every worker message into the inbox."""
+        try:
+            while True:
+                self._inbox.put(self._conn.recv())
+        except (EOFError, OSError):
+            self._inbox.put(("eof", None))
+
+    # -- master-side message handling ------------------------------------
+    def _apply(self, kind: str, payload: Any) -> List[float]:
+        """Fold one worker message into the acting agent; new losses."""
+        if kind == "err":
+            raise payload
+        if kind == "eof":
+            raise RuntimeError(
+                "trainer worker exited unexpectedly (see stderr)"
+            )
+        from repro.nn.checkpoint import checkpoint_from_bytes
+        from repro.rl.qnetwork import QNetwork
+
+        if kind == "weights":
+            epoch, version, blob, losses, steps, attempted, batches = payload
+            if epoch != self.epoch:
+                # Stale lineage: a checkpoint load invalidated every
+                # broadcast the worker produced before its reload.
+                self.stale_discarded += 1
+                return []
+            if version > self.weights_version:
+                net, _ = checkpoint_from_bytes(blob)
+                self.agent.online = QNetwork(
+                    net, loss=self.agent.online.loss_name
+                )
+                self.weights_version = version
+                self.broadcasts_applied += 1
+            self.batches_validated = max(self.batches_validated, batches)
+            self.worker_train_steps = max(self.worker_train_steps, steps)
+            self.worker_attempted = max(self.worker_attempted, attempted)
+            self._record_losses(losses)
+            return list(losses)
+        if kind in ("drained", "done"):
+            (
+                epoch,
+                version,
+                online_blob,
+                target_blob,
+                losses,
+                steps,
+                attempted,
+                batches,
+            ) = payload
+            if epoch == self.epoch:
+                net, _ = checkpoint_from_bytes(
+                    online_blob, optimizer=self.agent.optimizer
+                )
+                target_net, _ = checkpoint_from_bytes(target_blob)
+                self.agent.adopt_network(net, target_net)
+                self.agent.train_steps = int(steps)
+                self.weights_version = max(self.weights_version, version)
+            self.batches_validated = max(self.batches_validated, batches)
+            self.worker_train_steps = max(self.worker_train_steps, steps)
+            self.worker_attempted = max(self.worker_attempted, attempted)
+            self._record_losses(losses)
+            return list(losses)
+        raise ValueError(f"unknown trainer reply {kind!r}")  # pragma: no cover
+
+    def _record_losses(self, losses: List[float]) -> None:
+        """Mirror worker losses into the acting agent's Figure 5 trace."""
+        self.agent.loss_history.extend(losses)
+
+    def _send(self, msg: Tuple[str, Any]) -> None:
+        """Send to the worker; a dead pipe surfaces the worker's own
+        error (already queued in the inbox) instead of a bare
+        ``BrokenPipeError``."""
+        try:
+            self._conn.send(msg)
+        except (BrokenPipeError, OSError):
+            self._raise_worker_failure()
+
+    def _raise_worker_failure(self) -> None:
+        """The worker is gone: raise what it reported, or a summary."""
+        while True:
+            try:
+                kind, payload = self._inbox.get_nowait()
+            except queue.Empty:
+                break
+            if kind == "err":
+                raise payload
+        raise RuntimeError(
+            "trainer worker exited unexpectedly (see stderr)"
+        )
+
+    # -- public API ------------------------------------------------------
+    def send_records(
+        self, packed: Optional[PackedRecords], tick_budget: float
+    ) -> None:
+        """Mirror a fan-in batch and/or grant training budget."""
+        self._send(("records", (packed, float(tick_budget))))
+
+    def poll(self) -> List[float]:
+        """Apply every already-received worker message; new losses."""
+        new: List[float] = []
+        while True:
+            try:
+                kind, payload = self._inbox.get_nowait()
+            except queue.Empty:
+                return new
+            new.extend(self._apply(kind, payload))
+
+    def _wait_for(self, terminal: str) -> List[float]:
+        """Block until ``terminal`` arrives, applying everything on the way."""
+        new: List[float] = []
+        while True:
+            try:
+                kind, payload = self._inbox.get(timeout=60.0)
+            except queue.Empty:  # pragma: no cover - hung worker
+                if not self._proc.is_alive():
+                    raise RuntimeError("trainer worker died mid-drain")
+                continue
+            new.extend(self._apply(kind, payload))
+            if kind == terminal:
+                return new
+
+    def drain(self) -> List[float]:
+        """Block until the worker's step budget is spent; apply its
+        state (weights + optimiser + target) to the acting agent."""
+        self._send(("drain", None))
+        return self._wait_for("drained")
+
+    def invalidate(self, online_blob: bytes, target_blob: bytes) -> int:
+        """Start a new weight epoch from externally loaded weights.
+
+        Every broadcast the worker produced under the previous epoch is
+        discarded on arrival; the worker continues training from the
+        reloaded weights.  Returns the new epoch.
+        """
+        self.epoch += 1
+        self.weights_version = 0
+        self._send(("reload", (self.epoch, online_blob, target_blob)))
+        return self.epoch
+
+    def stop(self) -> List[float]:
+        """Drain, adopt final state, and shut the worker down.
+
+        Tolerates a worker that already crashed: cleanup proceeds and
+        the crash (which surfaced, or will, via the poll/drain path) is
+        not replaced by a secondary ``BrokenPipeError``.
+        """
+        if self._closed:
+            return []
+        new: List[float] = []
+        try:
+            try:
+                self._conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                return new  # worker gone; its error already surfaced
+            while True:
+                try:
+                    kind, payload = self._inbox.get(timeout=10.0)
+                except queue.Empty:
+                    if not self._proc.is_alive():
+                        return new  # died without a farewell message
+                    continue
+                if kind == "eof":
+                    return new
+                new.extend(self._apply(kind, payload))
+                if kind == "done":
+                    return new
+        finally:
+            self._proc.join(timeout=10)
+            if self._proc.is_alive():  # pragma: no cover - hung worker
+                self._proc.terminate()
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._closed = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return not self._closed and self._proc.is_alive()

@@ -21,7 +21,7 @@ from repro.replaydb.db import ReplayDB
 from repro.replaydb.prioritized import PrioritizedSampler
 from repro.replaydb.records import TickRecord
 from repro.replaydb.sampler import SamplerStarvedError
-from repro.env.vector import StridedMinibatchSampler
+from repro.replaydb.spans import StridedMinibatchSampler, TickSpans
 
 SETTINGS = dict(max_examples=40, deadline=None, derandomize=True)
 
@@ -223,14 +223,6 @@ class TestPrioritizedProperties:
         assert np.allclose(probs, 1.0 / len(probs))
 
 
-class _VenvStub:
-    """The slice of VectorEnv the strided sampler reads."""
-
-    def __init__(self, tick_stride, synced):
-        self.tick_stride = tick_stride
-        self._synced = list(synced)
-
-
 class TestStridedSamplerProperties:
     """Block-aware sampling over arbitrary per-env progress states."""
 
@@ -250,7 +242,7 @@ class TestStridedSamplerProperties:
                 )
         return StridedMinibatchSampler(
             cache,
-            _VenvStub(stride, synced),
+            TickSpans.from_tops(stride, synced),
             obs_ticks=self.OBS_TICKS,
             seed=0,
         )
@@ -262,7 +254,7 @@ class TestStridedSamplerProperties:
     @settings(**SETTINGS)
     def test_spans_stay_inside_their_blocks(self, stride, synced):
         sampler = self._sampler(stride, synced)
-        spans = sampler._block_spans()
+        spans = sampler.spans.candidate_spans(sampler.obs_ticks)
         for first, last in spans:
             block = first // stride
             assert first <= last

@@ -1,0 +1,594 @@
+"""The decoupled trainer subsystem (repro.train).
+
+Covers the PR's contract surface:
+
+- the ``inline`` backend (and ``serial`` at ``interleave_ticks=1``) is
+  byte-identical to the historical train-in-the-tick-loop session;
+- the ``serial`` backend is deterministic at any interleave and spends
+  the same step budget;
+- the ``process`` backend spends the same budget, bounds policy
+  staleness by ``sync_every``, validates every mirrored record batch
+  (torn-read guard), and survives checkpoint loads without a stale
+  broadcast overwriting freshly loaded weights;
+- concurrent replay access: sampling interleaved with ``put_many``
+  chunk landings is deterministic and never serves torn rows.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.core import CapesSession
+from repro.env import EnvConfig, StorageTuningEnv, VectorEnv
+from repro.exp import ExperimentSpec
+from repro.replaydb.cache import ReplayCache
+from repro.replaydb.records import PackedRecords
+from repro.replaydb.spans import StridedMinibatchSampler, TickSpans
+from repro.rl import DQNAgent, Hyperparameters
+from repro.train import TrainerConfig, TrainerLoop, train_collect
+from repro.workloads import RandomReadWrite
+
+FAST_HP = Hyperparameters(
+    hidden_layer_size=16,
+    sampling_ticks_per_observation=3,
+    exploration_ticks=30,
+)
+
+
+def fast_env_config(seed=0):
+    return EnvConfig(
+        cluster=ClusterConfig(n_servers=2, n_clients=2),
+        workload_factory=lambda c, s: RandomReadWrite(
+            c, read_fraction=0.1, instances_per_client=2, seed=s
+        ),
+        hp=FAST_HP,
+        seed=seed,
+    )
+
+
+def weights_digest(agent) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for w in agent.online.net.get_weights():
+        h.update(w.tobytes())
+    return h.hexdigest()
+
+
+def train_digest(session, result) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    h.update(result.rewards.tobytes())
+    h.update(result.losses.tobytes())
+    h.update(result.epsilon_trace.tobytes())
+    h.update(weights_digest(session.agent).encode())
+    return h.hexdigest()
+
+
+def run_session(n_ticks=25, **session_kwargs):
+    session = CapesSession(
+        StorageTuningEnv(fast_env_config()), seed=0, **session_kwargs
+    )
+    try:
+        result = session.train(n_ticks)
+        return train_digest(session, result), result, session
+    finally:
+        session.shutdown_trainer()
+
+
+class TestTrainerConfig:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            TrainerConfig(backend="threads")
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError, match="train_ratio"):
+            TrainerConfig(train_ratio=-1.0)
+
+    def test_nonpositive_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(interleave_ticks=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(sync_every=0)
+
+    def test_in_process_backend_needs_sampler(self):
+        agent = DQNAgent(6, 3, hp=FAST_HP, rng=0)
+        with pytest.raises(ValueError, match="sampler"):
+            TrainerLoop(agent, TrainerConfig(backend="serial"))
+
+    def test_process_backend_needs_geometry(self):
+        agent = DQNAgent(6, 3, hp=FAST_HP, rng=0)
+        with pytest.raises(ValueError, match="frame_width"):
+            TrainerLoop(agent, TrainerConfig(backend="process"))
+
+
+class TestGoldenIdentity:
+    """The acceptance bar: serial-interleaved == inline, byte for byte."""
+
+    def test_serial_interleave1_byte_identical_to_inline(self):
+        d_inline, r_inline, _ = run_session(train_steps_per_tick=2)
+        d_serial, r_serial, _ = run_session(
+            train_steps_per_tick=2, trainer_backend="serial"
+        )
+        assert d_inline == d_serial
+        assert len(r_inline.losses) == len(r_serial.losses)
+
+    def test_inline_fractional_ratio_quarter(self):
+        """train_ratio=0.25 trains once every 4 ticks, deterministically."""
+        _, result, _ = run_session(n_ticks=20, train_ratio=0.25)
+        # 20 ticks x 0.25 = 5 attempted steps; early ones may starve.
+        assert 0 < len(result.losses) <= 5
+
+    def test_process_backend_equal_step_budget(self):
+        d_inline, r_inline, _ = run_session(train_steps_per_tick=2)
+        _, r_proc, session = run_session(
+            train_steps_per_tick=2,
+            trainer_backend="process",
+            sync_every=8,
+        )
+        assert len(r_proc.losses) == len(r_inline.losses)
+        assert np.isfinite(r_proc.losses).all()
+
+
+class TestSerialInterleaving:
+    def test_interleave4_deterministic(self):
+        runs = [
+            run_session(train_steps_per_tick=2, trainer_backend="serial")
+            for _ in range(2)
+        ]
+        assert runs[0][0] == runs[1][0]
+
+    def test_interleaved_bursts_spend_the_same_budget(self):
+        session = CapesSession(
+            StorageTuningEnv(fast_env_config()),
+            seed=0,
+            train_steps_per_tick=2,
+            trainer_backend="serial",
+        )
+        # Coarser cadence: burst every 5 ticks instead of every tick.
+        session.trainer_config = TrainerConfig(
+            backend="serial", train_ratio=2.0, interleave_ticks=5
+        )
+        result = session.train(23)
+        assert session.trainer.stats.steps_attempted == 46
+        assert np.isfinite(result.losses).all()
+        session.shutdown_trainer()
+
+
+class TestProcessBackend:
+    def test_broadcast_versioning_and_staleness_bound(self):
+        session = CapesSession(
+            StorageTuningEnv(fast_env_config()),
+            seed=0,
+            trainer_backend="process",
+            train_ratio=1.0,
+            sync_every=5,
+        )
+        session.train(23)
+        stats = session.trainer.stats
+        # 23 granted steps, one broadcast per 5 completed: versions
+        # 1..4 broadcast, the drain barrier carries the final state.
+        assert stats.weights_version == 4
+        assert stats.steps_attempted == 23
+        assert stats.batches_validated > 0
+        session.shutdown_trainer()
+
+    def test_worker_state_adopted_on_drain(self):
+        """After drain, the master holds the worker's exact weights."""
+        session = CapesSession(
+            StorageTuningEnv(fast_env_config()),
+            seed=0,
+            trainer_backend="process",
+            sync_every=4,
+        )
+        session.train(12)
+        d_before = weights_digest(session.agent)
+        # No new budget: an immediate drain must be a no-op.
+        session.trainer.drain()
+        assert weights_digest(session.agent) == d_before
+        session.shutdown_trainer()
+
+    def test_trainer_survives_multiple_segments(self):
+        session = CapesSession(
+            StorageTuningEnv(fast_env_config()),
+            seed=0,
+            trainer_backend="process",
+            sync_every=4,
+        )
+        r1 = session.train(8)
+        r2 = session.train(8)
+        assert len(r1.losses) + len(r2.losses) > 0
+        assert session.trainer.stats.steps_attempted == 16
+        session.shutdown_trainer()
+
+    def test_restart_environment_discards_trainer(self):
+        session = CapesSession(
+            StorageTuningEnv(fast_env_config()),
+            seed=0,
+            trainer_backend="process",
+        )
+        session.train(5)
+        first = session.trainer
+        session.restart_environment()
+        assert session.trainer is None
+        session.train(5)
+        assert session.trainer is not first
+        session.shutdown_trainer()
+
+
+class TestLoadResetsWeightVersion:
+    """Satellite regression: loading a checkpoint mid-session must start
+    a new weight epoch so a stale broadcast cannot overwrite it."""
+
+    def test_stale_epoch_broadcast_discarded(self):
+        session = CapesSession(
+            StorageTuningEnv(fast_env_config()),
+            seed=0,
+            trainer_backend="process",
+            sync_every=4,
+        )
+        session.train(10)
+        trainer = session.trainer
+        backend = trainer._proc
+        old_epoch = backend.epoch
+        trainer.invalidate_weights()  # what load() triggers
+        d_loaded = weights_digest(session.agent)
+        # A broadcast forged from the *previous* epoch with a huge
+        # version: exactly what an in-flight pre-load message looks
+        # like.  It must be discarded wholesale.
+        garbage = DQNAgent(
+            session.agent.obs_dim,
+            session.agent.n_actions,
+            hp=FAST_HP,
+            rng=99,
+        ).snapshot_weights()
+        applied = backend._apply(
+            "weights", (old_epoch, 999, garbage, [1.0], 123, 123, 1)
+        )
+        assert applied == []
+        assert backend.stale_discarded == 1
+        assert weights_digest(session.agent) == d_loaded
+        assert backend.weights_version == 0
+        session.shutdown_trainer()
+
+    def test_reload_drops_pre_load_pending_losses(self):
+        """Losses of discarded pre-load SGD steps must not leak into
+        the new epoch's broadcasts/drains."""
+        import time
+
+        session = CapesSession(
+            StorageTuningEnv(fast_env_config()),
+            seed=0,
+            trainer_backend="process",
+            sync_every=4,
+        )
+        session.ensure_started()
+        trainer = session._ensure_trainer()
+        backend = trainer._proc
+        feed = trainer._feed
+        backend.send_records(feed(), 0.0)  # warm-up records
+        session.env.run_ticks(6)
+        # 6 granted steps against a 4-step sync: the worker broadcasts
+        # once (flushing 4 losses) and keeps steps 5-6 in ``pending``.
+        backend.send_records(feed(), 6.0)
+        deadline = time.monotonic() + 30.0
+        while backend.broadcasts_applied < 1:
+            backend.poll()
+            assert time.monotonic() < deadline, "no broadcast arrived"
+            time.sleep(0.01)
+        time.sleep(0.5)  # let the two post-broadcast steps finish
+        trainer.invalidate_weights()  # what load() triggers
+        drained = trainer.drain()
+        # The drain barrier reports the *new* lineage only: the
+        # pre-reload pending losses were dropped with their weights.
+        assert drained == []
+        session.shutdown_trainer()
+
+    def test_load_mid_session_end_to_end(self, tmp_path):
+        path = tmp_path / "model.npz"
+        session = CapesSession(
+            StorageTuningEnv(fast_env_config()),
+            seed=0,
+            trainer_backend="process",
+            sync_every=2,
+        )
+        session.train(10)
+        session.save(path)
+        d_saved = weights_digest(session.agent)
+        session.train(10)  # worker moves on past the checkpoint
+        assert weights_digest(session.agent) != d_saved
+        session.load(path)
+        assert weights_digest(session.agent) == d_saved
+        assert session.trainer.stats.epoch == 1
+        # Draining the (budget-less, reloaded) worker must not move
+        # the freshly loaded weights.
+        session.trainer.drain()
+        assert weights_digest(session.agent) == d_saved
+        # Training continues from the restored weights.
+        result = session.train(6)
+        assert np.isfinite(result.losses).all()
+        session.shutdown_trainer()
+
+    def test_inline_load_unaffected(self, tmp_path):
+        """The fence is a no-op for in-process backends (same thread)."""
+        path = tmp_path / "model.npz"
+        _, _, session = run_session(n_ticks=10)
+        session.save(path)
+        session2 = CapesSession(StorageTuningEnv(fast_env_config()), seed=1)
+        session2.train(5)
+        session2.load(path)
+        assert weights_digest(session2.agent) == weights_digest(
+            session.agent
+        )
+        session2.shutdown_trainer()
+
+
+class TestTrainCollect:
+    """§3.3 monitoring + continuous training over a VectorEnv."""
+
+    def _venv(self, backend="serial"):
+        return VectorEnv.from_config(fast_env_config(), 2, backend=backend)
+
+    def _run(self, trainer_backend, vector_backend="serial", **cfg):
+        venv = self._venv(vector_backend)
+        agent = DQNAgent(venv.obs_dim, venv.n_actions, hp=FAST_HP, rng=0)
+        try:
+            rewards, stats = train_collect(
+                venv,
+                agent,
+                TrainerConfig(
+                    backend=trainer_backend, train_ratio=1.0, **cfg
+                ),
+                20,
+                chunk=5,
+                sampler_seed=7,
+            )
+        finally:
+            venv.close()
+        return rewards, stats, agent
+
+    def test_rewards_identical_across_trainer_backends(self):
+        """Monitoring never consults the policy: the trainer backend is
+        pure wall-clock, not semantics."""
+        r_serial, s_serial, _ = self._run("serial")
+        r_proc, s_proc, _ = self._run("process", sync_every=8)
+        np.testing.assert_array_equal(r_serial, r_proc)
+        assert s_serial.steps_attempted == s_proc.steps_attempted == 20
+
+    def test_serial_matches_handrolled_inline_reference(self):
+        """serial train_collect at chunk=1 == collect-a-tick,
+        train-a-burst by hand (the inline reference)."""
+        venv = self._venv()
+        agent = DQNAgent(venv.obs_dim, venv.n_actions, hp=FAST_HP, rng=0)
+        try:
+            rewards, _ = train_collect(
+                venv,
+                agent,
+                TrainerConfig(backend="serial", train_ratio=1.0),
+                12,
+                chunk=1,
+                sampler_seed=7,
+            )
+        finally:
+            venv.close()
+        venv2 = self._venv()
+        agent2 = DQNAgent(venv2.obs_dim, venv2.n_actions, hp=FAST_HP, rng=0)
+        try:
+            sampler = venv2.make_sampler(seed=7)
+            venv2.reset()
+            ref = np.empty((2, 12))
+            for t in range(12):
+                ref[:, t : t + 1] = venv2.collect(1)
+                agent2.train_from_sampler(sampler)
+        finally:
+            venv2.close()
+        np.testing.assert_array_equal(rewards, ref)
+        assert weights_digest(agent) == weights_digest(agent2)
+
+    def test_fork_fleet_process_trainer_no_torn_reads(self):
+        """Both decouplings at once: fork collection workers + the fork
+        trainer worker.  Every mirrored batch passes the torn-read
+        validation or the worker raises and the run fails."""
+        rewards, stats, _ = self._run(
+            "process", vector_backend="fork", sync_every=8
+        )
+        assert stats.batches_validated > 0
+        assert rewards.shape == (2, 20)
+        assert np.isfinite(stats.losses).all()
+
+    def test_needs_shared_db(self):
+        venv = VectorEnv.from_config(
+            fast_env_config(), 2, shared_db_path=None
+        )
+        agent = DQNAgent(venv.obs_dim, venv.n_actions, hp=FAST_HP, rng=0)
+        try:
+            with pytest.raises(ValueError, match="shared"):
+                train_collect(venv, agent, TrainerConfig(), 5)
+        finally:
+            venv.close()
+
+
+class TestConcurrentReplayAccess:
+    """Satellite: sampling while put_many lands chunks."""
+
+    FRAME_W = 2
+
+    def _land_chunk(self, cache, spans, block, ticks):
+        ticks = np.asarray(ticks, dtype=np.int64) + block * 64
+        frames = np.stack(
+            [[float(block), float(t)] for t in ticks]
+        )
+        cache.put_many(
+            ticks,
+            frames,
+            np.full(len(ticks), 0.5),
+            np.zeros(len(ticks), dtype=np.int64),
+        )
+        spans.observe(ticks)
+
+    def _interleaved_run(self):
+        cache = ReplayCache(self.FRAME_W, capacity=256)
+        spans = TickSpans(2, 64)
+        sampler = StridedMinibatchSampler(
+            cache, spans, obs_ticks=2, seed=3
+        )
+        seen = []
+        next_tick = [0, 0]
+        for round_ in range(6):
+            for block in (0, 1):
+                lo = next_tick[block]
+                self._land_chunk(cache, spans, block, range(lo, lo + 5))
+                next_tick[block] = lo + 5
+            if round_ >= 1:  # enough for one window + t+1
+                batch = sampler.sample_minibatch(8)
+                seen.append(batch)
+        return seen
+
+    def test_interleaved_sampling_deterministic(self):
+        a = self._interleaved_run()
+        b = self._interleaved_run()
+        assert len(a) == len(b) == 5
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.s_t, y.s_t)
+            np.testing.assert_array_equal(x.actions, y.actions)
+
+    def test_no_torn_rows_between_chunk_landings(self):
+        """Every sampled observation must be self-consistent: the
+        (block, tick) coordinates baked into each frame must line up
+        with strided tick arithmetic, proving no row mixes chunks."""
+        for batch in self._interleaved_run():
+            s_t = batch.s_t.reshape(len(batch), 2, self.FRAME_W)
+            blocks = s_t[:, :, 0]
+            ticks = s_t[:, :, 1]
+            # One block per observation, consecutive local ticks.
+            assert (blocks == blocks[:, :1]).all()
+            np.testing.assert_array_equal(
+                np.diff(ticks, axis=1), np.ones((len(batch), 1))
+            )
+
+    def test_packed_records_validate(self):
+        good = PackedRecords(
+            ticks=np.array([3, 4, 5], dtype=np.int64),
+            frames=np.zeros((3, 2)),
+            actions=np.zeros(3, dtype=np.int64),
+            rewards=np.zeros(3),
+        )
+        assert good.validate() is good
+        with pytest.raises(ValueError, match="frames"):
+            PackedRecords(
+                ticks=np.array([3, 4], dtype=np.int64),
+                frames=np.zeros((3, 2)),
+                actions=np.zeros(2, dtype=np.int64),
+                rewards=np.zeros(2),
+            ).validate()
+        with pytest.raises(ValueError, match="ascending"):
+            PackedRecords(
+                ticks=np.array([4, 3], dtype=np.int64),
+                frames=np.zeros((2, 2)),
+                actions=np.zeros(2, dtype=np.int64),
+                rewards=np.zeros(2),
+            ).validate()
+        with pytest.raises(ValueError, match="finite"):
+            PackedRecords(
+                ticks=np.array([3, 4], dtype=np.int64),
+                frames=np.full((2, 2), np.nan),
+                actions=np.zeros(2, dtype=np.int64),
+                rewards=np.zeros(2),
+            ).validate()
+
+
+class TestSpecAndCliPlumbing:
+    def test_spec_to_dict_carries_trainer_fields(self):
+        spec = ExperimentSpec(
+            trainer_backend="process", train_ratio=0.5, sync_every=32
+        )
+        d = spec.to_dict()
+        assert d["trainer_backend"] == "process"
+        assert d["train_ratio"] == 0.5
+        assert d["sync_every"] == 32
+
+    def test_build_tuner_passes_trainer_fields_to_capes(self):
+        spec = ExperimentSpec(
+            tuner="capes", trainer_backend="serial", train_ratio=2.0
+        )
+        tuner = spec.build_tuner()
+        assert tuner.trainer_backend == "serial"
+        assert tuner.train_ratio == 2.0
+
+    def test_build_tuner_rejects_trainer_fields_for_search_tuners(self):
+        spec = ExperimentSpec(tuner="random", trainer_backend="serial")
+        with pytest.raises(ValueError, match="capes"):
+            spec.build_tuner()
+
+    def test_sweep_cli_rejects_trainer_backend_for_search_tuners(self):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "sweep",
+                "--config",
+                "examples/conf_lustre.py",
+                "--tuners",
+                "random",
+                "--trainer-backend",
+                "serial",
+            ]
+        )
+        assert rc == 2
+
+    def test_collect_cli_flags_need_train(self):
+        from repro.cli import main
+
+        for flag, value in (
+            ("--checkpoint", "/tmp/never-written.npz"),
+            ("--train-ratio", "2"),
+            ("--sync-every", "8"),
+            ("--trainer-backend", "serial"),
+        ):
+            rc = main(
+                [
+                    "collect",
+                    "--config",
+                    "examples/conf_lustre.py",
+                    "--ticks",
+                    "5",
+                    flag,
+                    value,
+                ]
+            )
+            assert rc == 2, flag
+
+    def test_sweep_conf_trainer_knobs_are_honored(self, tmp_path, capsys):
+        """TRAINER_BACKEND from the conf reaches the sweep specs: a
+        non-capes sweep under a conf that asks for a decoupled trainer
+        must be rejected even with no CLI trainer flags."""
+        conf = tmp_path / "conf.py"
+        conf.write_text(
+            "def WORKLOAD(cluster, seed):\n"
+            "    from repro.workloads import RandomReadWrite\n"
+            "    return RandomReadWrite(cluster, seed=seed)\n"
+            "TRAINER_BACKEND = 'serial'\n"
+        )
+        from repro.cli import main
+
+        rc = main(
+            ["sweep", "--config", str(conf), "--tuners", "random"]
+        )
+        assert rc == 2
+        assert "TRAINER_BACKEND" in capsys.readouterr().err
+
+    def test_conf_loader_reads_trainer_knobs(self, tmp_path):
+        conf = tmp_path / "conf.py"
+        conf.write_text(
+            "def WORKLOAD(cluster, seed):\n"
+            "    from repro.workloads import RandomReadWrite\n"
+            "    return RandomReadWrite(cluster, seed=seed)\n"
+            "TRAINER_BACKEND = 'process'\n"
+            "TRAIN_RATIO = 0.5\n"
+            "SYNC_EVERY = 16\n"
+        )
+        from repro.core.config import load_config
+
+        cfg = load_config(str(conf))
+        assert cfg.trainer_backend == "process"
+        assert cfg.train_ratio == 0.5
+        assert cfg.sync_every == 16

@@ -152,7 +152,7 @@ class TestFanIn:
             sampler = venv.make_sampler(seed=0)
             batch = sampler.sample_minibatch(64)
             assert batch.s_t.shape == (64, venv.obs_dim)
-            spans = sampler._block_spans()
+            spans = sampler.spans.candidate_spans(sampler.obs_ticks)
             assert len(spans) == 2
             assert spans[0][1] < 64 <= spans[1][0]  # one span per block
         finally:
