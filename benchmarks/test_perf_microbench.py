@@ -1,10 +1,17 @@
-"""Substrate micro-benchmarks (engine, codec, sampler, DNN).
+"""Substrate micro-benchmarks (engine, codec, sampler, DNN, vec fleet).
 
 Not a paper table — these guard the performance assumptions the
 experiment harness relies on: the discrete-event engine must sustain
 ~10⁵ events/s, the wire codec and the Algorithm 1 sampler must be far
-off the critical path, and one DNN training step must be milliseconds.
+off the critical path, one DNN training step must be milliseconds, and
+the struct-of-arrays fleet kernel (``repro.sim.vec``) must advance a
+16-cluster fleet at least 5x faster than the reference engine advances
+the same clusters one by one.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -14,6 +21,8 @@ from repro.nn.losses import mse_loss
 from repro.replaydb import MinibatchSampler, ReplayDB
 from repro.sim import Simulator, Timeout
 from repro.telemetry import DifferentialDecoder, DifferentialEncoder
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_collect.json"
 
 
 @pytest.mark.benchmark(group="perf")
@@ -37,6 +46,73 @@ def test_perf_engine_event_throughput(benchmark):
     print(f"\nengine: {events} events in {benchmark.stats['mean'] * 1e3:.1f} ms "
           f"-> {rate / 1e3:.0f}k events/s")
     assert rate > 50_000
+
+
+def test_perf_tick_all():
+    """One ``tick_all`` over a 16-cluster fleet vs 16 reference envs.
+
+    The tentpole claim of the vec engine: advancing N clusters as rows
+    of shared numpy arrays must beat the discrete-event reference
+    advancing the same N clusters sequentially — by >= 5x on a single
+    core, no skip gating (the kernel needs no parallelism to win).
+    Merges ``vec_ticks_per_s`` / ``vec_collect_speedup`` into
+    ``BENCH_collect.json`` (read-modify-write: the collect-throughput
+    bench owns the file's other rows).
+    """
+    from repro.cluster import ClusterConfig
+    from repro.env import EnvConfig, StorageTuningEnv, make_env
+    from repro.rl import Hyperparameters
+    from repro.workloads import RandomReadWrite
+
+    def workload(cluster, seed):
+        return RandomReadWrite(
+            cluster, read_fraction=0.1, seed=seed, instances_per_client=5
+        )
+
+    hp = Hyperparameters(
+        hidden_layer_size=64,
+        exploration_ticks=800,
+        sampling_ticks_per_observation=10,
+    )
+    kw = dict(
+        cluster=ClusterConfig(n_servers=2, n_clients=3),
+        workload_factory=workload,
+        hp=hp,
+        seed=42,
+    )
+    n_vec, vec_ticks = 16, 200
+    ref_ticks = 30
+
+    fleet = make_env("sim-lustre-vec", n_envs=n_vec, **kw)
+    fleet.reset()
+    fleet.run_chunk(10)  # warm caches/JIT'd ufunc paths out of the timing
+    t0 = time.perf_counter()
+    fleet.run_chunk(vec_ticks)
+    vec_rate = n_vec * vec_ticks / (time.perf_counter() - t0)
+    fleet.close()
+
+    # Reference per-env rate from one env (the N-loop is sequential, so
+    # its aggregate rate equals the single-env rate).
+    env = StorageTuningEnv(EnvConfig(**kw))
+    env.reset()
+    t0 = time.perf_counter()
+    env.run_ticks(ref_ticks)
+    ref_rate = ref_ticks / (time.perf_counter() - t0)
+    env.close()
+
+    speedup = vec_rate / ref_rate
+    print(
+        f"\ntick_all: {vec_rate:.0f} env-ticks/s over {n_vec} clusters "
+        f"vs {ref_rate:.1f}/s reference -> {speedup:.0f}x"
+    )
+    bench = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    bench.update(
+        vec_n_envs=n_vec,
+        vec_ticks_per_s=round(vec_rate, 1),
+        vec_collect_speedup=round(speedup, 2),
+    )
+    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    assert speedup >= 5.0, (vec_rate, ref_rate)
 
 
 @pytest.mark.benchmark(group="perf")

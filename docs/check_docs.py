@@ -45,6 +45,7 @@ API_MODULES = (
     "repro.exp",
     "repro.replaydb",
     "repro.scenarios",
+    "repro.sim.vec",
     "repro.train",
 )
 

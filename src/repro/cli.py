@@ -487,9 +487,10 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--vector-backend",
-        choices=("serial", "fork"),
+        choices=("serial", "fork", "vec"),
         default="serial",
-        help="how the collecting clusters are stepped",
+        help="how the collecting clusters are stepped (vec: one "
+        "struct-of-arrays fleet advanced by numpy array ops)",
     )
     p.add_argument(
         "--chunk",
@@ -575,9 +576,10 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--vector-backend",
-        choices=("serial", "fork"),
+        choices=("serial", "fork", "vec"),
         default="serial",
-        help="how vectorized clusters are stepped",
+        help="how vectorized clusters are stepped (vec: one "
+        "struct-of-arrays fleet advanced by numpy array ops)",
     )
     p.add_argument(
         "--trainer-backend",

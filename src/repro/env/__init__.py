@@ -8,10 +8,12 @@ interface, not a class:
   ``action_space``/``close`` plus the measurement surface);
 - :func:`~repro.env.registry.make_env` + the string-keyed registry —
   specs and the CLI name environments by key (``"sim-lustre"`` is the
-  simulated Lustre cluster reference backend);
+  simulated Lustre cluster reference backend; ``"sim-lustre-vec"`` the
+  struct-of-arrays fleet engine of :mod:`repro.sim.vec`);
 - :class:`~repro.env.vector.VectorEnv` — N independently-seeded
   clusters stepped in lockstep, fanning all experience into one shared
-  Replay DB (the many-agents-one-engine topology).
+  Replay DB (the many-agents-one-engine topology); its ``vec`` backend
+  steps all N as rows of one :class:`~repro.sim.vec.fleet_env.FleetEnv`.
 
 Backwards compatibility: the protocol is structural, so code that
 constructs a bare :class:`~repro.env.tuning_env.StorageTuningEnv` from

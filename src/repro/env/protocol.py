@@ -14,7 +14,13 @@ The concrete reference implementation is
 :class:`~repro.env.tuning_env.StorageTuningEnv`, registered as
 ``"sim-lustre"`` in :mod:`repro.env.registry`;
 :class:`~repro.env.vector.VectorEnv` steps N of them in lockstep for
-the paper's many-agents-one-engine topology.
+the paper's many-agents-one-engine topology.  The struct-of-arrays
+fleet engine (:class:`~repro.sim.vec.fleet_env.FleetEnv`, registered
+as ``"sim-lustre-vec"``) satisfies the same scalar protocol through
+its per-row :class:`~repro.sim.vec.fleet_env.FleetSlot` views while
+exposing the batch surface (``step`` over all envs, ``run_chunk``,
+``records_since_packed``) natively — the shape
+``VectorEnv(backend="vec")`` drives.
 """
 
 from __future__ import annotations

@@ -158,7 +158,20 @@ def _make_sim_lustre_scenario(
     )
 
 
+def _make_sim_lustre_vec(**cfg: Any) -> Environment:
+    """``"sim-lustre-vec"``: the struct-of-arrays fleet backend.
+
+    Same configuration surface as ``"sim-lustre"`` plus ``n_envs=`` and
+    ``seeds=``; see :func:`repro.sim.vec.fleet_env.make_fleet_env`.
+    Imported lazily so the registry stays import-light.
+    """
+    from repro.sim.vec.fleet_env import make_fleet_env
+
+    return make_fleet_env(**cfg)
+
+
 register_env("sim-lustre", _make_sim_lustre)
+register_env("sim-lustre-vec", _make_sim_lustre_vec)
 # Every scenario name doubles as an environment key ("sim-lustre-
 # degraded" builds sim-lustre with the degraded-disk timeline
 # attached); make_env/env_names resolve them dynamically against the

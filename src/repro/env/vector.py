@@ -21,6 +21,18 @@ Backends
     dispatched to all workers before any result is collected, so the
     simulations advance in parallel.  ``fork`` inherits memory, so
     unpicklable workload factories work unchanged.
+``vec``
+    All sub-environments are rows of one struct-of-arrays
+    :class:`~repro.sim.vec.fleet_env.FleetEnv`: a single ``tick_all``
+    kernel advances the whole fleet per tick, so stepping cost stays
+    nearly flat in ``n_envs`` on one core.  Each worker holds a
+    :class:`~repro.sim.vec.fleet_env.FleetSlot` view, so the per-env
+    plumbing (``env_method``, record fan-in, resets) is shared with
+    ``serial``; lockstep stepping takes a batched fast path straight
+    into the fleet.  The vec backend is a tick-level fluid model — not
+    byte-identical to ``serial``/``fork`` (see
+    :mod:`repro.sim.vec`) — but vec rollouts are themselves exactly
+    reproducible, fleet-size independent, and chunk-invariant.
 
 Fan-in transport
 ----------------
@@ -314,22 +326,40 @@ class VectorEnv:
     ):
         if not factories:
             raise ValueError("VectorEnv needs at least one environment")
-        if backend not in ("serial", "fork"):
+        if backend not in ("serial", "fork", "vec"):
             raise ValueError(
-                f"backend must be 'serial' or 'fork', got {backend!r}"
+                f"backend must be 'serial', 'fork' or 'vec', got {backend!r}"
             )
         check_positive("tick_stride", tick_stride)
         self.backend = backend
         self.tick_stride = int(tick_stride)
         self._shared_db_path = shared_db_path
-        if backend == "serial":
-            self._workers: List[Any] = [_SerialWorker(f) for f in factories]
-        else:
+        self._fleet: Any = None
+        if backend == "fork":
             try:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX fallback
                 context = multiprocessing.get_context()
-            self._workers = [_ForkWorker(f, context) for f in factories]
+            self._workers: List[Any] = [
+                _ForkWorker(f, context) for f in factories
+            ]
+        else:
+            self._workers = [_SerialWorker(f) for f in factories]
+        if backend == "vec":
+            envs = [w.env for w in self._workers]
+            fleets = {id(getattr(e, "fleet", None)) for e in envs}
+            if (
+                any(not getattr(e, "fleet_slot", False) for e in envs)
+                or len(fleets) != 1
+                or [e.index for e in envs] != list(range(len(envs)))
+            ):
+                raise ValueError(
+                    "backend='vec' needs factories yielding the slots of "
+                    "one FleetEnv, in order 0..n-1 (build with "
+                    "VectorEnv.from_config(..., backend='vec') or "
+                    "functools.partial(fleet.slot, i))"
+                )
+            self._fleet = envs[0].fleet
         # Static metadata from env 0 (all envs share one configuration
         # shape; heterogeneous fleets would need per-env replay DBs).
         self.obs_dim: int = int(self._get_attr(0, "obs_dim"))
@@ -369,7 +399,21 @@ class VectorEnv:
         ``config.seed``; each cluster gets its own cache-only replay
         store — per-cluster records are staging for the fan-in, so the
         shared DB is the only store that can want a durable layer.
+
+        ``backend="vec"`` builds one struct-of-arrays
+        :class:`~repro.sim.vec.fleet_env.FleetEnv` over the same derived
+        seeds and wraps its per-env slots.
         """
+        if backend == "vec":
+            from repro.sim.vec.fleet_env import FleetEnv
+
+            fleet = FleetEnv(
+                replace(config, db_path=CACHE_ONLY), n_envs=n_envs
+            )
+            factories = [
+                functools.partial(fleet.slot, i) for i in range(n_envs)
+            ]
+            return cls(factories, backend="vec", **vec_kwargs)
         factories = [
             functools.partial(
                 StorageTuningEnv,
@@ -394,9 +438,27 @@ class VectorEnv:
         The backend's factory must accept a ``seed`` keyword (the
         registry convention; sim-lustre forwards it into
         :class:`EnvConfig`).
+
+        ``backend="vec"`` resolves the named environment's
+        :class:`EnvConfig` (scenario-named keys included) and routes it
+        through :meth:`from_config`'s fleet path, so scenario timelines
+        ride along.
         """
         from repro.env.registry import make_env
 
+        if backend == "vec":
+            probe = make_env(name, seed=base_seed, **(env_kwargs or {}))
+            config = getattr(probe, "config", None)
+            probe.close()
+            if not isinstance(config, EnvConfig):
+                raise ValueError(
+                    f"environment {name!r} exposes no EnvConfig; the vec "
+                    f"backend can only vectorize sim-lustre-style "
+                    f"configurations"
+                )
+            return cls.from_config(
+                config, n_envs, backend="vec", **vec_kwargs
+            )
         factories = [
             functools.partial(make_env, name, seed=s, **(env_kwargs or {}))
             for s in vector_seeds(base_seed, n_envs)
@@ -487,6 +549,22 @@ class VectorEnv:
         for fn in self._ingest_listeners:
             fn(global_batch)
 
+    def _ingest_fleet(self) -> None:
+        """Fan in every fleet row's new records (vec fast paths).
+
+        No worker round-trips: the packed blocks slice straight off the
+        fleet's record arrays.
+        """
+        if self.shared_db is None:
+            return
+        for i in range(self.n_envs):
+            self._ingest(
+                i,
+                self._fleet.records_since_packed(
+                    self._since(i), env_index=i
+                ),
+            )
+
     def _sync_env(self, i: int) -> None:
         """Pull-and-ingest env ``i``'s new records (one worker round-trip).
 
@@ -537,6 +615,15 @@ class VectorEnv:
             raise ValueError(
                 f"expected {self.n_envs} actions, got shape {actions.shape}"
             )
+        if self.backend == "vec":
+            # Batched fast path: one fleet-wide kernel call instead of
+            # n per-slot round-trips.
+            _obs, rewards, infos = self._fleet.step(
+                actions, out=self._obs_buf
+            )
+            self._reward_buf[:] = rewards
+            self._ingest_fleet()
+            return self._obs_buf, self._reward_buf, infos
         for i, w in enumerate(self._workers):
             out = self._obs_buf[i] if self.backend == "serial" else None
             w.submit("step", (int(actions[i]), out, self._since(i)))
@@ -570,6 +657,14 @@ class VectorEnv:
         done = 0
         while done < n_ticks:
             k = min(chunk, n_ticks - done)
+            if self.backend == "vec":
+                rewards[:, done : done + k] = self._fleet.run_chunk(
+                    k, action=action
+                )
+                self._fleet.current_observation(out=self._obs_buf)
+                self._ingest_fleet()
+                done += k
+                continue
             for i, w in enumerate(self._workers):
                 out = self._obs_buf[i] if self.backend == "serial" else None
                 w.submit("run_chunk", (action, k, self._since(i), out))
@@ -633,7 +728,9 @@ class VectorEnv:
         """
         if not 0 <= i < self.n_envs:
             raise IndexError(f"env index {i} out of range 0..{self.n_envs - 1}")
-        if self.backend == "serial":
+        if self.backend != "fork":
+            # serial and vec are both in-process: write straight into
+            # the buffer row via out=.
             self._workers[i].submit(
                 "call", ("current_observation", (), {"out": self._obs_buf[i]})
             )

@@ -155,9 +155,10 @@ class ExperimentSpec:
     ``make_env(env, seed=seed, **env_kwargs)``.
 
     ``n_envs > 1`` builds a :class:`~repro.env.vector.VectorEnv` over
-    independently-seeded replicas (``vector_backend`` picks serial or
-    fork stepping) — the paper's many-agents-one-engine topology, used
-    by the ``capes`` tuner for vectorized experience collection.
+    independently-seeded replicas (``vector_backend`` picks serial,
+    fork or vec stepping) — the paper's many-agents-one-engine
+    topology, used by the ``capes`` tuner for vectorized experience
+    collection.
 
     ``seed`` seeds both the environment rebuild and the tuner, exactly
     as the existing drivers did; sub-streams are derived inside those
@@ -181,7 +182,8 @@ class ExperimentSpec:
     env_kwargs: Dict[str, Any] = field(default_factory=dict)
     #: Vectorized collection: replicas stepped in lockstep (1 = plain).
     n_envs: int = 1
-    #: VectorEnv backend: "serial" or "fork".
+    #: VectorEnv backend: "serial", "fork" or "vec" (one
+    #: struct-of-arrays fleet, :mod:`repro.sim.vec`).
     vector_backend: str = "serial"
     #: Decoupled trainer backend (repro.train): "inline" (historical
     #: train-in-the-tick-loop, byte-identical default), "serial"

@@ -70,6 +70,20 @@ class ScenarioEvent(abc.ABC):
         function of the environment seed.
         """
 
+    def apply_vec(self, slot, rng: np.random.Generator) -> Revert:
+        """Perturb one row of a vectorized fleet; return the undo.
+
+        ``slot`` is a :class:`~repro.sim.vec.fleet_env.FleetSlot`; the
+        built-in events scale that row's factor/knob arrays with the
+        same stacking semantics as their object-graph ``apply``.  Custom
+        events without a vectorized form fail loudly here rather than
+        silently not perturbing the fleet.
+        """
+        raise ScenarioError(
+            f"{type(self).__name__} has no vectorized application; run "
+            f"this scenario on the reference backend"
+        )
+
 
 @dataclass(frozen=True, kw_only=True)
 class DiskDegradation(ScenarioEvent):
@@ -114,6 +128,20 @@ class DiskDegradation(ScenarioEvent):
 
         return revert
 
+    def apply_vec(self, slot, rng: np.random.Generator) -> Revert:
+        st, e = slot.fleet.state, slot.index
+        s = self.server_index % st.cfg.n_servers
+        st.disk_bw_f[e, s] *= self.throughput_factor
+        st.disk_seek_f[e, s] *= self.seek_factor
+
+        def revert() -> None:
+            # Inverse scaling, like apply(): overlapping windows on the
+            # same disk compose and un-compose in any order.
+            st.disk_bw_f[e, s] /= self.throughput_factor
+            st.disk_seek_f[e, s] /= self.seek_factor
+
+        return revert
+
 
 @dataclass(frozen=True, kw_only=True)
 class NetworkCongestionWindow(ScenarioEvent):
@@ -155,6 +183,17 @@ class NetworkCongestionWindow(ScenarioEvent):
 
         return revert
 
+    def apply_vec(self, slot, rng: np.random.Generator) -> Revert:
+        st, e = slot.fleet.state, slot.index
+        st.net_bw_f[e] *= self.bandwidth_factor
+        st.net_lat_f[e] *= self.latency_factor
+
+        def revert() -> None:
+            st.net_bw_f[e] /= self.bandwidth_factor
+            st.net_lat_f[e] /= self.latency_factor
+
+        return revert
+
 
 @dataclass(frozen=True, kw_only=True)
 class ClientChurn(ScenarioEvent):
@@ -193,6 +232,25 @@ class ClientChurn(ScenarioEvent):
             env.workload.resume_client(
                 client_id, derive_rng(rng, "rejoin", client_id)
             )
+
+        return revert
+
+    def apply_vec(self, slot, rng: np.random.Generator) -> Revert:
+        st, e = slot.fleet.state, slot.index
+        c = self.client_index % st.cfg.n_clients
+        already_absent = bool(st.paused[e, c])
+        st.paused[e, c] = True
+        # Everything running on the client leaves with it, surge
+        # instances included; the rejoin brings back the base only.
+        st.surge[e, c] = 0.0
+        if self.duration_ticks is None:
+            return None
+        if already_absent:
+            # The earlier overlapping churn owns the rejoin.
+            return lambda: None
+
+        def revert() -> None:
+            st.paused[e, c] = False
 
         return revert
 
@@ -252,6 +310,26 @@ class WorkloadPhaseShift(ScenarioEvent):
 
         return revert
 
+    def apply_vec(self, slot, rng: np.random.Generator) -> Revert:
+        st, e = slot.fleet.state, slot.index
+        saved = {}
+        if self.read_fraction is not None:
+            saved["rf"] = float(st.rf[e])
+            st.rf[e] = float(self.read_fraction)
+        if self.think_time is not None:
+            saved["think"] = float(st.think[e])
+            st.think[e] = float(self.think_time)
+        if self.duration_ticks is None:
+            return None
+
+        def revert() -> None:
+            if "rf" in saved:
+                st.rf[e] = saved["rf"]
+            if "think" in saved:
+                st.think[e] = saved["think"]
+
+        return revert
+
 
 @dataclass(frozen=True, kw_only=True)
 class LoadSpike(ScenarioEvent):
@@ -281,5 +359,23 @@ class LoadSpike(ScenarioEvent):
             for proc in procs:
                 if proc.is_alive:
                     proc.interrupt(cause="load-spike-end")
+
+        return revert
+
+    def apply_vec(self, slot, rng: np.random.Generator) -> Revert:
+        st, e = slot.fleet.state, slot.index
+        extra = float(self.extra_instances_per_client)
+        # Paused clients spawn nothing (their runtime is gone); clients
+        # churned mid-spike have their surge zeroed by the churn, and
+        # the clamp below keeps this spike's end from going negative.
+        affected = np.flatnonzero(~st.paused[e])
+        st.surge[e, affected] += extra
+        if self.duration_ticks is None:
+            return None
+
+        def revert() -> None:
+            st.surge[e, affected] = np.maximum(
+                st.surge[e, affected] - extra, 0.0
+            )
 
         return revert

@@ -117,7 +117,12 @@ class ScenarioRuntime:
         for pos, event in enumerate(self.scenario.events):
             if event.at_tick != tick:
                 continue
-            revert = event.apply(self.env, self._rngs[pos])
+            if getattr(self.env, "fleet_slot", False):
+                # A vectorized fleet row: events scale its factor
+                # arrays instead of mutating an object graph.
+                revert = event.apply_vec(self.env, self._rngs[pos])
+            else:
+                revert = event.apply(self.env, self._rngs[pos])
             self.log.append((tick, "apply", event))
             if event.duration_ticks is not None:
                 if revert is None:  # pragma: no cover - event-author error

@@ -1,0 +1,142 @@
+"""Scalar model constants for the vectorized fleet engine.
+
+:class:`FleetConfig` is the flattened, array-friendly form of an
+:class:`~repro.env.tuning_env.EnvConfig`: every quantity the
+:func:`~repro.sim.vec.physics.tick_all` kernel needs, as plain floats,
+extracted once at construction.  The workload contribution is a
+*profile* — the vec engine models a fixed-ratio random-I/O mix, so it
+reads the mix knobs (``read_fraction``, ``io_size``, ``think_time``,
+``instances_per_client``) off one throwaway workload instance built by
+the config's factory and discards the object graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.env.tuning_env import EnvConfig
+from repro.sim.engine import Simulator
+from repro.telemetry.reward import ThroughputObjective
+from repro.util.units import KiB
+
+#: Client-side fixed overhead per operation (request build, cache
+#: admission), seconds.  Bounds the issue rate of think_time=0 writers
+#: the way the reference simulator's per-op bookkeeping events do.
+T_ADMIN = 3e-4
+
+#: Log-normal demand jitter: per-client per-tick issue-rate multiplier
+#: is ``exp(sigma * z)``, ``z`` standard normal from the env's private
+#: workload stream.  Stands in for the op-level randomness (offsets,
+#: read/write draws) the fluid model integrates out.
+DEMAND_SIGMA = 0.15
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything :func:`tick_all` needs, as scalars (one fleet-wide set)."""
+
+    n_servers: int
+    n_clients: int
+    tick_length: float
+    obs_ticks: int
+    # Tunable defaults (per-env live values are state, not config).
+    window0: float
+    rate0: float
+    rate_burst: float
+    max_dirty: float
+    # Server service model.
+    batch_max: float
+    collapse_threshold: float
+    collapse_coeff: float  # seconds per queued op beyond the threshold
+    read_bw: float  # bytes/s media rate
+    write_bw: float
+    min_seek: float  # seconds
+    max_seek: float
+    rot_half: float  # rotational latency (half a revolution), seconds
+    # Fabric.
+    nic_bw: float  # bytes/s per NIC
+    net_lat: float  # one-way propagation latency, seconds
+    # Workload profile.
+    io_size: float
+    read_fraction: float
+    think_time: float
+    inst_per_client: float
+    # Telemetry.
+    drop_probability: float
+
+    @classmethod
+    def from_env_config(cls, cfg: EnvConfig) -> "FleetConfig":
+        """Flatten an :class:`EnvConfig` into kernel constants.
+
+        Raises for EnvConfig features the fluid model does not carry
+        (server PIs, time features, Poisson noise, non-throughput
+        objectives) rather than silently dropping them.
+        """
+        if cfg.include_server_pis or cfg.include_time_features:
+            raise NotImplementedError(
+                "the vec backend emits the 11 client-side PIs only; "
+                "include_server_pis/include_time_features need the "
+                "reference backend"
+            )
+        if cfg.enable_noise:
+            raise NotImplementedError(
+                "enable_noise is a reference-backend feature; use a "
+                "NetworkCongestionWindow scenario on the vec backend"
+            )
+        if cfg.objective_factory is not ThroughputObjective:
+            raise NotImplementedError(
+                "the vec backend computes the throughput objective in "
+                "its tick kernel; other objectives need the reference "
+                "backend"
+            )
+        if cfg.workload_factory is None:
+            raise ValueError("EnvConfig.workload_factory is required")
+        cluster_cfg = cfg.cluster
+        disk = cluster_cfg.make_disk()
+        profile = _workload_profile(cfg)
+        return cls(
+            n_servers=int(cluster_cfg.n_servers),
+            n_clients=int(cluster_cfg.n_clients),
+            tick_length=float(cfg.hp.sampling_tick_length),
+            obs_ticks=int(cfg.hp.sampling_ticks_per_observation),
+            window0=float(cluster_cfg.max_rpcs_in_flight),
+            rate0=float(cluster_cfg.io_rate_limit),
+            rate_burst=float(cluster_cfg.rate_burst),
+            max_dirty=float(cluster_cfg.max_dirty_bytes),
+            batch_max=float(cluster_cfg.batch_max),
+            collapse_threshold=float(cluster_cfg.collapse_threshold),
+            collapse_coeff=float(cluster_cfg.collapse_coeff_ms) / 1e3,
+            read_bw=float(disk.read_bw),
+            write_bw=float(disk.write_bw),
+            min_seek=float(getattr(disk, "min_seek", 0.0)),
+            max_seek=float(getattr(disk, "max_seek", 0.0)),
+            rot_half=float(getattr(disk, "rot_latency", 0.0)),
+            nic_bw=float(cluster_cfg.nic_mbps) * 1024 * 1024,
+            net_lat=float(cluster_cfg.net_latency_s),
+            io_size=float(profile["io_size"]),
+            read_fraction=float(profile["read_fraction"]),
+            think_time=float(profile["think_time"]),
+            inst_per_client=float(profile["instances_per_client"]),
+            drop_probability=float(cfg.drop_probability),
+        )
+
+
+def _workload_profile(cfg: EnvConfig) -> dict:
+    """Mix knobs read off one throwaway workload instance.
+
+    The factory is called against a minimal unstarted cluster (no
+    instances spawned, no events run) purely to introspect its knobs;
+    workloads without a knob fall back to the random_rw defaults, so
+    structured workloads still run — as their nearest fixed-mix
+    approximation.
+    """
+    from repro.cluster.cluster import Cluster
+
+    cluster = Cluster(Simulator(), cfg.cluster)
+    workload = cfg.workload_factory(cluster, 0)
+    return {
+        "read_fraction": getattr(workload, "read_fraction", 0.1),
+        "io_size": getattr(workload, "io_size", 32 * KiB),
+        "think_time": getattr(workload, "think_time", 0.0),
+        "instances_per_client": getattr(workload, "instances_per_client", 5),
+    }

@@ -1,0 +1,532 @@
+"""FleetEnv: N simulated clusters behind one batched Environment.
+
+One :class:`FleetEnv` owns the struct-of-arrays state of a whole fleet
+(:class:`~repro.sim.vec.state.FleetState`) and advances it with
+:func:`~repro.sim.vec.physics.tick_all`.  The batch surface mirrors
+:class:`~repro.env.vector.VectorEnv` (``step`` takes one action per
+env, ``run_chunk`` returns ``(n_envs, k)`` rewards); per-env access
+goes through :class:`FleetSlot` — a scalar view implementing the
+:class:`~repro.env.protocol.Environment` surface over one row of the
+arrays, which is what lets ``VectorEnv(backend="vec")`` reuse all of
+its generic worker plumbing (``env_method``, record fan-in, resets)
+unchanged.
+
+Action, record and observation semantics are the reference
+environment's, row-vectorized: actions are checked/clamped then
+attached to the record of the tick they were decided *after*; records
+start at tick 1 and skip ticks dropped on the monitoring network;
+observations are ``obs_ticks`` stacked frames padded backwards during
+warm-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.actions import ActionEffect, ActionSpace, lustre_parameters
+from repro.core.checker import ActionChecker
+from repro.env.tuning_env import EnvConfig
+from repro.replaydb.records import PackedRecords, TickRecord
+from repro.replaydb.sampler import MinibatchSampler
+from repro.scenarios.scenario import ScenarioRuntime
+from repro.sim.vec.config import FleetConfig
+from repro.sim.vec.physics import tick_all
+from repro.sim.vec.state import FleetState, RecordView
+from repro.telemetry.indicators import frame_width
+
+
+class FleetEnv:
+    """A fleet of N vectorized clusters stepped by one tick kernel."""
+
+    def __init__(
+        self,
+        config: EnvConfig,
+        n_envs: int = 1,
+        seeds: Optional[Sequence[int]] = None,
+    ):
+        if n_envs < 1:
+            raise ValueError(f"n_envs must be >= 1, got {n_envs}")
+        self.config = config
+        self.hp = config.hp
+        self.fcfg = FleetConfig.from_env_config(config)
+        params = config.parameters or lustre_parameters(
+            window_default=config.cluster.max_rpcs_in_flight,
+            rate_default=config.cluster.io_rate_limit,
+        )
+        self.action_space = ActionSpace(params)
+        self.checker = ActionChecker()
+        self.n_envs = int(n_envs)
+        if seeds is None:
+            # The VectorEnv contract: env i's seed depends only on
+            # (base_seed, i), never on the fleet size.
+            from repro.env.vector import vector_seeds
+
+            seeds = vector_seeds(config.seed, self.n_envs)
+        elif len(seeds) != self.n_envs:
+            raise ValueError(
+                f"got {len(seeds)} seeds for {self.n_envs} envs"
+            )
+        self.seeds = [int(s) for s in seeds]
+        self._frame_dim = frame_width(config.cluster.n_servers) * int(
+            config.cluster.n_clients
+        )
+        self.state: Optional[FleetState] = None
+        self._runtimes: List[Optional[ScenarioRuntime]] = []
+        self._slots = [FleetSlot(self, i) for i in range(self.n_envs)]
+        self._slot_resets: set = set()
+        self._all_idx = np.arange(self.n_envs)
+
+    # -- dimensions ------------------------------------------------------
+    @property
+    def n_actions(self) -> int:
+        """Size of the discrete action vocabulary."""
+        return self.action_space.n_actions
+
+    @property
+    def frame_dim(self) -> int:
+        """Width of one cluster-wide PI frame."""
+        return self._frame_dim
+
+    @property
+    def obs_dim(self) -> int:
+        """Flattened observation: S ticks × cluster frame width."""
+        return self.fcfg.obs_ticks * self._frame_dim
+
+    @property
+    def is_started(self) -> bool:
+        """Whether live fleet state exists (reset() has run)."""
+        return self.state is not None
+
+    def slot(self, i: int) -> "FleetSlot":
+        """The scalar Environment view over fleet row ``i``."""
+        return self._slots[i]
+
+    # -- lifecycle -------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        """Rebuild the whole fleet and warm one observation window.
+
+        Returns the stacked ``(n_envs, obs_dim)`` observation.  Warm-up
+        mirrors the reference: ``obs_ticks`` NULL ticks for every env,
+        then a bounded grace loop advancing only envs whose every
+        warm-up frame was dropped on the monitoring network.
+        """
+        self.state = FleetState(self.fcfg, self.seeds, self._frame_dim)
+        self._slot_resets = set()
+        self._runtimes = [None] * self.n_envs
+        if self.config.scenario is not None:
+            self._runtimes = [
+                ScenarioRuntime(
+                    self.config.scenario,
+                    self._slots[e],
+                    self.state.scenario_rngs[e],
+                )
+                for e in range(self.n_envs)
+            ]
+        warm = self.fcfg.obs_ticks
+        for _ in range(warm):
+            self._advance(self._all_idx)
+        budget = max(50, 10 * warm)
+        pending = self.state.rec_len == 0
+        while budget > 0 and pending.any():
+            self._advance(np.flatnonzero(pending))
+            budget -= 1
+            pending = self.state.rec_len == 0
+        if pending.any():
+            raise RuntimeError(
+                "warm-up failed: no complete monitoring frame reached the "
+                "Interface Daemon (drop_probability too high?)"
+            )
+        return self.current_observation()
+
+    def _require_reset(self) -> None:
+        if self.state is None:
+            raise RuntimeError("call reset() before stepping the environment")
+
+    def _slot_reset(self, e: int) -> np.ndarray:
+        """Slot ``e``'s reset: one fleet rebuild serves all N slots.
+
+        The first slot reset (or a repeated reset of the same slot —
+        a genuinely new episode) rebuilds and re-warms the whole fleet;
+        the other slots' resets just hand back their rows, so N slot
+        resets cost one fleet build, not N.
+        """
+        if self.state is None or e in self._slot_resets:
+            self.reset()
+        self._slot_resets.add(e)
+        return self.state.observation(e)
+
+    def _advance(self, idx: np.ndarray) -> np.ndarray:
+        """One tick for envs ``idx`` (sorted); returns their rewards."""
+        st = self.state
+        st.tick[idx] += 1
+        for e in idx:
+            rt = self._runtimes[e]
+            if rt is not None:
+                rt.on_tick(int(st.tick[e]))
+        frames, rewards = tick_all(st, idx)
+        p = self.fcfg.drop_probability
+        if p > 0.0:
+            keep = np.ones(len(idx), dtype=bool)
+            for j, e in enumerate(idx):
+                # Per client, like the reference: a tick with any
+                # client's message lost is dropped entirely.
+                draws = st.drop_rngs[e].random(self.fcfg.n_clients)
+                if (draws < p).any():
+                    keep[j] = False
+            kept = idx[keep]
+            st.append_records(kept, frames[keep], rewards[keep])
+            st.push_frames(kept, frames[keep])
+        else:
+            st.append_records(idx, frames, rewards)
+            st.push_frames(idx, frames)
+        return rewards
+
+    # -- actions ---------------------------------------------------------
+    def _get_param(self, e: int, name: str) -> float:
+        st = self.state
+        if name == "max_rpcs_in_flight":
+            return float(st.window[e])
+        if name == "io_rate_limit":
+            return float(st.rate[e])
+        raise KeyError(f"unknown parameter {name!r}")
+
+    def _set_param(self, e: int, name: str, value: float) -> None:
+        st = self.state
+        # Mirrors ControlAgent's setters: the window is an integer knob.
+        if name == "max_rpcs_in_flight":
+            st.window[e] = int(round(value))
+        elif name == "io_rate_limit":
+            st.rate[e] = float(value)
+        else:
+            raise KeyError(f"unknown parameter {name!r}")
+
+    def _perform_action(self, e: int, action: int) -> ActionEffect:
+        """The Interface Daemon's check/broadcast/record path, row-wise."""
+        st = self.state
+
+        def get(name: str) -> float:
+            return self._get_param(e, name)
+
+        action = self.checker.filter(self.action_space, action, get)
+        effect = self.action_space.propose(action, get)
+        if not effect.is_null and effect.new_value != effect.old_value:
+            self._set_param(e, effect.parameter, effect.new_value)
+        st.set_action(e, int(st.tick[e]), action)
+        return effect
+
+    def _param_values(self, e: int) -> Dict[str, float]:
+        return {
+            p.name: self._get_param(e, p.name)
+            for p in self.action_space.parameters
+        }
+
+    # -- batch stepping --------------------------------------------------
+    def step(
+        self, actions: Sequence[int], out: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, np.ndarray, List[dict]]:
+        """One action per env; the whole fleet advances one tick.
+
+        Returns ``(obs, rewards, infos)`` shaped ``(n_envs, obs_dim)`` /
+        ``(n_envs,)`` / list of per-env info dicts.  ``out``, when
+        given, receives the stacked observation in place.
+        """
+        self._require_reset()
+        actions = np.asarray(actions)
+        if actions.shape != (self.n_envs,):
+            raise ValueError(
+                f"expected {self.n_envs} actions, got shape {actions.shape}"
+            )
+        effects = [
+            self._perform_action(e, int(actions[e]))
+            for e in range(self.n_envs)
+        ]
+        rewards = self._advance(self._all_idx)
+        obs = self.current_observation(out=out)
+        infos = [
+            {
+                "tick": int(self.state.tick[e]),
+                "effect": effects[e],
+                "params": self._param_values(e),
+                "reward": float(rewards[e]),
+            }
+            for e in range(self.n_envs)
+        ]
+        return obs, rewards, infos
+
+    def run_chunk(
+        self, k: int, action: Optional[int] = None
+    ) -> np.ndarray:
+        """Advance ``k`` ticks in one call; per-tick rewards ``(n_envs, k)``.
+
+        ``action`` (when given) is performed on every env before every
+        tick — the chunked form of k identical ``step`` calls, minus the
+        observation builds.  ``k=0`` performs nothing and returns an
+        empty block.
+        """
+        self._require_reset()
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        rewards = np.empty((self.n_envs, k))
+        for j in range(k):
+            if action is not None:
+                for e in range(self.n_envs):
+                    self._perform_action(e, int(action))
+            rewards[:, j] = self._advance(self._all_idx)
+        return rewards
+
+    def run_ticks(self, n: int) -> np.ndarray:
+        """Advance ``n`` ticks with no actions; rewards ``(n_envs, n)``."""
+        return self.run_chunk(n)
+
+    # -- observations and records ----------------------------------------
+    def current_observation(
+        self, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Stacked ``(n_envs, obs_dim)`` observation as of the last tick."""
+        self._require_reset()
+        if out is None:
+            out = np.empty((self.n_envs, self.obs_dim))
+        elif out.size != self.n_envs * self.obs_dim:
+            raise ValueError(
+                f"out buffer has {out.size} elements, expected "
+                f"{self.n_envs} x {self.obs_dim}"
+            )
+        rows = out.reshape(self.n_envs, self.obs_dim)
+        for e in range(self.n_envs):
+            self.state.observation(e, out=rows[e])
+        return out
+
+    def records_since_packed(
+        self, after_tick: int, env_index: int = 0
+    ) -> PackedRecords:
+        """Env ``env_index``'s records with ``tick > after_tick``, packed
+        straight from the fleet arrays (no per-tick objects)."""
+        self._require_reset()
+        return self.state.packed_since(env_index, after_tick)
+
+    def records_since(
+        self, after_tick: int, env_index: int = 0
+    ) -> List[TickRecord]:
+        """Object form of :meth:`records_since_packed` (protocol parity)."""
+        return self.records_since_packed(after_tick, env_index).to_records()
+
+    # -- parameters and sampling -----------------------------------------
+    def set_params(
+        self, values: Dict[str, float], env_index: Optional[int] = None
+    ) -> None:
+        """Directly apply a parameter assignment (baselines, experiments).
+
+        Applies to every env, or just ``env_index`` when given.
+        """
+        self._require_reset()
+        known = {p.name for p in self.action_space.parameters}
+        targets = (
+            range(self.n_envs) if env_index is None else [env_index]
+        )
+        for name, value in values.items():
+            if name not in known:
+                raise KeyError(f"unknown tunable parameter {name!r}")
+            for e in targets:
+                self._set_param(e, name, value)
+
+    def current_params(self, env_index: int = 0) -> Dict[str, float]:
+        """The tunable parameters currently applied on one env."""
+        self._require_reset()
+        return self._param_values(env_index)
+
+    def make_sampler(
+        self, seed=None, env_index: int = 0
+    ) -> MinibatchSampler:
+        """Algorithm 1 sampler over one env's record columns (live view)."""
+        self._require_reset()
+        return MinibatchSampler(
+            RecordView(self.state, env_index),
+            obs_ticks=self.fcfg.obs_ticks,
+            missing_tolerance=self.hp.missing_entry_tolerance,
+            seed=seed,
+        )
+
+    def commit_replay(self) -> None:
+        """No durable layer: fleet records live in the arrays only."""
+
+    def close(self) -> None:
+        """Drop the fleet state (arrays need no teardown)."""
+        self.state = None
+
+
+class FleetSlot:
+    """One fleet row as a scalar :class:`Environment`.
+
+    Everything a :class:`~repro.env.vector.VectorEnv` serial worker (or
+    a scenario event) does to a single environment lands on row
+    ``index`` of the shared arrays.  ``fleet_slot`` is the marker
+    :class:`~repro.scenarios.scenario.ScenarioRuntime` dispatches on to
+    use the events' vectorized application path.
+    """
+
+    fleet_slot = True
+
+    def __init__(self, fleet: FleetEnv, index: int):
+        self.fleet = fleet
+        self.index = int(index)
+
+    # -- metadata mirrors -------------------------------------------------
+    @property
+    def config(self) -> EnvConfig:
+        """The fleet's shared environment configuration."""
+        return self.fleet.config
+
+    @property
+    def hp(self):
+        """The fleet's shared Table 1 hyperparameters."""
+        return self.fleet.hp
+
+    @property
+    def action_space(self) -> ActionSpace:
+        """The fleet's shared discrete action vocabulary."""
+        return self.fleet.action_space
+
+    @property
+    def n_actions(self) -> int:
+        """Size of the discrete action vocabulary."""
+        return self.fleet.n_actions
+
+    @property
+    def frame_dim(self) -> int:
+        """Width of one cluster-wide PI frame."""
+        return self.fleet.frame_dim
+
+    @property
+    def obs_dim(self) -> int:
+        """Flattened observation: S ticks x cluster frame width."""
+        return self.fleet.obs_dim
+
+    @property
+    def is_started(self) -> bool:
+        """Whether live fleet state exists (reset() has run)."""
+        return self.fleet.is_started
+
+    # -- lifecycle --------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        """(Re)build the fleet if needed; return this row's observation."""
+        return self.fleet._slot_reset(self.index)
+
+    def step(
+        self, action: int, out: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, float, dict]:
+        """Perform ``action`` and advance *this env only* one tick.
+
+        Out-of-lockstep by design: checkpoint measurements drive one
+        cluster ahead of the fleet, exactly like a reference env behind
+        ``VectorEnv.env_method``.
+        """
+        fleet = self.fleet
+        fleet._require_reset()
+        e = self.index
+        effect = fleet._perform_action(e, action)
+        reward = float(fleet._advance(np.array([e]))[0])
+        obs = fleet.state.observation(e, out=out)
+        info = {
+            "tick": int(fleet.state.tick[e]),
+            "effect": effect,
+            "params": fleet._param_values(e),
+            "reward": reward,
+        }
+        return obs, reward, info
+
+    def run_chunk(self, k: int, action: Optional[int] = None) -> np.ndarray:
+        """Advance this env ``k`` ticks; per-tick rewards, shape ``(k,)``."""
+        fleet = self.fleet
+        fleet._require_reset()
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        e = self.index
+        idx = np.array([e])
+        rewards = np.empty(k)
+        for j in range(k):
+            if action is not None:
+                fleet._perform_action(e, int(action))
+            rewards[j] = fleet._advance(idx)[0]
+        return rewards
+
+    def run_ticks(self, n: int) -> np.ndarray:
+        """Advance ``n`` ticks with no actions; per-tick rewards."""
+        return self.run_chunk(n)
+
+    def current_observation(
+        self, out: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        """This env's stacked observation (None before any frame)."""
+        self.fleet._require_reset()
+        return self.fleet.state.observation(self.index, out=out)
+
+    def records_since_packed(self, after_tick: int) -> PackedRecords:
+        """This env's new records, packed straight from the arrays."""
+        return self.fleet.records_since_packed(after_tick, self.index)
+
+    def records_since(self, after_tick: int) -> List[TickRecord]:
+        """Object form of :meth:`records_since_packed` (protocol parity)."""
+        return self.fleet.records_since(after_tick, self.index)
+
+    def set_params(self, values: Dict[str, float]) -> None:
+        """Directly apply a parameter assignment on this env only."""
+        self.fleet.set_params(values, env_index=self.index)
+
+    def current_params(self) -> Dict[str, float]:
+        """The tunable parameters currently applied on this env."""
+        return self.fleet.current_params(self.index)
+
+    def make_sampler(self, seed=None) -> MinibatchSampler:
+        """Algorithm 1 sampler over this env's record columns."""
+        return self.fleet.make_sampler(seed=seed, env_index=self.index)
+
+    def commit_replay(self) -> None:
+        """No durable layer on the vec backend."""
+
+    def close(self) -> None:
+        """Slots own no resources; the fleet's arrays outlive them."""
+
+
+def make_fleet_env(
+    config: Optional[EnvConfig] = None,
+    scenario: Any = None,
+    scenario_kwargs: Optional[Dict[str, Any]] = None,
+    n_envs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    **kwargs: Any,
+) -> FleetEnv:
+    """``"sim-lustre-vec"``: the vectorized fleet backend.
+
+    Accepts the same configuration styles as ``"sim-lustre"`` —
+    ``config=EnvConfig(...)`` or plain EnvConfig field kwargs, plus
+    ``scenario=``/``scenario_kwargs=`` — and additionally ``n_envs``
+    (fleet size) and ``seeds`` (explicit per-env seeds, defaulting to
+    ``vector_seeds(seed, n_envs)``).
+    """
+    from dataclasses import replace
+
+    from repro.env.registry import _default_workload, _resolve_scenario
+
+    scen = _resolve_scenario(scenario, scenario_kwargs)
+    if config is not None:
+        if kwargs:
+            raise ValueError(
+                "pass either config=EnvConfig(...) or EnvConfig field "
+                f"kwargs, not both (got extra {sorted(kwargs)})"
+            )
+        if scen is not None:
+            if config.scenario is not None:
+                raise ValueError(
+                    f"config already carries scenario "
+                    f"{config.scenario.name!r}; refusing to overwrite it "
+                    f"with {scen.name!r} (compose them explicitly instead)"
+                )
+            config = replace(config, scenario=scen)
+    else:
+        if scen is not None:
+            kwargs["scenario"] = scen
+            kwargs.setdefault("workload_factory", _default_workload)
+        config = EnvConfig(**kwargs)
+    return FleetEnv(config, n_envs=n_envs, seeds=seeds)

@@ -1,0 +1,182 @@
+"""The fleet tick kernel: advance N clusters with array ops.
+
+A tick-level fluid model of the reference cluster, carrying the same
+qualitative response surfaces the tuner exploits:
+
+- **Elevator gain** — deeper server queues shorten average seeks
+  (``min_seek + (max_seek - min_seek) / sqrt(k+1)``), so a bigger
+  congestion window raises HDD efficiency …
+- **Queue collapse** — … until per-op overhead grows linearly beyond
+  ``collapse_threshold`` queued ops, which is what puts the optimum
+  window in the *interior* of its range (the surface Figure 2 sweeps).
+- **Token bucket** — the ``io_rate_limit`` knob caps per-client issue
+  rate with burst credit, binding exactly when lowered.
+- **Window-limited concurrency** — per-OSC outstanding I/O is capped at
+  ``max_rpcs_in_flight``; a server is either capacity-bound
+  (``1/t_op``) or concurrency-bound (``k / (t_op + rtt)``).
+- **Write-back cache** — writes land in per-OSC dirty bytes
+  (admission-limited by free space) and drain through the same queues;
+  reads are synchronous and close the demand loop through measured
+  latency.
+
+Every operation is elementwise or reduces along a trailing axis, so
+each environment row is computed independently of the fleet size —
+that, plus per-env RNG streams, is what makes ``FleetEnv(n_envs=N)``
+env ``i`` byte-identical to a lone ``FleetEnv(n_envs=1)`` run.  The
+only transcendental (the demand jitter's ``exp``) is evaluated on
+per-env ``(n_clients,)`` arrays inside the RNG loop, where the shape —
+and therefore any SIMD code path — cannot depend on the fleet size.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sim.vec.config import DEMAND_SIGMA, T_ADMIN
+from repro.sim.vec.state import FleetState
+from repro.telemetry.indicators import pack_osc_frames
+from repro.util.units import MiB
+
+#: Reward scale of the throughput objective (100 MB/s ≡ reward 1.0),
+#: matching :class:`repro.telemetry.reward.ThroughputObjective`.
+_REWARD_SCALE = 100.0 * MiB
+
+_TINY = 1e-12
+
+
+def tick_all(state: FleetState, idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance envs ``idx`` one tick; return their frames and rewards.
+
+    ``idx`` must be sorted env indices.  Returns ``(frames, rewards)``
+    with ``frames`` shaped ``(len(idx), frame_dim)`` — raw PI frames
+    scaled and clipped per :mod:`repro.telemetry.indicators` — and
+    per-env throughput rewards.  The caller owns tick counters,
+    scenario dispatch, drops and record bookkeeping.
+    """
+    cfg = state.cfg
+    E = len(idx)
+    C, S = cfg.n_clients, cfg.n_servers
+    dt, B = cfg.tick_length, cfg.io_size
+
+    W = state.window[idx]  # (e,)
+    R = state.rate[idx]
+    rf = state.rf[idx]
+    think = state.think[idx]
+    rtt = 2.0 * cfg.net_lat * state.net_lat_f[idx]  # (e,)
+
+    # -- client demand (closed loop through last tick's read latency) --
+    mult = np.empty((E, C))
+    for j, e in enumerate(idx):
+        # (C,)-shaped per-env draw: stream and shape depend only on the
+        # env, never on the fleet, so batched rows replay exactly.
+        mult[j] = np.exp(
+            DEMAND_SIGMA * state.wl_rngs[e].standard_normal(C)
+        )
+    inst = state.inst_base[idx] * ~state.paused[idx] + state.surge[idx]
+    cycle = rf[:, None] * state.lat[idx] + think[:, None] + T_ADMIN
+    demand = inst * mult * (dt / cycle)  # ops this tick (e, C)
+
+    # -- token bucket (one per client, shared by reads and writes) -----
+    avail = state.tokens[idx] + R[:, None] * dt
+    issued = np.minimum(demand, avail)
+    state.tokens[idx] = np.minimum(avail - issued, cfg.rate_burst)
+    r_ops = issued * rf[:, None]
+    w_ops = issued - r_ops
+
+    # -- write-back cache admission (per OSC, striped uniformly) -------
+    dirty = state.dirty[idx]
+    admitted = np.minimum(
+        (w_ops / S)[:, :, None] * B, np.maximum(cfg.max_dirty - dirty, 0.0)
+    )
+    dirty = dirty + admitted
+
+    # -- offered load per OSC ------------------------------------------
+    rd_pend = state.qr[idx] + (r_ops / S)[:, :, None]  # sync reads carry
+    wr_pend = dirty / B  # write backlog is the cache itself
+    offer = rd_pend + wr_pend
+    osc_out = np.minimum(offer, W[:, None, None])  # window cap
+    k = osc_out.sum(axis=1)  # (e, S) server queue depth
+
+    # -- server service time at this depth -----------------------------
+    seek = (
+        cfg.min_seek + (cfg.max_seek - cfg.min_seek) / np.sqrt(k + 1.0)
+    ) * state.disk_seek_f[idx]
+    wr_frac = wr_pend.sum(axis=1) / np.maximum(offer.sum(axis=1), _TINY)
+    bw = (
+        cfg.read_bw * (1.0 - wr_frac) + cfg.write_bw * wr_frac
+    ) * state.disk_bw_f[idx]
+    collapse = cfg.collapse_coeff * np.maximum(
+        k - cfg.collapse_threshold, 0.0
+    )
+    t_op = seek + cfg.rot_half + B / bw + collapse  # (e, S)
+
+    # -- completions: capacity-, concurrency- or NIC-bound --------------
+    x_rate = np.minimum(1.0 / t_op, k / (t_op + rtt[:, None]))
+    net_ops = cfg.nic_bw * state.net_bw_f[idx][:, None] * dt / B
+    offer_tot = offer.sum(axis=1)
+    served = np.minimum(offer_tot, np.minimum(x_rate * dt, net_ops))
+    ratio = (served / np.maximum(offer_tot, _TINY))[:, None, :]
+    done_r = rd_pend * ratio
+    done_w = wr_pend * ratio
+    state.qr[idx] = rd_pend - done_r
+    dirty = np.maximum(dirty - done_w * B, 0.0)
+    state.dirty[idx] = dirty
+    state.last_pt[idx] = t_op
+    state.min_pt[idx] = np.minimum(state.min_pt[idx], t_op)
+
+    # -- demand-loop latency (smoothed; uniform across clients) --------
+    lat_new = rtt + (t_op * (1.0 + 0.5 * k)).mean(axis=1)
+    state.lat[idx] = 0.5 * state.lat[idx] + 0.5 * lat_new[:, None]
+
+    # -- the 11 PIs, in OSC_INDICATORS order ---------------------------
+    read_bytes = done_r * B
+    write_bytes = done_w * B
+    raw = np.empty((E, C, S, 11))
+    raw[..., 0] = W[:, None, None]
+    raw[..., 1] = read_bytes / dt
+    raw[..., 2] = write_bytes / dt
+    raw[..., 3] = dirty
+    raw[..., 4] = cfg.max_dirty
+    ping = rtt[:, None] + (k * B) / (
+        cfg.nic_bw * state.net_bw_f[idx][:, None]
+    )
+    raw[..., 5] = ping[:, None, :]
+    raw[..., 6] = _ewma_update(state.ack, idx, done_r + done_w, dt)
+    raw[..., 7] = _ewma_update(
+        state.send, idx, done_r + done_w + admitted / B, dt
+    )
+    raw[..., 8] = np.where(
+        np.isfinite(state.min_pt[idx]), t_op / state.min_pt[idx], 0.0
+    )[:, None, :]
+    raw[..., 9] = R[:, None, None]
+    raw[..., 10] = osc_out
+
+    frames = pack_osc_frames(raw).reshape(E, C * S * 11)
+    rewards = (read_bytes + write_bytes).reshape(E, -1).sum(axis=1) / (
+        dt * _REWARD_SCALE
+    )
+    return frames, rewards
+
+
+def _ewma_update(
+    store: np.ndarray, idx: np.ndarray, events: np.ndarray, dt: float
+) -> np.ndarray:
+    """Fold per-tick event gaps into an (E, C, S) EWMA state array.
+
+    ``events`` is ops-per-tick per OSC; the observed inter-event gap is
+    ``dt / events``.  Ticks with (fluidly) zero events leave the mean
+    untouched; the first observed gap seeds the mean exactly, matching
+    :class:`repro.util.ewma.EWMA` semantics (alpha = 0.125, the classic
+    TCP RTT weight the reference OSCs use).  Returns the PI view (NaN —
+    never sampled — reads as 0.0).
+    """
+    current = store[idx]
+    active = events > 1e-6
+    gap = dt / np.maximum(events, 1e-6)
+    seeded = ~np.isnan(current)
+    folded = np.where(seeded, current + 0.125 * (gap - current), gap)
+    updated = np.where(active, folded, current)
+    store[idx] = updated
+    return np.where(np.isnan(updated), 0.0, updated)

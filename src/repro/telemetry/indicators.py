@@ -14,7 +14,7 @@ reach the DNN at O(1) magnitude — raw mixes of bytes (10⁷), seconds
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -68,22 +68,86 @@ OSC_INDICATORS: List[Indicator] = [
 #: gradient signal, so frames are clipped to a sane dynamic range.
 CLIP_BOUND = 8.0
 
-
-def osc_frame(osc: OSC, tick_length: float) -> np.ndarray:
-    """Sample all indicators of one OSC, scaled and clipped to O(1)."""
-    raw = np.array(
-        [ind.read(osc, tick_length) / ind.scale for ind in OSC_INDICATORS],
-        dtype=np.float64,
-    )
-    return np.clip(raw, -CLIP_BOUND, CLIP_BOUND)
+#: Per-indicator scales as one vector, in OSC_INDICATORS order — the
+#: array form that lets whole raw frames be packed in one shot.
+_SCALES = np.array([ind.scale for ind in OSC_INDICATORS])
 
 
-def client_frame(client: ClientNode, tick_length: float) -> np.ndarray:
-    """Concatenate OSC frames of a client in server order."""
-    parts = [
-        osc_frame(client.oscs[sid], tick_length) for sid in sorted(client.oscs)
-    ]
-    return np.concatenate(parts)
+def indicator_scales() -> np.ndarray:
+    """The per-OSC indicator scales as an (11,) vector (a copy)."""
+    return _SCALES.copy()
+
+
+def pack_osc_frames(
+    raw: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Scale and clip raw PI values, any leading shape ``(..., 11)``.
+
+    Elementwise identical to :func:`osc_frame`'s scalar path (each
+    value divided by its indicator's scale, then clipped), but over an
+    arbitrary block of OSCs at once — the vectorized fleet engine packs
+    its whole ``(n_envs, n_clients, n_servers, 11)`` tick in one call.
+    """
+    raw = np.asarray(raw, dtype=np.float64)
+    if raw.shape[-1] != len(OSC_INDICATORS):
+        raise ValueError(
+            f"last axis must have {len(OSC_INDICATORS)} indicators, "
+            f"got shape {raw.shape}"
+        )
+    if out is None:
+        out = np.empty_like(raw)
+    np.divide(raw, _SCALES, out=out)
+    np.clip(out, -CLIP_BOUND, CLIP_BOUND, out=out)
+    return out
+
+
+def _check_frame_out(out: np.ndarray, size: int) -> None:
+    if out.size != size:
+        raise ValueError(
+            f"out buffer has {out.size} elements, expected {size}"
+        )
+    if not out.flags["C_CONTIGUOUS"] or out.dtype != np.float64:
+        raise ValueError("out buffer must be a C-contiguous float64 array")
+
+
+def osc_frame(
+    osc: OSC, tick_length: float, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Sample all indicators of one OSC, scaled and clipped to O(1).
+
+    ``out``, when given, receives the frame in place and is returned —
+    the no-realloc convention of ``step(out=)``/``current_observation
+    (out=)``, for the per-tick sampling hot path.
+    """
+    if out is None:
+        out = np.empty(len(OSC_INDICATORS))
+    else:
+        _check_frame_out(out, len(OSC_INDICATORS))
+    for j, ind in enumerate(OSC_INDICATORS):
+        out[j] = ind.read(osc, tick_length)
+    np.divide(out, _SCALES, out=out)
+    np.clip(out, -CLIP_BOUND, CLIP_BOUND, out=out)
+    return out
+
+
+def client_frame(
+    client: ClientNode, tick_length: float, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Concatenate OSC frames of a client in server order.
+
+    With ``out=`` the whole frame is assembled in place (one row view
+    per OSC), so per-tick monitoring never reallocates.
+    """
+    sids = sorted(client.oscs)
+    width = len(OSC_INDICATORS)
+    if out is None:
+        out = np.empty(len(sids) * width)
+    else:
+        _check_frame_out(out, len(sids) * width)
+    rows = out.reshape(len(sids), width)
+    for row, sid in enumerate(sids):
+        osc_frame(client.oscs[sid], tick_length, out=rows[row])
+    return out
 
 
 def frame_width(n_servers: int) -> int:

@@ -58,6 +58,9 @@ class MonitoringAgent:
         self._rng = rng if rng is not None else np.random.default_rng()
         n_servers = len(client.oscs)
         self.encoder = DifferentialEncoder(frame_width(n_servers))
+        # Reused every tick: the encoder copies (to float32) before the
+        # next sample overwrites it, so one buffer serves the whole run.
+        self._frame_buf = np.empty(frame_width(n_servers))
         self.ticks_sampled = 0
         self.ticks_dropped = 0
         # Push mode spawns the sampling process; sessions that drive the
@@ -75,7 +78,7 @@ class MonitoringAgent:
 
     def sample_once(self, tick: int) -> bytes:
         """Collect one frame and encode it (exposed for tests)."""
-        frame = client_frame(self.client, self.tick_length)
+        frame = client_frame(self.client, self.tick_length, out=self._frame_buf)
         return self.encoder.encode(tick, frame)
 
     def _run(self):

@@ -79,6 +79,11 @@ class ServerPIState:
         return self._metric_rate("bytes_written", "_last_written", tick_len)
 
 
+#: Per-indicator scales as one vector (see SERVER_INDICATORS order).
+def _server_scales() -> np.ndarray:
+    return np.array([ind.scale for ind in SERVER_INDICATORS])
+
+
 SERVER_INDICATORS: List[ServerIndicator] = [
     ServerIndicator(
         "queue_depth", 64.0, lambda st, dt: float(st.server.queue_depth)
@@ -108,13 +113,30 @@ def server_frame_width() -> int:
     return len(SERVER_INDICATORS)
 
 
-def server_frame(state: ServerPIState, tick_length: float) -> np.ndarray:
-    """Sample all indicators of one server, scaled and clipped."""
-    raw = np.array(
-        [ind.read(state, tick_length) / ind.scale for ind in SERVER_INDICATORS],
-        dtype=np.float64,
-    )
-    return np.clip(raw, -CLIP_BOUND, CLIP_BOUND)
+def server_frame(
+    state: ServerPIState,
+    tick_length: float,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Sample all indicators of one server, scaled and clipped.
+
+    ``out``, when given, receives the frame in place and is returned
+    (the no-realloc convention of ``osc_frame(out=)``).
+    """
+    if out is None:
+        out = np.empty(len(SERVER_INDICATORS))
+    elif out.size != len(SERVER_INDICATORS):
+        raise ValueError(
+            f"out buffer has {out.size} elements, expected "
+            f"{len(SERVER_INDICATORS)}"
+        )
+    elif not out.flags["C_CONTIGUOUS"] or out.dtype != np.float64:
+        raise ValueError("out buffer must be a C-contiguous float64 array")
+    for j, ind in enumerate(SERVER_INDICATORS):
+        out[j] = ind.read(state, tick_length)
+    np.divide(out, _server_scales(), out=out)
+    np.clip(out, -CLIP_BOUND, CLIP_BOUND, out=out)
+    return out
 
 
 class ServerMonitoringAgent:
@@ -132,6 +154,10 @@ class ServerMonitoringAgent:
         self.tick_length = float(tick_length)
         self.state = ServerPIState(server)
         self.encoder = DifferentialEncoder(server_frame_width())
+        # Reused across ticks on the wire path (the encoder copies);
+        # sample_frame still returns fresh arrays — its callers hold
+        # frames across ticks to concatenate into cluster frames.
+        self._frame_buf = np.empty(server_frame_width())
         self.ticks_sampled = 0
 
     def sample_frame(self, tick: int) -> np.ndarray:
@@ -141,6 +167,6 @@ class ServerMonitoringAgent:
 
     def sample_once(self, tick: int) -> bytes:
         """Wire-encoded frame (when routed over the control network)."""
-        frame = server_frame(self.state, self.tick_length)
+        frame = server_frame(self.state, self.tick_length, out=self._frame_buf)
         self.ticks_sampled += 1
         return self.encoder.encode(tick, frame)

@@ -1,0 +1,261 @@
+"""Behavioural contract of the vectorized fleet engine (repro.sim.vec).
+
+The fleet backend is a *different physics* from the reference
+discrete-event cluster (a fluid tick model), so these tests pin the
+parts of the contract that must be identical anyway: the Environment
+surface semantics (``run_chunk`` edge cases, action-to-record
+attachment, parameter setters) on **both** backends, chunked-vs-
+per-tick equivalence on the vec backend, and the ``VectorEnv``
+integration path (``backend="vec"``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.env import VectorEnv, make_env
+from repro.env.registry import _default_workload
+from repro.rl import Hyperparameters
+from repro.sim.vec import FleetEnv
+
+SEED = 17
+
+HP = Hyperparameters(
+    hidden_layer_size=8,
+    exploration_ticks=20,
+    sampling_ticks_per_observation=3,
+)
+ENV_KW = dict(
+    cluster=ClusterConfig(n_servers=2, n_clients=2),
+    hp=HP,
+    workload_factory=_default_workload,
+)
+
+BACKENDS = ["sim-lustre", "sim-lustre-vec"]
+
+
+def _make_scalar(name):
+    """A scalar Environment on either backend (vec → its slot 0)."""
+    env = make_env(name, seed=SEED, **ENV_KW)
+    if isinstance(env, FleetEnv):
+        return env.slot(0)
+    return env
+
+
+# -- run_chunk edge cases, both backends --------------------------------
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_run_chunk_zero_is_empty_without_advancing(name):
+    env = _make_scalar(name)
+    try:
+        env.reset()
+        before = env.records_since_packed(0)
+        obs_before = np.array(env.current_observation(), copy=True)
+        rewards = env.run_chunk(0)
+        assert rewards.shape == (0,)
+        after = env.records_since_packed(0)
+        np.testing.assert_array_equal(after.ticks, before.ticks)
+        np.testing.assert_array_equal(env.current_observation(), obs_before)
+    finally:
+        env.close()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_run_chunk_negative_k_raises(name):
+    env = _make_scalar(name)
+    try:
+        env.reset()
+        with pytest.raises(ValueError, match="k must be >= 0"):
+            env.run_chunk(-1)
+    finally:
+        env.close()
+
+
+def test_fleet_run_chunk_zero_and_negative():
+    """The batched fleet surface honours the same edge cases."""
+    fleet = make_env("sim-lustre-vec", seed=SEED, n_envs=3, **ENV_KW)
+    try:
+        fleet.reset()
+        tick_before = fleet.state.tick.copy()
+        rewards = fleet.run_chunk(0)
+        assert rewards.shape == (3, 0)
+        np.testing.assert_array_equal(fleet.state.tick, tick_before)
+        with pytest.raises(ValueError, match="k must be >= 0"):
+            fleet.run_chunk(-2)
+    finally:
+        fleet.close()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_action_changes_between_chunks_land_on_right_tick(name):
+    """An action passed to ``run_chunk`` is decided *before* each tick,
+    so it attaches to the record of the tick current at decision time —
+    switching actions between chunks must show the switch exactly at
+    the chunk boundary, identically on both backends."""
+    env = _make_scalar(name)
+    try:
+        env.reset()
+        warm = env.records_since_packed(0)
+        t0 = int(warm.ticks[-1])
+        assert set(warm.actions) == {-1}  # warm-up is monitoring-only
+        a1, a2 = 1, 2
+        env.run_chunk(3, action=a1)
+        env.run_chunk(2, action=a2)
+        recs = env.records_since_packed(0)
+        np.testing.assert_array_equal(recs.ticks, np.arange(1, t0 + 6))
+        tail = list(recs.actions[-6:])
+        # a1 on the tick current when each of chunk 1's three decisions
+        # fired (t0, t0+1, t0+2), a2 on chunk 2's (t0+3, t0+4); the
+        # newest tick's record has no action yet.
+        assert tail == [a1, a1, a1, a2, a2, -1]
+    finally:
+        env.close()
+
+
+def test_chunked_matches_per_tick_on_vec():
+    """One ``run_chunk`` call is byte-identical to the per-tick loop it
+    abbreviates — rewards, records and the post-chunk observation."""
+    a = 1
+    loop = make_env("sim-lustre-vec", seed=SEED, n_envs=2, **ENV_KW)
+    chunked = make_env("sim-lustre-vec", seed=SEED, n_envs=2, **ENV_KW)
+    try:
+        loop.reset()
+        chunked.reset()
+        loop_rewards = []
+        for _ in range(10):
+            _obs, rewards, _infos = loop.step([a, a])
+            loop_rewards.append(rewards.copy())
+        loop_rewards = np.stack(loop_rewards, axis=1)
+        parts = [
+            chunked.run_chunk(4, action=a),
+            chunked.run_chunk(0),
+            chunked.run_chunk(6, action=a),
+        ]
+        chunk_rewards = np.concatenate(parts, axis=1)
+        np.testing.assert_array_equal(chunk_rewards, loop_rewards)
+        for e in range(2):
+            lr = loop.records_since_packed(0, env_index=e)
+            cr = chunked.records_since_packed(0, env_index=e)
+            np.testing.assert_array_equal(lr.ticks, cr.ticks)
+            np.testing.assert_array_equal(lr.actions, cr.actions)
+            np.testing.assert_array_equal(lr.rewards, cr.rewards)
+            np.testing.assert_array_equal(lr.frames, cr.frames)
+        np.testing.assert_array_equal(
+            loop.current_observation(), chunked.current_observation()
+        )
+    finally:
+        loop.close()
+        chunked.close()
+
+
+# -- fleet/slot coherence ----------------------------------------------
+
+
+def test_fleet_slot_views_shared_rows():
+    fleet = make_env("sim-lustre-vec", seed=SEED, n_envs=3, **ENV_KW)
+    try:
+        obs = fleet.reset()
+        assert obs.shape == (3, fleet.obs_dim)
+        batch_obs, rewards, infos = fleet.step([0, 1, 2])
+        assert rewards.shape == (3,)
+        for e in range(3):
+            slot = fleet.slot(e)
+            np.testing.assert_array_equal(
+                slot.current_observation(), batch_obs[e]
+            )
+            assert infos[e]["params"] == slot.current_params()
+    finally:
+        fleet.close()
+
+
+def test_set_params_semantics():
+    fleet = make_env("sim-lustre-vec", seed=SEED, n_envs=2, **ENV_KW)
+    try:
+        fleet.reset()
+        # The window knob is an integer (ControlAgent semantics), the
+        # rate knob a float.
+        fleet.set_params({"max_rpcs_in_flight": 9.6, "io_rate_limit": 300.0})
+        assert fleet.current_params(0) == {
+            "max_rpcs_in_flight": 10.0,
+            "io_rate_limit": 300.0,
+        }
+        fleet.set_params({"max_rpcs_in_flight": 4}, env_index=1)
+        assert fleet.current_params(0)["max_rpcs_in_flight"] == 10.0
+        assert fleet.current_params(1)["max_rpcs_in_flight"] == 4.0
+        with pytest.raises(KeyError, match="unknown tunable"):
+            fleet.set_params({"not_a_knob": 1.0})
+    finally:
+        fleet.close()
+
+
+def test_step_before_reset_raises():
+    fleet = make_env("sim-lustre-vec", seed=SEED, n_envs=1, **ENV_KW)
+    with pytest.raises(RuntimeError, match="reset"):
+        fleet.step([0])
+
+
+def test_fleet_sampler_draws_minibatches():
+    fleet = make_env("sim-lustre-vec", seed=SEED, n_envs=2, **ENV_KW)
+    try:
+        fleet.reset()
+        # NULL actions, like VectorEnv.collect: monitoring-only ticks
+        # (action -1) are not eligible transitions, recorded NULLs are.
+        fleet.run_chunk(12, action=0)
+        mb = fleet.make_sampler(seed=0, env_index=1).sample_minibatch(4)
+        assert mb.s_t.shape == (4, fleet.obs_dim)
+        assert mb.s_next.shape == (4, fleet.obs_dim)
+    finally:
+        fleet.close()
+
+
+# -- VectorEnv integration ---------------------------------------------
+
+
+def test_vector_env_vec_backend_end_to_end():
+    venv = VectorEnv.from_registry(
+        "sim-lustre-vec",
+        3,
+        base_seed=SEED,
+        backend="vec",
+        env_kwargs=ENV_KW,
+        tick_stride=256,
+    )
+    try:
+        obs = venv.reset()
+        assert obs.shape == (3, venv.obs_dim)
+        obs, rewards, _infos = venv.step([0, 1, 2])
+        assert obs.shape == (3, venv.obs_dim)
+        assert rewards.shape == (3,)
+        rw = venv.collect(6, chunk=3)
+        assert rw.shape == (3, 6)
+        # Shared-DB fan-in feeds the strided sampler.
+        mb = venv.make_sampler(seed=3).sample_minibatch(4)
+        assert mb.s_t.shape == (4, venv.obs_dim)
+        # The CapesTuner checkpoint path: drive one cluster out of
+        # lockstep, then resync its observation row.
+        venv.env_method(0, "set_params", {"max_rpcs_in_flight": 12})
+        rews = venv.env_method(0, "run_ticks", 4)
+        assert rews.shape == (4,)
+        venv.refresh_observation(0)
+        assert venv.env_method(0, "current_params")[
+            "max_rpcs_in_flight"
+        ] == 12.0
+        _obs, rewards, _infos = venv.step([0, 0, 0])
+        assert np.isfinite(rewards).all()
+    finally:
+        venv.close()
+
+
+def test_vec_backend_requires_one_fleet():
+    fleet_a = make_env("sim-lustre-vec", seed=SEED, n_envs=2, **ENV_KW)
+    fleet_b = make_env("sim-lustre-vec", seed=SEED, n_envs=2, **ENV_KW)
+    factories = [lambda: fleet_a.slot(0), lambda: fleet_b.slot(1)]
+    with pytest.raises(ValueError, match="one FleetEnv"):
+        VectorEnv(factories, backend="vec")
+
+
+def test_vec_backend_rejects_non_fleet_envs():
+    factories = [lambda: make_env("sim-lustre", seed=SEED, **ENV_KW)]
+    with pytest.raises(ValueError, match="one FleetEnv"):
+        VectorEnv(factories, backend="vec")
