@@ -1,0 +1,125 @@
+"""Control-plane serving throughput: a swarm against the live daemon.
+
+The deployed-shape claim of the serve subsystem, measured end to end:
+one :class:`~repro.serve.server.CapesServer` (serial trainer bursting
+between decisions, exactly the continuous-DRL-engine shape of §3)
+serving ``REPRO_SERVE_CLIENTS`` concurrent simulated clusters — each a
+:class:`~repro.sim.vec.fleet_env.FleetEnv` slot streaming real §3.3
+differential telemetry over real TCP sockets and applying the
+decisions it gets back.
+
+Recorded per run (``BENCH_serve.json`` at the repository root, CI
+uploads it as an artifact on every run):
+
+- decisions/s across the swarm and the full round-trip decision
+  latency (p50/p99) a monitoring agent would experience;
+- compressed wire bytes per client and the live compression ratio —
+  the Table 2 "average message size" economics on served traffic;
+- trainer progress (SGD steps attempted, checkpoints broadcast) made
+  *while* serving, which is the overlap the daemon exists to provide.
+
+The default swarm is 64 clients (the acceptance floor for this
+subsystem); CI runs a smaller smoke swarm via ``REPRO_SERVE_CLIENTS``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.env import make_env
+from repro.env.registry import _default_workload
+from repro.rl import Hyperparameters
+from repro.serve import CapesServer, ServeConfig, ServerThread, run_swarm_sync
+
+N_CLIENTS = int(os.environ.get("REPRO_SERVE_CLIENTS", "64"))
+#: Environment steps per client; each step emits one telemetry frame.
+TICKS_PER_CLIENT = int(os.environ.get("REPRO_SERVE_TICKS", "30"))
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+BENCH_HP = Hyperparameters(
+    hidden_layer_size=32,
+    exploration_ticks=400,
+    sampling_ticks_per_observation=5,
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    """One serving session: N fleet slots against one live daemon."""
+    fleet = make_env(
+        "sim-lustre-vec",
+        seed=11,
+        cluster=ClusterConfig(n_servers=1, n_clients=2),
+        hp=BENCH_HP,
+        workload_factory=_default_workload,
+        n_envs=N_CLIENTS,
+    )
+    fleet.reset()
+    config = ServeConfig(
+        frame_width=fleet.frame_dim,
+        n_actions=fleet.n_actions,
+        port=0,
+        max_clients=N_CLIENTS,
+        # A short session: a small stride keeps the tick-indexed replay
+        # ring (max_clients * tick_stride rows) proportionate.
+        tick_stride=256,
+        trainer_backend="serial",
+        train_ratio=1.0,
+        sync_every=64,
+        seed=11,
+        hp=BENCH_HP,
+    )
+    server = CapesServer(config)
+    with ServerThread(server) as thread:
+        report = run_swarm_sync(
+            "127.0.0.1", thread.port, fleet, TICKS_PER_CLIENT
+        )
+        snapshot = server.stats_snapshot()
+    fleet.close()
+    payload = report.to_json()
+    payload["ticks_per_client"] = TICKS_PER_CLIENT
+    payload["cpu_count"] = os.cpu_count()
+    payload["trainer"] = snapshot["trainer"]
+    payload["checkpoints_broadcast"] = snapshot["checkpoints_broadcast"]
+    payload["server_wire"] = snapshot["wire"]
+    return report, payload
+
+
+def test_serve_swarm_records_bench_json(bench):
+    report, payload = bench
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nserve throughput ({N_CLIENTS} clients): " + json.dumps(payload))
+    # Every client survived the session and completed its tick budget.
+    assert report.errors == 0, [r.error for r in report.clients if r.error]
+    assert report.n_clients == N_CLIENTS
+    assert report.ticks >= N_CLIENTS * TICKS_PER_CLIENT
+    # The swarm actually exercised the decision path, not just warm-up.
+    assert report.decisions >= N_CLIENTS
+    assert all(r.decisions > 0 for r in report.clients)
+    assert report.decisions_per_s > 0
+    assert np.isfinite(report.latency_p50_ms)
+    assert report.latency_p99_ms >= report.latency_p50_ms
+    # Real wire traffic was measured on every connection.
+    assert report.bytes_per_client > 0
+    assert payload["server_wire"]["messages"] == report.ticks
+
+
+def test_serve_swarm_trains_while_serving(bench):
+    """The §3 overlap: the trainer made progress during the session."""
+    _, payload = bench
+    trainer = payload["trainer"]
+    assert trainer is not None and trainer["backend"] == "serial"
+    assert trainer["steps_attempted"] > 0
+    # Weight broadcasts reached the swarm (sync_every=64 guarantees at
+    # least one version bump over N_CLIENTS * decided ticks of budget).
+    assert payload["checkpoints_broadcast"] >= 1
+
+
+def test_serve_swarm_resyncs_absent_on_clean_run(bench):
+    """A healthy swarm never needs RESYNC: fresh encoders per connect."""
+    report, _ = bench
+    assert report.resyncs == 0

@@ -45,6 +45,7 @@ API_MODULES = (
     "repro.exp",
     "repro.replaydb",
     "repro.scenarios",
+    "repro.serve",
     "repro.sim.vec",
     "repro.train",
 )

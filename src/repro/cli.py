@@ -20,6 +20,8 @@ so the equivalent surface is a single CLI over a conf.py:
     python -m repro.cli sweep    --config conf.py \
                                  --scenario sim-lustre-bursty --seeds 0-4
     python -m repro.cli window-sweep --config conf.py --window 1,2,4,8,16
+    python -m repro.cli serve    --config conf.py --port 7007 \
+                                 --stats-port 7008 --out replay.sqlite
 
 ``train`` runs an online training session and saves the model;
 ``evaluate`` reloads it and measures tuned throughput; ``baseline``
@@ -38,7 +40,12 @@ run against N lockstep clusters fanning experience into one shared
 replay DB, and ``--scenario NAME`` (when NAME is registered in
 :mod:`repro.scenarios`) runs every session against that fault/
 perturbation timeline; ``window-sweep`` does a static parameter sweep (the
-tweak-benchmark loop CAPES replaces, useful for ground truth).
+tweak-benchmark loop CAPES replaces, useful for ground truth); ``serve``
+runs the :mod:`repro.serve` control-plane daemon — remote clusters
+register over TCP, stream §3.3 differential telemetry, and receive
+tuning decisions and versioned checkpoint hot-swaps, with the trainer
+knobs following the same flag > conf > default resolution as
+``collect`` (SIGINT/SIGTERM shuts down gracefully and exits 0).
 """
 
 from __future__ import annotations
@@ -271,6 +278,153 @@ def _parse_seeds(text: str) -> List[int]:
     if not seeds:
         raise ValueError(f"no seeds in {text!r}")
     return seeds
+
+
+def _serve_geometry(config) -> tuple:
+    """``(frame_width, n_actions)`` implied by a conf's environment.
+
+    Mirrors :class:`~repro.env.tuning_env.StorageTuningEnv`'s frame
+    layout without building an environment — the daemon serves *remote*
+    clusters, so only the geometry matters here.
+    """
+    from repro.core.actions import ActionSpace, lustre_parameters
+    from repro.telemetry.indicators import frame_width as client_frame_width
+
+    env = config.env
+    width = client_frame_width(env.cluster.n_servers) * env.cluster.n_clients
+    if env.include_server_pis:
+        from repro.telemetry.server_monitor import server_frame_width
+
+        width += env.cluster.n_servers * server_frame_width()
+    if env.include_time_features:
+        from repro.telemetry.timefeat import time_feature_width
+
+        width += time_feature_width()
+    params = env.parameters or lustre_parameters(
+        window_default=env.cluster.max_rpcs_in_flight,
+        rate_default=env.cluster.io_rate_limit,
+    )
+    return width, ActionSpace(params).n_actions
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the control-plane daemon until SIGINT/SIGTERM (exit 0)."""
+    # Eager flag validation: nothing below binds a socket, forks a
+    # trainer, or touches disk until every flag has been accepted.
+    for label, value in (
+        ("--port", args.port),
+        ("--stats-port", args.stats_port),
+    ):
+        if value is not None and not 0 <= value <= 65535:
+            print(
+                f"{label} must be in [0, 65535], got {value}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.max_clients < 1:
+        print(
+            f"--max-clients must be >= 1, got {args.max_clients}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.read_timeout <= 0:
+        print(
+            f"--read-timeout must be > 0, got {args.read_timeout}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.tick_stride < 1:
+        print(
+            f"--tick-stride must be >= 1, got {args.tick_stride}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.out and os.path.exists(args.out):
+        # Same rule as collect: each serving session is one fresh store.
+        print(
+            f"refusing to overwrite existing replay DB {args.out!r}; "
+            f"each serving session is one fresh store — pick a new "
+            f"path or remove the old file first",
+            file=sys.stderr,
+        )
+        return 2
+    config = load_config(args.config)
+    # Flag > conf > default, the collect conventions: the conf may name
+    # the inline backend (the session default); the daemon has no
+    # session tick loop to train inside, so that resolves to serial.
+    backend = args.trainer_backend or config.trainer_backend
+    if backend == "inline":
+        backend = "serial"
+    if backend == "none":
+        for flag in ("train_ratio", "sync_every"):
+            if getattr(args, flag) is not None:
+                print(
+                    f"--{flag.replace('_', '-')} needs a trainer "
+                    f"backend, but --trainer-backend is 'none'",
+                    file=sys.stderr,
+                )
+                return 2
+    ratio = (
+        args.train_ratio
+        if args.train_ratio is not None
+        else config.train_ratio
+    )
+    from repro.replaydb import CACHE_ONLY
+    from repro.serve import CapesServer, ServeConfig, run_server
+
+    frame_width, n_actions = _serve_geometry(config)
+    try:
+        serve_config = ServeConfig(
+            frame_width=frame_width,
+            n_actions=n_actions,
+            host=args.host,
+            port=args.port,
+            stats_port=args.stats_port,
+            max_clients=args.max_clients,
+            read_timeout=args.read_timeout,
+            tick_stride=args.tick_stride,
+            db_path=args.out if args.out else CACHE_ONLY,
+            trainer_backend=backend,
+            train_ratio=(
+                float(ratio)
+                if ratio is not None
+                else float(config.train_steps_per_tick)
+            ),
+            sync_every=(
+                args.sync_every
+                if args.sync_every is not None
+                else config.sync_every
+            ),
+            greedy=args.greedy,
+            seed=config.seed,
+            hp=config.env.hp,
+            loss=config.loss,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    server = CapesServer(serve_config)
+
+    def announce(s) -> None:
+        line = f"serving on {s.config.host}:{s.port}"
+        if s.stats_port is not None:
+            line += f" (stats: http://{s.config.host}:{s.stats_port}/stats)"
+        print(line, flush=True)
+
+    run_server(server, announce=announce)
+    snap = server.stats
+    print(
+        f"served {snap.decisions_total} decisions over "
+        f"{snap.frames_total} frames from {len(snap.clusters)} "
+        f"cluster(s); {snap.connections_total} connection(s), "
+        f"{snap.resyncs} resync(s)"
+    )
+    if snap.trainer:
+        print(
+            f"trained {snap.trainer['steps_attempted']} SGD steps "
+            f"({snap.trainer['backend']} backend)"
+        )
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -542,6 +696,81 @@ def make_parser() -> argparse.ArgumentParser:
         help="with --train: save the trained model here",
     )
     p.set_defaults(fn=cmd_collect)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the control-plane daemon: telemetry in, decisions out",
+    )
+    p.add_argument("--config", required=True, help="conf.py path")
+    p.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=7007,
+        help="client-protocol TCP port (0 = ephemeral, printed on start)",
+    )
+    p.add_argument(
+        "--stats-port",
+        type=int,
+        default=None,
+        help="HTTP /stats port (0 = ephemeral; omitted = disabled)",
+    )
+    p.add_argument(
+        "--max-clients",
+        type=int,
+        default=64,
+        help="maximum registered clusters (bounds replay blocks)",
+    )
+    p.add_argument(
+        "--read-timeout",
+        type=float,
+        default=60.0,
+        help="seconds a connected client may stall before being dropped",
+    )
+    p.add_argument(
+        "--tick-stride",
+        type=int,
+        default=4096,
+        help="per-cluster replay block size: cluster i's tick t lands "
+        "at i*stride + t in the shared store",
+    )
+    p.add_argument(
+        "--trainer-backend",
+        choices=("none", "serial", "process"),
+        default=None,
+        help="continuous training against the landed telemetry: burst "
+        "on the serving loop (serial), overlap in a forked worker "
+        "(process), or serve a frozen policy (none).  Default: the "
+        "conf's TRAINER_BACKEND (inline resolves to serial here)",
+    )
+    p.add_argument(
+        "--train-ratio",
+        type=float,
+        default=None,
+        help="SGD steps per decision tick (fractions accumulate; "
+        "default: the conf's TRAIN_RATIO, else TRAIN_STEPS_PER_TICK)",
+    )
+    p.add_argument(
+        "--sync-every",
+        type=int,
+        default=None,
+        help="SGD steps per checkpoint broadcast to connected clients "
+        "(default: the conf's SYNC_EVERY)",
+    )
+    p.add_argument(
+        "--greedy",
+        action="store_true",
+        help="serve argmax decisions only (no ε-greedy exploration)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="SQLite path for the landed replay DB; omitted = "
+        "cache-only.  Ticks are block-strided by --tick-stride",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "sweep",

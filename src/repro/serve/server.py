@@ -1,0 +1,836 @@
+"""The CAPES control-plane daemon (the paper's deployed shape).
+
+One asyncio process plays the roles §3 assigns to the control node:
+the Interface Daemon (ingest compressed differential telemetry, fan it
+into the shared replay store), the DRL engine (train continuously via
+the existing :mod:`repro.train` backends), and the action server
+(price actions with :meth:`~repro.rl.agent.DQNAgent.act_batch` and
+push versioned :mod:`repro.nn.checkpoint` weight broadcasts back out).
+
+Concurrency model: every connected cluster gets a reader coroutine;
+frames whose observation window is warm are queued to one shared
+*decider* task that micro-batches whatever is pending into a single
+``act_batch`` forward pass, lands the records, answers the clients,
+and grants the trainer its tick budget.  Clients therefore share one
+model and one replay store without locks — everything mutable lives on
+the event loop.
+
+Replay layout mirrors the vectorized fan-in path: cluster ``slot``'s
+local tick ``t`` lands at global tick ``slot * tick_stride + t``, and
+a :class:`~repro.replaydb.spans.TickSpans` frontier keeps the sampler
+uniform over every cluster's transitions.
+
+Determinism: the agent, per-slot exploration streams and sampler seed
+all derive from ``ServeConfig.seed`` exactly the way the in-process
+session derives them, which is what makes the server-vs-inline golden
+equivalence test possible (same seed + same frames ⇒ same actions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.env.vector import per_env_rngs
+from repro.replaydb.db import CACHE_ONLY, ReplayDB
+from repro.replaydb.records import PackedRecords
+from repro.replaydb.spans import StridedMinibatchSampler, TickSpans
+from repro.rl.agent import DQNAgent
+from repro.rl.hyperparams import Hyperparameters
+from repro.serve import protocol
+from repro.serve.stats import ClusterStats, EventFeed, ServeStats
+from repro.telemetry.wire import DecoderPool, WireDesyncError
+from repro.train.loop import TrainerConfig, TrainerLoop, TrainerStats
+from repro.util.ringbuffer import RingBuffer
+from repro.util.rng import derive_rng, ensure_rng
+from repro.util.validation import check_positive
+
+#: Trainer backends the daemon accepts.  ``none`` serves a frozen
+#: policy; ``serial`` bursts SGD on the event loop between decisions;
+#: ``process`` overlaps training in the PR-5 worker process.
+SERVE_BACKENDS = ("none", "serial", "process")
+
+
+@dataclass
+class ServeConfig:
+    """Everything needed to run one control-plane daemon."""
+
+    frame_width: int
+    n_actions: int
+    host: str = "127.0.0.1"
+    #: TCP port for the client protocol; 0 binds an ephemeral port.
+    port: int = 0
+    #: HTTP ``/stats`` port; ``None`` disables the endpoint, 0 is
+    #: ephemeral.
+    stats_port: Optional[int] = None
+    max_clients: int = 64
+    #: Seconds a connected client may go silent before being dropped.
+    read_timeout: float = 60.0
+    #: Observation window length in ticks; defaults to the
+    #: hyperparameter table's ``sampling_ticks_per_observation``.
+    obs_ticks: Optional[int] = None
+    #: Per-cluster tick-space block size (bounds one cluster's ticks).
+    tick_stride: int = 4096
+    #: Replay cache rows; defaults to ``max_clients * tick_stride``,
+    #: the exact global-tick span the strided layout can produce.  The
+    #: cache is a tick-indexed ring, so anything smaller would alias
+    #: high-slot writes over low-slot records mid-serve; shrink
+    #: ``tick_stride`` (or ``max_clients``) to shrink memory instead.
+    cache_capacity: Optional[int] = None
+    #: Replay store path; the sentinel keeps it cache-only.
+    db_path: str = CACHE_ONLY
+    trainer_backend: str = "serial"
+    train_ratio: float = 1.0
+    sync_every: int = 64
+    greedy: bool = False
+    seed: int = 0
+    hp: Hyperparameters = field(default_factory=Hyperparameters)
+    loss: str = "mse"
+
+    def __post_init__(self) -> None:
+        check_positive("frame_width", self.frame_width)
+        check_positive("n_actions", self.n_actions)
+        for label, value in (("port", self.port), ("stats_port", self.stats_port)):
+            if value is not None and not 0 <= int(value) <= 65535:
+                raise ValueError(f"{label} must be in [0, 65535], got {value}")
+        check_positive("max_clients", self.max_clients)
+        if self.read_timeout <= 0:
+            raise ValueError(
+                f"read_timeout must be > 0, got {self.read_timeout}"
+            )
+        if self.obs_ticks is None:
+            self.obs_ticks = int(self.hp.sampling_ticks_per_observation)
+        check_positive("obs_ticks", self.obs_ticks)
+        check_positive("tick_stride", self.tick_stride)
+        if self.tick_stride <= self.obs_ticks:
+            raise ValueError(
+                f"tick_stride ({self.tick_stride}) must exceed the "
+                f"observation window ({self.obs_ticks} ticks)"
+            )
+        span = self.max_clients * self.tick_stride
+        if self.cache_capacity is None:
+            self.cache_capacity = span
+        check_positive("cache_capacity", self.cache_capacity)
+        if self.cache_capacity < span:
+            raise ValueError(
+                f"cache_capacity ({self.cache_capacity}) must cover the "
+                f"strided global-tick span max_clients * tick_stride "
+                f"({span}); a smaller ring would evict live clusters' "
+                f"records mid-serve — lower tick_stride instead"
+            )
+        if self.trainer_backend not in SERVE_BACKENDS:
+            raise ValueError(
+                f"trainer backend must be one of {SERVE_BACKENDS}, "
+                f"got {self.trainer_backend!r}"
+            )
+        if self.trainer_backend != "none":
+            # Reuse the TrainerConfig rejection rules (train_ratio >= 0,
+            # sync_every >= 1) rather than restating them here.
+            TrainerConfig(
+                backend=self.trainer_backend,
+                train_ratio=self.train_ratio,
+                sync_every=self.sync_every,
+            )
+
+
+def build_serve_agent(
+    seed: int,
+    obs_dim: int,
+    n_actions: int,
+    hp: Optional[Hyperparameters] = None,
+    loss: str = "mse",
+) -> DQNAgent:
+    """The daemon's acting agent, derived deterministically from ``seed``.
+
+    Exposed so the golden equivalence test can build the *same* agent
+    outside the server and replay frames through it inline.
+    """
+    return DQNAgent(
+        obs_dim=int(obs_dim),
+        n_actions=int(n_actions),
+        hp=hp,
+        loss=loss,
+        rng=derive_rng(ensure_rng(seed), "serve-agent"),
+    )
+
+
+class _Cluster:
+    """Server-side state for one registered cluster (survives churn)."""
+
+    __slots__ = ("name", "slot", "ring", "last_tick", "writer", "row")
+
+    def __init__(
+        self, name: str, slot: int, obs_ticks: int, frame_width: int,
+        row: ClusterStats,
+    ):
+        self.name = name
+        self.slot = slot
+        self.ring = RingBuffer(obs_ticks, shape=(frame_width,))
+        self.last_tick = -1
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.row = row
+
+
+@dataclass
+class _Pending:
+    """One warm frame waiting for the decider."""
+
+    cluster: _Cluster
+    tick: int
+    reward: float
+    frame: np.ndarray  # (frame_width,) float64
+    obs: np.ndarray  # (obs_ticks * frame_width,) float64
+    arrived: float
+
+
+class CapesServer:
+    """The asyncio control-plane daemon.  See the module docstring."""
+
+    def __init__(self, config: ServeConfig, agent: Optional[DQNAgent] = None):
+        self.config = config
+        fw = config.frame_width
+        self.agent = agent or build_serve_agent(
+            config.seed,
+            config.obs_ticks * fw,
+            config.n_actions,
+            hp=config.hp,
+            loss=config.loss,
+        )
+        self.stats = ServeStats()
+        self.events = EventFeed()
+        self.pool = DecoderPool(fw)
+        self.db = ReplayDB(
+            fw, path=config.db_path, cache_capacity=config.cache_capacity
+        )
+        self.spans = TickSpans(
+            n_blocks=config.max_clients, stride=config.tick_stride
+        )
+        self._clusters: Dict[str, _Cluster] = {}
+        self._act_rngs = per_env_rngs(
+            config.seed, config.max_clients, "serve-act"
+        )
+        sampler_seed = int(
+            derive_rng(ensure_rng(config.seed), "serve-sampler").integers(
+                2**31
+            )
+        )
+        self._trainer: Optional[TrainerLoop] = None
+        if config.trainer_backend == "serial":
+            sampler = StridedMinibatchSampler(
+                self.db.cache,
+                self.spans,
+                obs_ticks=config.obs_ticks,
+                missing_tolerance=config.hp.missing_entry_tolerance,
+                seed=sampler_seed,
+            )
+            self._trainer = TrainerLoop(
+                self.agent,
+                TrainerConfig(
+                    backend="serial",
+                    train_ratio=config.train_ratio,
+                    sync_every=config.sync_every,
+                ),
+                sampler=sampler,
+            )
+        elif config.trainer_backend == "process":
+            self._trainer = TrainerLoop(
+                self.agent,
+                TrainerConfig(
+                    backend="process",
+                    train_ratio=config.train_ratio,
+                    sync_every=config.sync_every,
+                ),
+                frame_width=fw,
+                stride=config.tick_stride,
+                n_blocks=config.max_clients,
+                sampler_seed=sampler_seed,
+                cache_capacity=config.cache_capacity,
+            )
+        # Last weight state broadcast to clients (PR-5 fence identity).
+        self._weight_epoch = 0
+        self._weight_version = 0
+        self._pending: asyncio.Queue = asyncio.Queue()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stats_server: Optional[asyncio.base_events.Server] = None
+        self._decider_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._closing = False
+        self._done = asyncio.Event()
+        self.port: Optional[int] = None
+        self.stats_port: Optional[int] = None
+
+    # -- lifecycle --------------------------------------------------------
+    async def start(self) -> None:
+        """Bind sockets, fork the trainer backend, start the decider."""
+        if self._trainer is not None:
+            self._trainer.begin()
+        self._decider_task = asyncio.create_task(self._decider())
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.stats_port is not None:
+            self._stats_server = await asyncio.start_server(
+                self._on_stats, self.config.host, self.config.stats_port
+            )
+            self.stats_port = self._stats_server.sockets[0].getsockname()[1]
+
+    async def wait_shutdown(self) -> None:
+        """Block until :meth:`shutdown` has completed."""
+        await self._done.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain decisions, stop the trainer, flush replay.
+
+        Idempotent.  Ordering matters: connections close first (no new
+        frames), then the decider spends the queue (every accepted
+        frame still lands and grants training budget), then the trainer
+        stops via its own ``stop()`` (flushing budget / joining the
+        worker without masking errors), then the store commits.
+        """
+        if self._closing:
+            await self._done.wait()
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        if self._stats_server is not None:
+            self._stats_server.close()
+        for cluster in self._clusters.values():
+            writer = cluster.writer
+            if writer is not None and not writer.is_closing():
+                try:
+                    writer.write(protocol.pack_message(protocol.BYE))
+                except (ConnectionError, RuntimeError):
+                    pass
+                writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+        await self._pending.put(None)
+        if self._decider_task is not None:
+            await self._decider_task
+        if self._trainer is not None:
+            self.stats.trainer = _trainer_snapshot(self._trainer.stop())
+        self.db.commit()
+        self.db.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._stats_server is not None:
+            await self._stats_server.wait_closed()
+        self.events.publish("shutdown")
+        self._done.set()
+
+    # -- client connections -----------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.stats.connections_total += 1
+        self.stats.connections_open += 1
+        cluster: Optional[_Cluster] = None
+        reason = "bye"
+        try:
+            cluster = await self._handshake(reader, writer)
+            if cluster is not None:
+                await self._frame_loop(cluster, reader, writer)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            reason = "disconnect"
+            self.stats.disconnects += 1
+        except asyncio.TimeoutError:
+            reason = "timeout"
+            self.stats.timeouts += 1
+            await self._send_error(writer, "read timeout")
+        except protocol.ProtocolError as exc:
+            reason = "protocol-error"
+            self.stats.protocol_errors += 1
+            await self._send_error(writer, str(exc))
+        finally:
+            self._conn_tasks.discard(task)
+            self.stats.connections_open -= 1
+            if cluster is not None and cluster.writer is writer:
+                cluster.writer = None
+                cluster.row.connected = False
+                # Read the Table-2 accounting off the decoder before
+                # evicting it; the next incarnation starts from zero
+                # state and must resync explicitly.
+                cluster.row.fold_wire(self.pool.stats(cluster.name))
+                if self.pool.evict(cluster.name):
+                    self.stats.evictions += 1
+                self.events.publish(
+                    "disconnect", cluster=cluster.name, reason=reason
+                )
+            await _close_writer(writer)
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[_Cluster]:
+        """HELLO → WELCOME + current-epoch CHECKPOINT; None = rejected."""
+        msg_type, payload = await asyncio.wait_for(
+            protocol.read_message(reader), self.config.read_timeout
+        )
+        if msg_type != protocol.HELLO:
+            raise protocol.ProtocolError(
+                f"expected HELLO, got "
+                f"{protocol.TYPE_NAMES.get(msg_type, msg_type)}"
+            )
+        hello = protocol.unpack_json(payload)
+        name = hello.get("name")
+        if not isinstance(name, str) or not name:
+            raise protocol.ProtocolError(
+                "HELLO must carry a non-empty string 'name'"
+            )
+        if hello.get("proto") != protocol.PROTO_VERSION:
+            await self._send_error(
+                writer,
+                f"protocol version {hello.get('proto')} unsupported "
+                f"(server speaks {protocol.PROTO_VERSION})",
+            )
+            return None
+        if hello.get("frame_width") != self.config.frame_width:
+            await self._send_error(
+                writer,
+                f"frame_width {hello.get('frame_width')} does not match "
+                f"server's {self.config.frame_width}",
+            )
+            return None
+        cluster = self._clusters.get(name)
+        if cluster is None:
+            if len(self._clusters) >= self.config.max_clients:
+                await self._send_error(
+                    writer,
+                    f"server full ({self.config.max_clients} clusters)",
+                )
+                return None
+            slot = len(self._clusters)
+            cluster = _Cluster(
+                name,
+                slot,
+                self.config.obs_ticks,
+                self.config.frame_width,
+                self.stats.cluster(name, slot),
+            )
+            self._clusters[name] = cluster
+        elif cluster.writer is not None:
+            await self._send_error(
+                writer, f"cluster {name!r} is already connected"
+            )
+            return None
+        cluster.writer = writer
+        cluster.row.connects += 1
+        cluster.row.connected = True
+        writer.write(
+            protocol.pack_json(
+                protocol.WELCOME,
+                {
+                    "proto": protocol.PROTO_VERSION,
+                    "cluster": cluster.slot,
+                    "frame_width": self.config.frame_width,
+                    "obs_ticks": self.config.obs_ticks,
+                    "n_actions": self.config.n_actions,
+                    # Reconnecting senders must re-establish decoder
+                    # state: their first frame must be a full frame.
+                    "resync": True,
+                },
+            )
+        )
+        writer.write(self._checkpoint_message())
+        await writer.drain()
+        self.events.publish("connect", cluster=name, slot=cluster.slot)
+        return cluster
+
+    async def _frame_loop(
+        self,
+        cluster: _Cluster,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """The steady state: FRAME in, DECISION (or RESYNC) out."""
+        cfg = self.config
+        while True:
+            msg_type, payload = await asyncio.wait_for(
+                protocol.read_message(reader), cfg.read_timeout
+            )
+            if msg_type == protocol.BYE:
+                return
+            if msg_type != protocol.FRAME:
+                raise protocol.ProtocolError(
+                    f"unexpected {protocol.TYPE_NAMES.get(msg_type, msg_type)}"
+                    f" message mid-stream"
+                )
+            tick, reward, wire_msg = protocol.unpack_frame(payload)
+            try:
+                wire_tick, frame = self.pool.decode(cluster.name, wire_msg)
+            except WireDesyncError:
+                self.stats.resyncs += 1
+                writer.write(protocol.pack_message(protocol.RESYNC))
+                await writer.drain()
+                self.events.publish(
+                    "resync", cluster=cluster.name, tick=tick
+                )
+                continue
+            except (zlib.error, ValueError) as exc:
+                raise protocol.ProtocolError(
+                    f"malformed wire message: {exc}"
+                ) from exc
+            if wire_tick != tick:
+                raise protocol.ProtocolError(
+                    f"FRAME tick {tick} disagrees with wire tick {wire_tick}"
+                )
+            if tick <= cluster.last_tick:
+                raise protocol.ProtocolError(
+                    f"non-monotonic tick {tick} (last was "
+                    f"{cluster.last_tick}); a restarted cluster must "
+                    f"register under a fresh name"
+                )
+            if tick >= cfg.tick_stride:
+                raise protocol.ProtocolError(
+                    f"tick {tick} exceeds the replay block stride "
+                    f"{cfg.tick_stride}"
+                )
+            cluster.last_tick = tick
+            cluster.row.frames += 1
+            cluster.row.last_tick = tick
+            cluster.row.reward_ewma.update(reward)
+            self.stats.frames_total += 1
+            cluster.ring.append(frame)
+            if cluster.ring.full:
+                obs = np.empty(
+                    (cfg.obs_ticks, cfg.frame_width), dtype=np.float64
+                )
+                cluster.ring.copy_into(obs)
+                await self._pending.put(
+                    _Pending(
+                        cluster,
+                        tick,
+                        reward,
+                        frame,
+                        obs.reshape(-1),
+                        time.monotonic(),
+                    )
+                )
+            else:
+                # Window still warming: land the NULL-action record
+                # (exactly what in-process monitoring ticks do) and
+                # answer immediately so the client keeps streaming.
+                self._land(cluster, tick, frame, reward, 0)
+                writer.write(protocol.pack_decision(tick, 0, False))
+                await writer.drain()
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, text: str
+    ) -> None:
+        """Best-effort ERROR reply (the peer may already be gone)."""
+        if writer.is_closing():
+            return
+        try:
+            writer.write(protocol.pack_json(protocol.ERROR, {"error": text}))
+            await writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            pass
+
+    # -- deciding ----------------------------------------------------------
+    async def _decider(self) -> None:
+        """Micro-batch pending frames into single act_batch passes."""
+        while True:
+            item = await self._pending.get()
+            if item is None:
+                return
+            batch = [item]
+            stop = False
+            while True:
+                try:
+                    nxt = self._pending.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                batch.append(nxt)
+            await self._decide(batch)
+            if stop:
+                return
+
+    async def _decide(self, batch: List[_Pending]) -> None:
+        obs = np.stack([item.obs for item in batch])
+        rngs = None
+        if not self.config.greedy:
+            rngs = [self._act_rngs[item.cluster.slot] for item in batch]
+        actions = self.agent.act_batch(
+            obs, greedy=self.config.greedy, rngs=rngs
+        )
+        now = time.monotonic()
+        writers = []
+        for item, action in zip(batch, actions):
+            action = int(action)
+            self._land(item.cluster, item.tick, item.frame, item.reward, action)
+            latency = now - item.arrived
+            row = item.cluster.row
+            row.decisions += 1
+            row.last_action = action
+            row.latency.observe(latency)
+            self.stats.latency.observe(latency)
+            self.stats.decisions_total += 1
+            writer = item.cluster.writer
+            if writer is not None and not writer.is_closing():
+                try:
+                    writer.write(
+                        protocol.pack_decision(item.tick, action, True)
+                    )
+                    writers.append(writer)
+                except (ConnectionError, RuntimeError):
+                    pass
+            self.events.publish(
+                "decision",
+                cluster=item.cluster.name,
+                tick=item.tick,
+                action=action,
+                latency_ms=latency * 1e3,
+            )
+        for writer in writers:
+            try:
+                await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                pass
+        self._train(len(batch))
+
+    def _land(
+        self,
+        cluster: _Cluster,
+        tick: int,
+        frame: np.ndarray,
+        reward: float,
+        action: int,
+    ) -> None:
+        """One record into the shared replay path (DB + spans + trainer)."""
+        packed = PackedRecords(
+            ticks=np.array(
+                [cluster.slot * self.config.tick_stride + tick],
+                dtype=np.int64,
+            ),
+            frames=np.ascontiguousarray(
+                frame.reshape(1, -1), dtype=np.float64
+            ),
+            actions=np.array([action], dtype=np.int64),
+            rewards=np.array([float(reward)], dtype=np.float64),
+        )
+        self.db.put_many(
+            packed.ticks, packed.frames, packed.rewards, packed.actions
+        )
+        self.spans.observe_top(cluster.slot, tick)
+        if self._trainer is not None:
+            self._trainer.ingest(packed)
+        cluster.row.ticks_landed += 1
+
+    # -- training / broadcasts ---------------------------------------------
+    def _train(self, k: int) -> None:
+        """Grant ``k`` decision ticks of budget; broadcast new weights."""
+        if self._trainer is None or k <= 0:
+            return
+        self._trainer.notify_ticks(k)
+        self.stats.trainer = _trainer_snapshot(self._trainer.stats)
+        stats = self._trainer.stats
+        if self._trainer.config.backend == "process":
+            epoch, version = stats.epoch, stats.weights_version
+        else:
+            # Serial SGD mutates the acting agent directly; mirror the
+            # process backend's broadcast cadence for clients.
+            epoch = stats.epoch
+            version = stats.steps_attempted // self._trainer.config.sync_every
+        if (epoch, version) <= (self._weight_epoch, self._weight_version):
+            return
+        self._weight_epoch, self._weight_version = epoch, version
+        message = self._checkpoint_message()
+        for cluster in self._clusters.values():
+            writer = cluster.writer
+            if writer is not None and not writer.is_closing():
+                try:
+                    writer.write(message)
+                except (ConnectionError, RuntimeError):
+                    pass
+        self.stats.checkpoints_broadcast += 1
+        self.events.publish("checkpoint", epoch=epoch, version=version)
+
+    def _checkpoint_message(self) -> bytes:
+        """The current weights as a versioned CHECKPOINT message."""
+        return protocol.pack_checkpoint(
+            self._weight_epoch,
+            self._weight_version,
+            self.agent.snapshot_weights(),
+        )
+
+    # -- observability -----------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """The ``/stats`` JSON body (also handy in-process)."""
+        live = {
+            name: self.pool.stats(name)
+            for name in self._clusters
+            if name in self.pool
+        }
+        snapshot = self.stats.snapshot(live)
+        snapshot["clusters_registered"] = len(self._clusters)
+        snapshot["weight_epoch"] = self._weight_epoch
+        snapshot["weight_version"] = self._weight_version
+        return snapshot
+
+    async def _on_stats(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """A deliberately tiny HTTP/1.0 responder for ``GET /stats``."""
+        try:
+            request = await asyncio.wait_for(reader.readline(), 5.0)
+            parts = request.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:
+                line = await asyncio.wait_for(reader.readline(), 5.0)
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            if path.partition("?")[0] in ("/stats", "/stats/"):
+                status, body = "200 OK", json.dumps(
+                    self.stats_snapshot()
+                ).encode("utf-8")
+            else:
+                status, body = "404 Not Found", b'{"error":"not found"}'
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+        ):
+            pass
+        finally:
+            await _close_writer(writer)
+
+
+def _trainer_snapshot(stats: TrainerStats) -> dict:
+    """A JSON-able trainer summary for the ``/stats`` body."""
+    return {
+        "backend": stats.backend,
+        "steps_attempted": stats.steps_attempted,
+        "losses": len(stats.losses),
+        "last_loss": float(stats.losses[-1]) if stats.losses else None,
+        "broadcasts_applied": stats.broadcasts_applied,
+        "weights_version": stats.weights_version,
+        "epoch": stats.epoch,
+    }
+
+
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+def run_server(server: CapesServer, install_signal_handlers: bool = True,
+               announce=None) -> ServeStats:
+    """Run ``server`` until SIGINT/SIGTERM (the CLI entry point).
+
+    ``announce(server)`` is called once the sockets are bound, so the
+    caller can print the (possibly ephemeral) ports.
+    """
+    import signal as _signal
+
+    async def _main() -> None:
+        await server.start()
+        # Handlers must be live before the announce: a supervisor that
+        # reads the port line and signals immediately must never catch
+        # the gap where SIGINT still means KeyboardInterrupt.
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for sig in (_signal.SIGINT, _signal.SIGTERM):
+                loop.add_signal_handler(
+                    sig,
+                    lambda: asyncio.ensure_future(server.shutdown()),
+                )
+        if announce is not None:
+            announce(server)
+        await server.wait_shutdown()
+
+    asyncio.run(_main())
+    return server.stats
+
+
+class ServerThread:
+    """A :class:`CapesServer` on a background event loop.
+
+    The in-process harness for tests and the swarm bench: the server
+    owns a private loop in a daemon thread; the caller talks to it over
+    real TCP from its own loop (or blocking sockets).  Use as a context
+    manager, or ``start()`` / ``stop()`` explicitly.
+    """
+
+    def __init__(self, server: CapesServer):
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> "ServerThread":
+        """Start the loop thread; returns once the sockets are bound."""
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("serve thread failed to start in 30s")
+        if self._error is not None:
+            raise RuntimeError("serve thread died on startup") from self._error
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound client-protocol port."""
+        return self.server.port
+
+    @property
+    def stats_port(self) -> Optional[int]:
+        """The bound ``/stats`` port (None when disabled)."""
+        return self.server.stats_port
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced to start()/stop() callers
+            self._error = exc
+        finally:
+            self._started.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._started.set()
+        await self.server.wait_shutdown()
+
+    def stop(self) -> None:
+        """Graceful shutdown on the server's loop, then join the thread."""
+        if self._loop is not None and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self._loop
+            )
+            future.result(timeout=60)
+        self._thread.join(timeout=30)

@@ -1,0 +1,205 @@
+"""A simulated cluster swarm driving a live control-plane daemon.
+
+The load-generation half of the serve bench: N concurrent
+:class:`~repro.serve.client.ServeClient` tasks, each streaming one
+:class:`~repro.sim.vec.fleet_env.FleetEnv` slot's monitoring records
+to the daemon and applying the decisions it returns.  All clients run
+cooperatively on one event loop (fleet slots are not thread-safe), so
+concurrency at the server is real — many sockets, interleaved frames —
+while the load generator stays single-threaded and deterministic.
+
+Per-client decision latency is measured around the full
+``tick()`` round trip (encode → TCP → decode → act → TCP), which is
+the number a deployed monitoring agent would experience.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serve.client import ServeClient
+from repro.util.validation import check_positive
+
+
+@dataclass
+class ClientReport:
+    """What one swarm client saw."""
+
+    name: str
+    ticks: int = 0
+    decisions: int = 0
+    resyncs: int = 0
+    checkpoints_applied: int = 0
+    stale_discarded: int = 0
+    #: Compressed §3.3 wire bytes this client sent.
+    wire_bytes: int = 0
+    wire_raw_bytes: int = 0
+    #: Round-trip decision latencies, seconds.
+    latencies: List[float] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+@dataclass
+class SwarmReport:
+    """Aggregate swarm results (the BENCH_serve.json payload)."""
+
+    n_clients: int
+    ticks: int
+    decisions: int
+    duration_s: float
+    decisions_per_s: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    bytes_per_client: float
+    raw_bytes_per_client: float
+    compression_ratio: float
+    checkpoints_applied: int
+    resyncs: int
+    errors: int
+    clients: List[ClientReport] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        """JSON-able summary (per-client detail elided)."""
+        return {
+            "n_clients": self.n_clients,
+            "ticks": self.ticks,
+            "decisions": self.decisions,
+            "duration_s": self.duration_s,
+            "decisions_per_s": self.decisions_per_s,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "bytes_per_client": self.bytes_per_client,
+            "raw_bytes_per_client": self.raw_bytes_per_client,
+            "compression_ratio": self.compression_ratio,
+            "checkpoints_applied": self.checkpoints_applied,
+            "resyncs": self.resyncs,
+            "errors": self.errors,
+        }
+
+
+async def _drive_slot(
+    client: ServeClient, fleet, env_index: int, n_ticks: int,
+    report: ClientReport,
+) -> None:
+    """Stream one fleet slot's records through one connection."""
+    slot = fleet.slot(env_index)
+    try:
+        await client.connect()
+        action = 0
+        sent_top = -1
+        # The fleet's warm-up records (NULL ticks) stream first, warming
+        # the server's observation window exactly like a local session.
+        for _ in range(n_ticks):
+            packed = fleet.records_since_packed(sent_top, env_index)
+            for i in range(len(packed)):
+                tick = int(packed.ticks[i])
+                t0 = time.perf_counter()
+                _, decided_action, decided = await client.tick(
+                    tick, packed.frames[i], float(packed.rewards[i])
+                )
+                report.latencies.append(time.perf_counter() - t0)
+                report.ticks += 1
+                if decided:
+                    action = int(decided_action)
+                sent_top = tick
+            slot.step(action)
+        # Flush the records of the final step.
+        packed = fleet.records_since_packed(sent_top, env_index)
+        for i in range(len(packed)):
+            tick = int(packed.ticks[i])
+            t0 = time.perf_counter()
+            await client.tick(
+                tick, packed.frames[i], float(packed.rewards[i])
+            )
+            report.latencies.append(time.perf_counter() - t0)
+            report.ticks += 1
+            sent_top = tick
+        await client.close()
+    except Exception as exc:  # one client's failure must not kill the swarm
+        report.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        report.decisions = client.decisions
+        report.resyncs = client.resyncs
+        report.checkpoints_applied = client.checkpoints_applied
+        report.stale_discarded = client.stale_discarded
+        if client.encoder is not None:
+            report.wire_bytes = client.encoder.stats.compressed_bytes
+            report.wire_raw_bytes = client.encoder.stats.raw_bytes
+
+
+async def run_swarm(
+    host: str,
+    port: int,
+    fleet,
+    n_ticks: int,
+    name_prefix: str = "swarm",
+    timeout: float = 60.0,
+) -> SwarmReport:
+    """Drive every slot of ``fleet`` against the daemon at ``host:port``.
+
+    ``fleet`` must already be reset.  Returns the aggregate
+    :class:`SwarmReport`; individual client failures are recorded per
+    client (``error``) rather than raised, so a flaky connection shows
+    up in the report instead of hiding the rest of the swarm's numbers.
+    """
+    check_positive("n_ticks", n_ticks)
+    n = fleet.n_envs
+    reports = [
+        ClientReport(name=f"{name_prefix}-{i:03d}") for i in range(n)
+    ]
+    clients = [
+        ServeClient(
+            host, port, reports[i].name, fleet.frame_dim, timeout=timeout
+        )
+        for i in range(n)
+    ]
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _drive_slot(clients[i], fleet, i, n_ticks, reports[i])
+            for i in range(n)
+        )
+    )
+    duration = time.perf_counter() - started
+    all_latencies = np.array(
+        [lat for r in reports for lat in r.latencies], dtype=np.float64
+    )
+    decisions = sum(r.decisions for r in reports)
+    wire_bytes = sum(r.wire_bytes for r in reports)
+    raw_bytes = sum(r.wire_raw_bytes for r in reports)
+    return SwarmReport(
+        n_clients=n,
+        ticks=sum(r.ticks for r in reports),
+        decisions=decisions,
+        duration_s=duration,
+        decisions_per_s=decisions / duration if duration > 0 else 0.0,
+        latency_p50_ms=(
+            float(np.quantile(all_latencies, 0.50)) * 1e3
+            if all_latencies.size
+            else float("nan")
+        ),
+        latency_p99_ms=(
+            float(np.quantile(all_latencies, 0.99)) * 1e3
+            if all_latencies.size
+            else float("nan")
+        ),
+        bytes_per_client=wire_bytes / n,
+        raw_bytes_per_client=raw_bytes / n,
+        compression_ratio=raw_bytes / wire_bytes if wire_bytes else 1.0,
+        checkpoints_applied=sum(r.checkpoints_applied for r in reports),
+        resyncs=sum(r.resyncs for r in reports),
+        errors=sum(1 for r in reports if r.error is not None),
+        clients=reports,
+    )
+
+
+def run_swarm_sync(
+    host: str, port: int, fleet, n_ticks: int, **kwargs
+) -> SwarmReport:
+    """:func:`run_swarm` from synchronous code (bench entry point)."""
+    return asyncio.run(run_swarm(host, port, fleet, n_ticks, **kwargs))

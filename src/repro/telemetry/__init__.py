@@ -43,7 +43,13 @@ from repro.telemetry.reward import (
     ThroughputObjective,
     TickRewardSource,
 )
-from repro.telemetry.wire import DifferentialDecoder, DifferentialEncoder, WireStats
+from repro.telemetry.wire import (
+    DecoderPool,
+    DifferentialDecoder,
+    DifferentialEncoder,
+    WireDesyncError,
+    WireStats,
+)
 
 __all__ = [
     "SERVER_INDICATORS",
@@ -62,6 +68,8 @@ __all__ = [
     "MonitoringAgent",
     "DifferentialEncoder",
     "DifferentialDecoder",
+    "DecoderPool",
+    "WireDesyncError",
     "WireStats",
     "Objective",
     "ThroughputObjective",

@@ -1,0 +1,562 @@
+"""Behavioural contract of the control-plane daemon (repro.serve).
+
+Everything here runs the real asyncio server on the test's own event
+loop (no threads, no subprocesses — see test_serve_shutdown.py for the
+signal-driven lifecycle), talking to it over real TCP sockets:
+
+- the acceptance golden: the daemon's greedy decisions are identical
+  to an inline agent fed the same frames through the same float32 wire
+  rounding (same seed + frames ⇒ same actions);
+- kill-and-reconnect: a client whose connection dies and whose encoder
+  went stale gets a full-frame RESYNC and the current-epoch checkpoint,
+  then keeps receiving decisions;
+- fault isolation: malformed wire bytes, mid-frame disconnects and
+  read-timeout stalls each cost only the offending client;
+- the ``/stats`` endpoint and the in-process event feed;
+- eager CLI flag validation (stderr + exit 2, nothing bound).
+"""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.rl import Hyperparameters
+from repro.serve import (
+    CapesServer,
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+    build_serve_agent,
+)
+from repro.serve import protocol
+
+W = 6  # frame width
+OBS = 3  # observation window ticks
+ACTIONS = 4
+
+HP = Hyperparameters(
+    hidden_layer_size=8,
+    exploration_ticks=20,
+    sampling_ticks_per_observation=OBS,
+)
+
+
+def make_config(**overrides) -> ServeConfig:
+    base = dict(
+        frame_width=W,
+        n_actions=ACTIONS,
+        port=0,
+        tick_stride=64,
+        trainer_backend="none",
+        greedy=True,
+        seed=23,
+        hp=HP,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+def client_frames(seed: int, n: int) -> np.ndarray:
+    """A deterministic, sparsely changing PI-frame walk."""
+    rng = np.random.default_rng(seed)
+    frames = np.empty((n, W))
+    frames[0] = rng.normal(size=W)
+    for i in range(1, n):
+        frames[i] = frames[i - 1]
+        # one or two indicators move per tick, like real PIs
+        for idx in rng.integers(0, W, size=rng.integers(1, 3)):
+            frames[i, idx] += rng.normal()
+    return frames
+
+
+async def wait_for_disconnect(server: CapesServer, name: str) -> None:
+    """Let the server's handler observe a dropped connection."""
+    for _ in range(200):
+        cluster = server._clusters.get(name)
+        if cluster is None or cluster.writer is None:
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError(f"server never noticed {name!r} disconnecting")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- golden equivalence ------------------------------------------------------
+
+
+class InlineReference:
+    """The same decision pipeline, run in-process: float32 wire
+    rounding, oldest-first window stacking, greedy act."""
+
+    def __init__(self, agent):
+        self.agent = agent
+        self.windows = {}
+
+    def tick(self, name, frame):
+        window = self.windows.setdefault(name, [])
+        # The wire carries float32: the server acts on rounded values.
+        window.append(frame.astype(np.float32).astype(np.float64))
+        if len(window) > OBS:
+            window.pop(0)
+        if len(window) < OBS:
+            return None
+        obs = np.concatenate(window)
+        return int(self.agent.act(obs, greedy=True))
+
+
+def test_server_decisions_match_inline_reference():
+    config = make_config()
+    n_ticks, names = 12, ["alpha", "beta"]
+    frames = {name: client_frames(i, n_ticks) for i, name in enumerate(names)}
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        decisions = {name: {} for name in names}
+        try:
+            clients = {
+                name: ServeClient("127.0.0.1", server.port, name, W)
+                for name in names
+            }
+            for client in clients.values():
+                await client.connect()
+            for t in range(n_ticks):
+                # interleave the two clients tick by tick
+                for name in names:
+                    tick, action, decided = await clients[name].tick(
+                        t + 1, frames[name][t], reward=0.5
+                    )
+                    if decided:
+                        decisions[name][tick] = action
+            for client in clients.values():
+                await client.close()
+        finally:
+            await server.shutdown()
+        return decisions
+
+    got = run(body())
+    reference = InlineReference(
+        build_serve_agent(config.seed, OBS * W, ACTIONS, hp=HP)
+    )
+    for name in names:
+        expected = {}
+        for t in range(n_ticks):
+            action = reference.tick(name, frames[name][t])
+            if action is not None:
+                expected[t + 1] = action
+        assert got[name] == expected, f"decision mismatch for {name}"
+        # The window warms after OBS ticks, then every tick decides.
+        assert len(expected) == n_ticks - OBS + 1
+
+
+# -- kill and reconnect ------------------------------------------------------
+
+
+def test_reconnect_gets_resync_and_current_epoch_checkpoint():
+    # A live serial trainer so the weight version moves while the
+    # client is away: sync_every=2 broadcasts every other SGD step.
+    config = make_config(
+        trainer_backend="serial", train_ratio=1.0, sync_every=2
+    )
+    frames = client_frames(7, 20)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            client = ServeClient("127.0.0.1", server.port, "gamma", W)
+            await client.connect()
+            for t in range(8):
+                await client.tick(t + 1, frames[t], reward=0.1)
+            stale_encoder = client.encoder
+            # The kill: vanish without BYE, mid-conversation.
+            client.writer.close()
+            await wait_for_disconnect(server, "gamma")
+            assert server.stats.evictions == 1
+
+            await client.connect()
+            # Reconnect handshake must carry the *current* weights.
+            assert (client.weight_epoch, client.weight_version) == (
+                server._weight_epoch,
+                server._weight_version,
+            )
+            assert client.weight_version >= 1  # training moved while up
+            # Simulate the stale-encoder failure mode: the client kept
+            # differential state the server no longer has.
+            client.encoder = stale_encoder
+            tick, action, decided = await client.tick(
+                9, frames[8], reward=0.1
+            )
+            assert client.resyncs == 1  # RESYNC round-trip happened
+            assert server.stats.resyncs == 1
+            assert decided and tick == 9
+            # And the stream continues differentially afterwards.
+            tick, action, decided = await client.tick(
+                10, frames[9], reward=0.1
+            )
+            assert decided and tick == 10 and client.resyncs == 1
+            await client.close()
+        finally:
+            await server.shutdown()
+
+    run(body())
+
+
+# -- fault isolation ---------------------------------------------------------
+
+
+async def raw_handshake(port, name="rawhide"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        protocol.pack_json(
+            protocol.HELLO,
+            {"name": name, "frame_width": W, "proto": protocol.PROTO_VERSION},
+        )
+    )
+    await writer.drain()
+    await protocol.read_message(reader)  # WELCOME
+    await protocol.read_message(reader)  # CHECKPOINT
+    return reader, writer
+
+
+async def healthy_exchange(client, tick, frame):
+    got_tick, _, _ = await client.tick(tick, frame, reward=0.0)
+    assert got_tick == tick
+
+
+def test_malformed_wire_message_costs_only_the_sender():
+    config = make_config()
+    frames = client_frames(11, 10)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            healthy = ServeClient("127.0.0.1", server.port, "steady", W)
+            await healthy.connect()
+            await healthy_exchange(healthy, 1, frames[0])
+
+            reader, writer = await raw_handshake(server.port)
+            writer.write(protocol.pack_frame(1, 0.0, b"this is not zlib"))
+            await writer.drain()
+            msg_type, payload = await protocol.read_message(reader)
+            assert msg_type == protocol.ERROR
+            assert "malformed" in protocol.unpack_json(payload)["error"]
+            await wait_for_disconnect(server, "rawhide")
+            assert server.stats.protocol_errors == 1
+
+            # The healthy client's decoder state is untouched: its next
+            # (differential) frame still decodes and decides.
+            for t in range(2, 6):
+                await healthy_exchange(healthy, t, frames[t - 1])
+            assert healthy.decisions >= 1
+            await healthy.close()
+        finally:
+            await server.shutdown()
+
+    run(body())
+
+
+def test_mid_frame_disconnect_survived():
+    config = make_config()
+    frames = client_frames(12, 8)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            healthy = ServeClient("127.0.0.1", server.port, "steady", W)
+            await healthy.connect()
+            _, writer = await raw_handshake(server.port, "flake")
+            # Half a message prefix, then gone.
+            writer.write(b"\x03\xff\xff")
+            writer.close()
+            await wait_for_disconnect(server, "flake")
+            assert server.stats.disconnects >= 1
+            for t in range(1, 6):
+                await healthy_exchange(healthy, t, frames[t - 1])
+            await healthy.close()
+        finally:
+            await server.shutdown()
+
+    run(body())
+
+
+def test_stalled_client_times_out_without_collateral():
+    config = make_config(read_timeout=0.25)
+    frames = client_frames(13, 30)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            healthy = ServeClient("127.0.0.1", server.port, "steady", W)
+            await healthy.connect()
+            staller = ServeClient("127.0.0.1", server.port, "stall", W)
+            await staller.connect()
+            # The stall: connected, silent. Keep the healthy client
+            # chatting through the window to prove no collateral.
+            deadline = asyncio.get_running_loop().time() + 0.6
+            t = 0
+            while asyncio.get_running_loop().time() < deadline:
+                t += 1
+                await healthy_exchange(healthy, t, frames[min(t, 29)])
+                await asyncio.sleep(0.02)
+            await wait_for_disconnect(server, "stall")
+            assert server.stats.timeouts == 1
+            await healthy_exchange(healthy, t + 1, frames[min(t + 1, 29)])
+            await healthy.close()
+        finally:
+            await server.shutdown()
+
+    run(body())
+
+
+def test_non_monotonic_tick_rejected():
+    config = make_config()
+    frames = client_frames(14, 4)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            client = ServeClient("127.0.0.1", server.port, "rewind", W)
+            await client.connect()
+            await client.tick(5, frames[0])
+            with pytest.raises(ServeClientError, match="non-monotonic"):
+                await client.tick(3, frames[1])
+        finally:
+            await server.shutdown()
+
+    run(body())
+
+
+def test_server_full_and_duplicate_name_rejected():
+    config = make_config(max_clients=1)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            first = ServeClient("127.0.0.1", server.port, "only", W)
+            await first.connect()
+            dupe = ServeClient("127.0.0.1", server.port, "only", W)
+            with pytest.raises(ServeClientError, match="already connected"):
+                await dupe.connect()
+            extra = ServeClient("127.0.0.1", server.port, "more", W)
+            with pytest.raises(ServeClientError, match="server full"):
+                await extra.connect()
+            await first.close()
+        finally:
+            await server.shutdown()
+
+    run(body())
+
+
+# -- observability -----------------------------------------------------------
+
+
+def test_stats_endpoint_serves_live_counters():
+    config = make_config(stats_port=0, trainer_backend="serial")
+    frames = client_frames(15, 8)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            client = ServeClient("127.0.0.1", server.port, "watched", W)
+            await client.connect()
+            for t in range(6):
+                await client.tick(t + 1, frames[t], reward=0.3)
+            url = f"http://127.0.0.1:{server.stats_port}/stats"
+            body_bytes = await asyncio.to_thread(
+                lambda: urllib.request.urlopen(url, timeout=5).read()
+            )
+            snap = json.loads(body_bytes)
+            assert snap["frames_total"] == 6
+            assert snap["decisions_total"] == 6 - OBS + 1
+            row = snap["clusters"]["watched"]
+            assert row["connected"] and row["last_tick"] == 6
+            assert row["wire"]["messages"] == 6
+            assert row["wire"]["compressed_bytes"] > 0
+            assert snap["trainer"]["backend"] == "serial"
+            assert snap["weight_epoch"] == server._weight_epoch
+            # and unknown paths 404 without killing the endpoint
+            with pytest.raises(urllib.error.HTTPError):
+                await asyncio.to_thread(
+                    lambda: urllib.request.urlopen(
+                        f"http://127.0.0.1:{server.stats_port}/nope",
+                        timeout=5,
+                    )
+                )
+            await client.close()
+        finally:
+            await server.shutdown()
+
+    run(body())
+
+
+def test_event_feed_publishes_lifecycle():
+    config = make_config()
+    frames = client_frames(16, 6)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        queue = server.events.subscribe()
+        try:
+            client = ServeClient("127.0.0.1", server.port, "feedme", W)
+            await client.connect()
+            for t in range(4):
+                await client.tick(t + 1, frames[t])
+            await client.close()
+            await wait_for_disconnect(server, "feedme")
+        finally:
+            await server.shutdown()
+        events = []
+        while not queue.empty():
+            events.append(queue.get_nowait())
+        return events
+
+    events = run(body())
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "connect"
+    assert "decision" in kinds
+    assert "disconnect" in kinds
+    assert kinds[-1] == "shutdown"
+    decision = next(e for e in events if e["event"] == "decision")
+    assert decision["cluster"] == "feedme"
+    assert decision["latency_ms"] >= 0
+
+
+# -- config validation -------------------------------------------------------
+
+
+class TestServeConfigValidation:
+    def test_bad_ports(self):
+        with pytest.raises(ValueError, match="port"):
+            make_config(port=65536)
+        with pytest.raises(ValueError, match="stats_port"):
+            make_config(stats_port=-1)
+
+    def test_stride_must_exceed_window(self):
+        with pytest.raises(ValueError, match="tick_stride"):
+            make_config(tick_stride=OBS)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            make_config(trainer_backend="inline")
+
+    def test_trainer_knob_rules_reused(self):
+        with pytest.raises(ValueError, match="train_ratio"):
+            make_config(trainer_backend="serial", train_ratio=-0.5)
+        with pytest.raises(ValueError, match="sync_every"):
+            make_config(trainer_backend="process", sync_every=0)
+
+    def test_timeout_and_clients(self):
+        with pytest.raises(ValueError, match="read_timeout"):
+            make_config(read_timeout=0)
+        with pytest.raises(ValueError, match="max_clients"):
+            make_config(max_clients=0)
+
+
+MINIMAL_CONF = """
+from repro.workloads import RandomReadWrite
+
+N_SERVERS = 1
+N_CLIENTS = 1
+HIDDEN_LAYER_SIZE = 8
+SAMPLING_TICKS_PER_OBSERVATION = 3
+EXPLORATION_TICKS = 20
+SEED = 7
+
+def WORKLOAD(cluster, seed):
+    return RandomReadWrite(
+        cluster, read_fraction=0.1, instances_per_client=2, seed=seed)
+"""
+
+
+class TestServeCLIValidation:
+    """``repro serve`` rejects bad flags before binding anything."""
+
+    @pytest.fixture
+    def conf_path(self, tmp_path):
+        p = tmp_path / "conf.py"
+        p.write_text(MINIMAL_CONF)
+        return str(p)
+
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(["serve", *argv])
+
+    def test_port_out_of_range(self, capsys):
+        # validated before the conf is even loaded
+        assert self.run_cli("--config", "/nonexistent", "--port", "99999") == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_stats_port_out_of_range(self, capsys):
+        assert (
+            self.run_cli(
+                "--config", "/nonexistent", "--stats-port", "-2"
+            )
+            == 2
+        )
+        assert "--stats-port" in capsys.readouterr().err
+
+    def test_max_clients(self, capsys):
+        assert (
+            self.run_cli("--config", "/nonexistent", "--max-clients", "0")
+            == 2
+        )
+        assert "--max-clients" in capsys.readouterr().err
+
+    def test_read_timeout(self, capsys):
+        assert (
+            self.run_cli("--config", "/nonexistent", "--read-timeout", "0")
+            == 2
+        )
+        assert "--read-timeout" in capsys.readouterr().err
+
+    def test_refuses_existing_out(self, tmp_path, capsys):
+        existing = tmp_path / "replay.sqlite"
+        existing.write_text("precious")
+        assert (
+            self.run_cli(
+                "--config", "/nonexistent", "--out", str(existing)
+            )
+            == 2
+        )
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert existing.read_text() == "precious"
+
+    def test_trainer_knobs_need_backend(self, conf_path, capsys):
+        assert (
+            self.run_cli(
+                "--config", conf_path,
+                "--trainer-backend", "none",
+                "--train-ratio", "2",
+            )
+            == 2
+        )
+        assert "--train-ratio" in capsys.readouterr().err
+
+    def test_negative_train_ratio(self, conf_path, capsys):
+        assert (
+            self.run_cli("--config", conf_path, "--train-ratio", "-1")
+            == 2
+        )
+        assert "train_ratio" in capsys.readouterr().err
+
+    def test_stride_smaller_than_window(self, conf_path, capsys):
+        assert (
+            self.run_cli("--config", conf_path, "--tick-stride", "2")
+            == 2
+        )
+        assert "tick_stride" in capsys.readouterr().err
