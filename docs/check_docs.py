@@ -47,6 +47,7 @@ API_MODULES = (
     "repro.scenarios",
     "repro.serve",
     "repro.sim.vec",
+    "repro.snapshot",
     "repro.train",
 )
 

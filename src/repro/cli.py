@@ -54,6 +54,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -148,6 +149,15 @@ def cmd_collect(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
+    if args.snapshot_every is not None and args.snapshot_every < 1:
+        print(
+            f"--snapshot-every must be >= 1, got {args.snapshot_every}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.snapshot_every is not None and not args.snapshot_dir:
+        print("--snapshot-every needs --snapshot-dir", file=sys.stderr)
+        return 2
     from repro.replaydb import CACHE_ONLY
 
     config = load_config(args.config)
@@ -161,11 +171,14 @@ def cmd_collect(args: argparse.Namespace) -> int:
     )
     try:
         stats = None
+        agent = None
+        trainer_config = None
+        sampler_seed = None
         if args.train:
             # §3.3 monitoring + the continuously running DRL engine:
             # collect in chunks while training against the fan-in DB.
             from repro.rl import DQNAgent
-            from repro.train import TrainerConfig, train_collect
+            from repro.train import TrainerConfig
             from repro.util.rng import derive_rng, ensure_rng
 
             root = ensure_rng(config.seed)
@@ -201,13 +214,34 @@ def cmd_collect(args: argparse.Namespace) -> int:
                     else config.sync_every
                 ),
             )
+            sampler_seed = int(derive_rng(root, "sampler").integers(2**31))
+        if args.snapshot_dir:
+            # Snapshot-aware session: same cadence as train_collect,
+            # plus boundary artifacts and the chained rollout digest.
+            from repro.snapshot import run_collect_session
+
+            outcome = run_collect_session(
+                venv,
+                args.ticks,
+                chunk=args.chunk,
+                agent=agent,
+                trainer_config=trainer_config,
+                sampler_seed=sampler_seed,
+                snapshot_every=args.snapshot_every or args.ticks,
+                snapshot_dir=args.snapshot_dir,
+                session_extra=_session_extra(args, trainer_config),
+            )
+            rewards, stats = outcome.rewards, outcome.trainer_stats
+        elif args.train:
+            from repro.train import train_collect
+
             rewards, stats = train_collect(
                 venv,
                 agent,
                 trainer_config,
                 args.ticks,
                 chunk=args.chunk,
-                sampler_seed=int(derive_rng(root, "sampler").integers(2**31)),
+                sampler_seed=sampler_seed,
             )
         else:
             venv.reset()
@@ -242,6 +276,11 @@ def cmd_collect(args: argparse.Namespace) -> int:
                     extra={"train_steps": agent.train_steps},
                 )
                 print(f"model saved to {args.checkpoint}")
+        if args.snapshot_dir:
+            print(f"rollout digest: {outcome.digest.hexdigest}")
+            print(
+                f"{len(outcome.snapshots)} snapshot(s) -> {args.snapshot_dir}"
+            )
         stored = len(venv.shared_db)
         if args.out:
             print(
@@ -251,6 +290,194 @@ def cmd_collect(args: argparse.Namespace) -> int:
             )
         else:
             print(f"{stored} records collected (cache-only, not persisted)")
+    finally:
+        venv.close()
+    return 0
+
+
+def _session_extra(args: argparse.Namespace, trainer_config) -> dict:
+    """What ``repro resume`` needs to rebuild this session's objects.
+
+    Stored in the snapshot's session section so the resume command
+    cannot be invoked with mismatched geometry or trainer knobs —
+    everything but the conf path (still given on the command line, like
+    every other subcommand) rides inside the artifact.
+    """
+    extra = {
+        "chunk": args.chunk,
+        "n_envs": int(args.n_envs),
+        "vector_backend": args.vector_backend,
+        "trainer": None,
+    }
+    if trainer_config is not None:
+        extra["trainer"] = {
+            "backend": trainer_config.backend,
+            "train_ratio": float(trainer_config.train_ratio),
+            "sync_every": int(trainer_config.sync_every),
+        }
+    return extra
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Continue a snapshotted collection session byte-identically."""
+    from repro.env import VectorEnv
+    from repro.replaydb import CACHE_ONLY
+    from repro.snapshot import SessionSnapshot, run_collect_session
+
+    if not os.path.exists(args.snapshot):
+        print(f"no such snapshot: {args.snapshot}", file=sys.stderr)
+        return 2
+    if args.snapshot_every is not None and not args.snapshot_dir:
+        print("--snapshot-every needs --snapshot-dir", file=sys.stderr)
+        return 2
+    if args.out and os.path.exists(args.out):
+        print(
+            f"refusing to overwrite existing replay DB {args.out!r}; "
+            f"a resumed session rebuilds its store from the snapshot — "
+            f"pick a new path or remove the old file first",
+            file=sys.stderr,
+        )
+        return 2
+    snap = SessionSnapshot.load(args.snapshot)
+    session = snap.section("session")
+    total = args.ticks if args.ticks is not None else session["total_ticks"]
+    if total < session["done_ticks"]:
+        print(
+            f"--ticks {total} is before the snapshot's tick "
+            f"{session['done_ticks']}; use `repro replay` for time travel",
+            file=sys.stderr,
+        )
+        return 2
+    config = load_config(args.config)
+    venv = VectorEnv.from_config(
+        config.env,
+        int(session["n_envs"]),
+        backend=session["backend"],
+        shared_db_path=args.out if args.out else CACHE_ONLY,
+        tick_stride=int(session["tick_stride"]),
+    )
+    try:
+        agent = None
+        trainer_config = None
+        if session["has_trainer"]:
+            from repro.rl import DQNAgent
+            from repro.train import TrainerConfig
+            from repro.util.rng import derive_rng, ensure_rng
+
+            root = ensure_rng(config.seed)
+            agent = DQNAgent(
+                obs_dim=venv.obs_dim,
+                n_actions=venv.n_actions,
+                hp=venv.hp,
+                loss=config.loss,
+                rng=derive_rng(root, "agent"),
+            )
+            knobs = session["trainer"]
+            trainer_config = TrainerConfig(
+                backend=knobs["backend"],
+                train_ratio=float(knobs["train_ratio"]),
+                sync_every=int(knobs["sync_every"]),
+            )
+        print(
+            f"resuming from tick {session['done_ticks']} of {total} "
+            f"({session['backend']} backend, {session['n_envs']} cluster(s))"
+        )
+        outcome = run_collect_session(
+            venv,
+            total,
+            chunk=session.get("chunk"),
+            agent=agent,
+            trainer_config=trainer_config,
+            snapshot_every=args.snapshot_every,
+            snapshot_dir=args.snapshot_dir,
+            resume_from=snap,
+            session_extra={
+                k: session.get(k)
+                for k in ("chunk", "n_envs", "vector_backend", "trainer")
+            },
+        )
+        venv.commit_replay()
+        if outcome.rewards.shape[1]:
+            _summarize(
+                f"resumed throughput (ticks "
+                f"{outcome.start_tick}..{outcome.total_ticks})",
+                outcome.rewards.mean(axis=0),
+            )
+        if outcome.trainer_stats is not None:
+            stats = outcome.trainer_stats
+            print(
+                f"trained {stats.steps_attempted} SGD steps total "
+                f"({stats.backend} backend, epoch {stats.epoch})"
+            )
+        print(f"rollout digest: {outcome.digest.hexdigest}")
+        if outcome.snapshots:
+            print(
+                f"{len(outcome.snapshots)} snapshot(s) -> "
+                f"{args.snapshot_dir}"
+            )
+    finally:
+        venv.close()
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Time-travel: restore the nearest snapshot at or before ``--at``
+    and step forward deterministically to the target tick."""
+    from repro.env import VectorEnv
+    from repro.replaydb import CACHE_ONLY
+    from repro.snapshot import RolloutDigest, SessionSnapshot
+
+    if args.at < 0:
+        print(f"--at must be >= 0, got {args.at}", file=sys.stderr)
+        return 2
+    candidates = sorted(Path(args.snapshot_dir).glob("snapshot-*.npz"))
+    if not candidates:
+        print(
+            f"no snapshot-*.npz artifacts in {args.snapshot_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    best = None
+    best_session = None
+    for path in candidates:
+        snap = SessionSnapshot.load(path)
+        done = snap.section("session")["done_ticks"]
+        if done <= args.at and (best is None or done > best_session["done_ticks"]):
+            best, best_session = snap, snap.section("session")
+    if best is None:
+        earliest = SessionSnapshot.load(candidates[0]).section("session")
+        print(
+            f"no snapshot at or before tick {args.at} (earliest is "
+            f"{earliest['done_ticks']})",
+            file=sys.stderr,
+        )
+        return 2
+    config = load_config(args.config)
+    venv = VectorEnv.from_config(
+        config.env,
+        int(best_session["n_envs"]),
+        backend=best_session["backend"],
+        shared_db_path=CACHE_ONLY,
+        tick_stride=int(best_session["tick_stride"]),
+    )
+    try:
+        # Env-only restore: collection is NULL-action monitoring, so
+        # the trajectory to the target tick never consults the policy —
+        # time travel does not need the trainer rebuilt.
+        venv.restore(
+            {"meta": best.section("env"), "arrays": best.section_arrays("env")}
+        )
+        digest = RolloutDigest(best_session["digest"])
+        start = int(best_session["done_ticks"])
+        print(f"restored snapshot at tick {start}")
+        if args.at > start:
+            block = venv.collect(args.at - start)
+            digest.update(block)
+            print(f"stepped forward {args.at - start} tick(s) to {args.at}")
+        print(f"rollout digest at tick {args.at}: {digest.hexdigest}")
+        for i in range(venv.n_envs):
+            params = venv.env_method(i, "current_params")
+            print(f"cluster {i}: params={params}")
     finally:
         venv.close()
     return 0
@@ -348,6 +575,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.snapshot_every_s is not None and args.snapshot_every_s <= 0:
+        print(
+            f"--snapshot-every-s must be > 0, got {args.snapshot_every_s}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.snapshot_every_s is not None and not args.snapshot_dir:
+        print("--snapshot-every-s needs --snapshot-dir", file=sys.stderr)
+        return 2
+    resume_path = None
+    if args.resume is not None:
+        from repro.serve import SERVE_SNAPSHOT_NAME
+
+        if args.resume:
+            resume_path = args.resume
+        elif args.snapshot_dir:
+            resume_path = os.path.join(
+                args.snapshot_dir, SERVE_SNAPSHOT_NAME
+            )
+        else:
+            print(
+                "--resume without a path needs --snapshot-dir",
+                file=sys.stderr,
+            )
+            return 2
+        if not os.path.exists(resume_path):
+            print(f"no such snapshot: {resume_path}", file=sys.stderr)
+            return 2
     config = load_config(args.config)
     # Flag > conf > default, the collect conventions: the conf may name
     # the inline backend (the session default); the daemon has no
@@ -395,6 +650,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 if args.sync_every is not None
                 else config.sync_every
             ),
+            snapshot_dir=args.snapshot_dir,
+            snapshot_every_s=(
+                args.snapshot_every_s
+                if args.snapshot_every_s is not None
+                else 30.0
+            ),
             greedy=args.greedy,
             seed=config.seed,
             hp=config.env.hp,
@@ -404,6 +665,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     server = CapesServer(serve_config)
+    if resume_path is not None:
+        from repro.snapshot import SessionSnapshot, SnapshotError
+
+        try:
+            server.restore_state(SessionSnapshot.load(resume_path))
+        except SnapshotError as exc:
+            print(f"cannot resume from {resume_path}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"resumed from {resume_path}: "
+            f"{len(server.stats.clusters)} cluster(s), "
+            f"{len(server.db)} replay row(s), weight epoch "
+            f"{server.stats_snapshot()['weight_epoch']}",
+            flush=True,
+        )
 
     def announce(s) -> None:
         line = f"serving on {s.config.host}:{s.port}"
@@ -695,7 +971,70 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --train: save the trained model here",
     )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help="write a full session snapshot every K ticks (needs "
+        "--snapshot-dir); a resumed session is byte-identical to the "
+        "uninterrupted run",
+    )
+    p.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="directory for snapshot-NNNNNNNN.npz artifacts (alone: "
+        "one snapshot at completion)",
+    )
     p.set_defaults(fn=cmd_collect)
+
+    p = sub.add_parser(
+        "resume",
+        help="continue a snapshotted collect session byte-identically",
+    )
+    p.add_argument("snapshot", help="snapshot-NNNNNNNN.npz artifact to resume")
+    p.add_argument("--config", required=True, help="conf.py path")
+    p.add_argument(
+        "--ticks",
+        type=int,
+        default=None,
+        help="run to this total tick count (default: the original "
+        "session's total)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="SQLite path for the rebuilt replay DB (omitted = cache-only)",
+    )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help="keep snapshotting every K ticks while resumed",
+    )
+    p.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="directory for snapshots written by the resumed session",
+    )
+    p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser(
+        "replay",
+        help="time-travel: restore the nearest snapshot and step to a tick",
+    )
+    p.add_argument("--config", required=True, help="conf.py path")
+    p.add_argument(
+        "--at",
+        type=int,
+        required=True,
+        help="target tick to reconstruct deterministically",
+    )
+    p.add_argument(
+        "--snapshot-dir",
+        required=True,
+        help="directory holding the session's snapshot-*.npz artifacts",
+    )
+    p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser(
         "serve",
@@ -769,6 +1108,29 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         help="SQLite path for the landed replay DB; omitted = "
         "cache-only.  Ticks are block-strided by --tick-stride",
+    )
+    p.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="crash-recovery directory: the daemon atomically rewrites "
+        "serve-latest.npz there every --snapshot-every-s seconds and "
+        "once at shutdown",
+    )
+    p.add_argument(
+        "--snapshot-every-s",
+        type=float,
+        default=None,
+        help="seconds between crash-recovery snapshots (needs "
+        "--snapshot-dir; default 30)",
+    )
+    p.add_argument(
+        "--resume",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="SNAPSHOT",
+        help="restore a previous daemon's state before serving; with "
+        "no path, resumes from --snapshot-dir/serve-latest.npz",
     )
     p.set_defaults(fn=cmd_serve)
 

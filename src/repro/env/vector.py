@@ -379,6 +379,13 @@ class VectorEnv:
         #: (candidate spans) and re-read on every draw.
         self.spans = TickSpans(self.n_envs, self.tick_stride)
         self._ingest_listeners: List[Callable[[PackedRecords], None]] = []
+        # Snapshot support for the worker backends: the op log since the
+        # last reset().  Worker-side simulators drive live Python
+        # generators (unpicklable), but trajectories are a pure function
+        # of seed + op sequence, so replaying the log after a reset *is*
+        # the restore.  ``None`` = not resettable to a known point (no
+        # reset yet, or an env_method drove one env out of lockstep).
+        self._oplog: Optional[List[tuple]] = None
         # Reused every tick: the stacked observation and reward buffers
         # (the hot-path allocation the collection loop must not repeat).
         self._obs_buf = np.zeros((self.n_envs, self.obs_dim))
@@ -491,6 +498,9 @@ class VectorEnv:
         self._workers[i].submit("call", (name, args, kwargs))
         result = self._workers[i].result()
         self._sync_env(i)
+        # One env may now be ahead of the others; a reset+replay of the
+        # lockstep op log can no longer reproduce this state.
+        self._oplog = None
         return result
 
     # -- shared-DB fan-in ------------------------------------------------
@@ -596,6 +606,7 @@ class VectorEnv:
             obs, packed = w.result()
             self._obs_buf[i] = obs
             self._ingest(i, packed)
+        self._oplog = []
         return self._obs_buf
 
     def step(
@@ -615,6 +626,8 @@ class VectorEnv:
             raise ValueError(
                 f"expected {self.n_envs} actions, got shape {actions.shape}"
             )
+        if self.backend != "vec" and self._oplog is not None:
+            self._oplog.append(("step", [int(a) for a in actions]))
         if self.backend == "vec":
             # Batched fast path: one fleet-wide kernel call instead of
             # n per-slot round-trips.
@@ -653,6 +666,12 @@ class VectorEnv:
         if chunk is None:
             chunk = n_ticks
         check_positive("chunk", chunk)
+        if self.backend != "vec" and self._oplog is not None:
+            # Chunk size is transport, not semantics (chunked == per-tick
+            # byte-identical), so the log records only what was run.
+            self._oplog.append(
+                ("chunks", None if action is None else int(action), int(n_ticks))
+            )
         rewards = np.empty((self.n_envs, n_ticks))
         done = 0
         while done < n_ticks:
@@ -700,6 +719,103 @@ class VectorEnv:
         builds and per-record DB writes.
         """
         return self._run_chunks(0, n_ticks, chunk)
+
+    # -- session snapshot ------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture this vector env's state as ``{"meta", "arrays"}``.
+
+        Two capture strategies, one per backend family:
+
+        - ``vec`` — the :class:`~repro.sim.vec.state.FleetState` arrays
+          and every RNG/scenario-runtime state, wholesale (the fleet is
+          plain data);
+        - ``serial``/``fork`` — the op log since ``reset()``.  Worker
+          simulators drive live generator coroutines that cannot cross
+          a process boundary, but their trajectories are a pure
+          function of seed + op sequence, so the log *is* the state.
+
+        Raises when no lockstep history exists (never reset, or an
+        :meth:`env_method` call drove one env ahead of the others).
+        """
+        from repro.snapshot.core import SnapshotError
+
+        if self.backend == "vec":
+            fleet_meta, arrays = self._fleet.snapshot_state()
+            meta = {
+                "kind": "fleet",
+                "backend": self.backend,
+                "n_envs": int(self.n_envs),
+                "tick_stride": int(self.tick_stride),
+                "fleet": fleet_meta,
+            }
+            return {"meta": meta, "arrays": arrays}
+        if self._oplog is None:
+            raise SnapshotError(
+                "vector env has no replayable history: call reset() "
+                "first, and avoid env_method() on snapshotted sessions "
+                "(it breaks lockstep)"
+            )
+        meta = {
+            "kind": "oplog",
+            "backend": self.backend,
+            "n_envs": int(self.n_envs),
+            "tick_stride": int(self.tick_stride),
+            "oplog": [list(op) for op in self._oplog],
+        }
+        return {"meta": meta, "arrays": {}}
+
+    def restore(self, snap: dict) -> None:
+        """Rebuild the state captured by :meth:`snapshot`.
+
+        The env must have been built from the same config (seeds,
+        geometry, scenario).  Ingest listeners attached before the call
+        hear the whole restored record stream — a trainer mirror
+        re-fed this way ends up with the same replay cache the
+        original session had.  ``serial`` and ``fork`` snapshots are
+        interchangeable (their trajectories are byte-identical by
+        contract); ``vec`` snapshots only restore onto ``vec``.
+        """
+        from repro.snapshot.core import SnapshotError
+
+        meta = snap["meta"]
+        if int(meta["n_envs"]) != self.n_envs:
+            raise SnapshotError(
+                f"n_envs mismatch: snapshot has {meta['n_envs']}, "
+                f"env has {self.n_envs}"
+            )
+        if int(meta["tick_stride"]) != self.tick_stride:
+            raise SnapshotError(
+                f"tick_stride mismatch: snapshot has "
+                f"{meta['tick_stride']}, env has {self.tick_stride}"
+            )
+        if meta["kind"] == "fleet":
+            if self.backend != "vec":
+                raise SnapshotError(
+                    f"fleet snapshot cannot restore onto the "
+                    f"{self.backend!r} backend"
+                )
+            self._fleet.restore_state(meta["fleet"], snap["arrays"])
+            if self.shared_db is not None:
+                self.shared_db.clear()
+            self.spans.reset()
+            self._fleet.current_observation(out=self._obs_buf)
+            self._ingest_fleet()
+            return
+        if meta["kind"] != "oplog":
+            raise SnapshotError(f"unknown env snapshot kind {meta['kind']!r}")
+        if self.backend == "vec":
+            raise SnapshotError(
+                "op-log snapshot cannot restore onto the 'vec' backend"
+            )
+        self.reset()
+        for op in meta["oplog"]:
+            if op[0] == "step":
+                self.step([int(a) for a in op[1]])
+            elif op[0] == "chunks":
+                action = None if op[1] is None else int(op[1])
+                self._run_chunks(action, int(op[2]), None)
+            else:
+                raise SnapshotError(f"unknown op {op[0]!r} in env snapshot")
 
     def commit_replay(self) -> None:
         """Flush every durable replay layer (session-checkpoint hook).

@@ -84,6 +84,31 @@ class ScenarioEvent(abc.ABC):
             f"this scenario on the reference backend"
         )
 
+    def rebuild_revert_vec(
+        self, slot, payload: dict
+    ) -> Callable[[], None]:
+        """Reconstruct a pending vectorized revert from its payload.
+
+        Vectorized reverts are closures and cannot cross a snapshot
+        boundary; instead each carries a JSON-able ``snapshot_payload``
+        attribute, and a restored :class:`~repro.scenarios.scenario.
+        ScenarioRuntime` rebuilds the callable against the *restored*
+        fleet state via this hook.  Events override it to be their own
+        revert factory (``apply_vec`` funnels through it too, so the
+        two paths cannot drift); custom events without one fail loudly
+        at snapshot-restore time.
+        """
+        raise ScenarioError(
+            f"{type(self).__name__} cannot rebuild a vectorized revert "
+            f"from a snapshot; implement rebuild_revert_vec"
+        )
+
+    @staticmethod
+    def _tag(revert: Callable[[], None], payload: dict) -> Callable[[], None]:
+        """Attach the snapshot payload a pending revert travels as."""
+        revert.snapshot_payload = payload
+        return revert
+
 
 @dataclass(frozen=True, kw_only=True)
 class DiskDegradation(ScenarioEvent):
@@ -133,6 +158,11 @@ class DiskDegradation(ScenarioEvent):
         s = self.server_index % st.cfg.n_servers
         st.disk_bw_f[e, s] *= self.throughput_factor
         st.disk_seek_f[e, s] *= self.seek_factor
+        return self.rebuild_revert_vec(slot, {})
+
+    def rebuild_revert_vec(self, slot, payload: dict) -> Callable[[], None]:
+        st, e = slot.fleet.state, slot.index
+        s = self.server_index % st.cfg.n_servers
 
         def revert() -> None:
             # Inverse scaling, like apply(): overlapping windows on the
@@ -140,7 +170,7 @@ class DiskDegradation(ScenarioEvent):
             st.disk_bw_f[e, s] /= self.throughput_factor
             st.disk_seek_f[e, s] /= self.seek_factor
 
-        return revert
+        return self._tag(revert, payload)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -187,12 +217,16 @@ class NetworkCongestionWindow(ScenarioEvent):
         st, e = slot.fleet.state, slot.index
         st.net_bw_f[e] *= self.bandwidth_factor
         st.net_lat_f[e] *= self.latency_factor
+        return self.rebuild_revert_vec(slot, {})
+
+    def rebuild_revert_vec(self, slot, payload: dict) -> Callable[[], None]:
+        st, e = slot.fleet.state, slot.index
 
         def revert() -> None:
             st.net_bw_f[e] /= self.bandwidth_factor
             st.net_lat_f[e] /= self.latency_factor
 
-        return revert
+        return self._tag(revert, payload)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -245,14 +279,19 @@ class ClientChurn(ScenarioEvent):
         st.surge[e, c] = 0.0
         if self.duration_ticks is None:
             return None
-        if already_absent:
+        return self.rebuild_revert_vec(slot, {"noop": already_absent})
+
+    def rebuild_revert_vec(self, slot, payload: dict) -> Callable[[], None]:
+        if payload.get("noop"):
             # The earlier overlapping churn owns the rejoin.
-            return lambda: None
+            return self._tag(lambda: None, payload)
+        st, e = slot.fleet.state, slot.index
+        c = self.client_index % st.cfg.n_clients
 
         def revert() -> None:
             st.paused[e, c] = False
 
-        return revert
+        return self._tag(revert, payload)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -321,14 +360,19 @@ class WorkloadPhaseShift(ScenarioEvent):
             st.think[e] = float(self.think_time)
         if self.duration_ticks is None:
             return None
+        return self.rebuild_revert_vec(slot, {"saved": saved})
+
+    def rebuild_revert_vec(self, slot, payload: dict) -> Callable[[], None]:
+        st, e = slot.fleet.state, slot.index
+        saved = payload["saved"]
 
         def revert() -> None:
             if "rf" in saved:
-                st.rf[e] = saved["rf"]
+                st.rf[e] = float(saved["rf"])
             if "think" in saved:
-                st.think[e] = saved["think"]
+                st.think[e] = float(saved["think"])
 
-        return revert
+        return self._tag(revert, payload)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -372,10 +416,18 @@ class LoadSpike(ScenarioEvent):
         st.surge[e, affected] += extra
         if self.duration_ticks is None:
             return None
+        return self.rebuild_revert_vec(
+            slot, {"affected": [int(c) for c in affected]}
+        )
+
+    def rebuild_revert_vec(self, slot, payload: dict) -> Callable[[], None]:
+        st, e = slot.fleet.state, slot.index
+        extra = float(self.extra_instances_per_client)
+        affected = np.asarray(payload["affected"], dtype=np.int64)
 
         def revert() -> None:
             st.surge[e, affected] = np.maximum(
                 st.surge[e, affected] - extra, 0.0
             )
 
-        return revert
+        return self._tag(revert, payload)

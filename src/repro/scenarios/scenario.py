@@ -30,7 +30,7 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
-from repro.scenarios.events import ScenarioEvent
+from repro.scenarios.events import ScenarioError, ScenarioEvent
 from repro.util.rng import derive_rng
 
 
@@ -134,3 +134,75 @@ class ScenarioRuntime:
                     (tick + event.duration_ticks, pos, revert)
                 )
                 self._pending_reverts.sort()
+
+    # -- snapshot support ------------------------------------------------------
+    def _position_of(self, event: ScenarioEvent) -> int:
+        """An event's timeline position, by identity (events can be equal)."""
+        for pos, candidate in enumerate(self.scenario.events):
+            if candidate is event:
+                return pos
+        raise ScenarioError(  # pragma: no cover - log is runtime-owned
+            f"event {event!r} is not on this runtime's timeline"
+        )
+
+    def snapshot_state(self) -> dict:
+        """JSON-able capture of this runtime's mutable state.
+
+        Events and the timeline itself are frozen data, so only three
+        things move: the per-event RNG streams, the audit log, and the
+        pending revert windows.  Reverts are closures and travel as
+        their ``snapshot_payload`` (see
+        :meth:`~repro.scenarios.events.ScenarioEvent.rebuild_revert_vec`);
+        a pending revert without one — a custom event predating the
+        snapshot contract — fails loudly here rather than silently
+        dropping a perturbation window.
+        """
+        pending = []
+        for revert_tick, pos, revert in self._pending_reverts:
+            payload = getattr(revert, "snapshot_payload", None)
+            if payload is None:
+                raise ScenarioError(
+                    f"{type(self.scenario.events[pos]).__name__} revert "
+                    f"carries no snapshot_payload; this runtime cannot be "
+                    f"snapshotted"
+                )
+            pending.append([int(revert_tick), int(pos), payload])
+        return {
+            "rngs": [g.bit_generator.state for g in self._rngs],
+            "log": [
+                [int(tick), kind, self._position_of(event)]
+                for tick, kind, event in self.log
+            ],
+            "pending": pending,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this runtime's mutable state with a capture.
+
+        The runtime must have been built over the same scenario (same
+        event tuple) and the same environment row; pending reverts are
+        rebuilt against the *current* ``self.env`` state via each
+        event's ``rebuild_revert_vec``.
+        """
+        if len(state["rngs"]) != len(self._rngs):
+            raise ScenarioError(
+                f"scenario shape mismatch: snapshot has "
+                f"{len(state['rngs'])} event streams, timeline has "
+                f"{len(self._rngs)}"
+            )
+        for gen, captured in zip(self._rngs, state["rngs"]):
+            gen.bit_generator.state = captured
+        events = self.scenario.events
+        self.log = [
+            (int(tick), str(kind), events[int(pos)])
+            for tick, kind, pos in state["log"]
+        ]
+        self._pending_reverts = [
+            (
+                int(revert_tick),
+                int(pos),
+                events[int(pos)].rebuild_revert_vec(self.env, payload),
+            )
+            for revert_tick, pos, payload in state["pending"]
+        ]
+        self._pending_reverts.sort(key=lambda pr: pr[:2])

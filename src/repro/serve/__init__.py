@@ -25,6 +25,7 @@ event feed).
 from repro.serve.client import ServeClient, ServeClientError, ServerClosedError
 from repro.serve.protocol import PROTO_VERSION, ProtocolError
 from repro.serve.server import (
+    SERVE_SNAPSHOT_NAME,
     CapesServer,
     ServeConfig,
     ServerThread,
@@ -42,6 +43,7 @@ from repro.serve.swarm import (
 __all__ = [
     "PROTO_VERSION",
     "ProtocolError",
+    "SERVE_SNAPSHOT_NAME",
     "CapesServer",
     "ServeConfig",
     "ServerThread",

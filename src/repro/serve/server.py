@@ -34,7 +34,8 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -46,6 +47,18 @@ from repro.rl.agent import DQNAgent
 from repro.rl.hyperparams import Hyperparameters
 from repro.serve import protocol
 from repro.serve.stats import ClusterStats, EventFeed, ServeStats
+from repro.snapshot import (
+    SessionSnapshot,
+    SnapshotError,
+    capture_agent,
+    capture_replay,
+    capture_trainer,
+    restore_agent,
+    restore_replay,
+    restore_trainer,
+    rng_state,
+    set_rng_state,
+)
 from repro.telemetry.wire import DecoderPool, WireDesyncError
 from repro.train.loop import TrainerConfig, TrainerLoop, TrainerStats
 from repro.util.ringbuffer import RingBuffer
@@ -56,6 +69,11 @@ from repro.util.validation import check_positive
 #: policy; ``serial`` bursts SGD on the event loop between decisions;
 #: ``process`` overlaps training in the PR-5 worker process.
 SERVE_BACKENDS = ("none", "serial", "process")
+
+#: The crash-recovery artifact name inside ``ServeConfig.snapshot_dir``.
+#: One fixed name, rewritten atomically: recovery always wants "the
+#: most recent consistent state", never a history.
+SERVE_SNAPSHOT_NAME = "serve-latest.npz"
 
 
 @dataclass
@@ -89,6 +107,20 @@ class ServeConfig:
     trainer_backend: str = "serial"
     train_ratio: float = 1.0
     sync_every: int = 64
+    #: Per-connection transport write-buffer ceiling (bytes) above which
+    #: a checkpoint broadcast is *skipped* for that client rather than
+    #: queued: a stalled reader must not accumulate megabyte weight
+    #: blobs in its asyncio transport indefinitely.  The client catches
+    #: up at the next version bump (or on reconnect, which always
+    #: carries a current-epoch checkpoint).
+    broadcast_high_water: int = 8 * 1024 * 1024
+    #: Crash-recovery snapshot directory; ``None`` disables snapshots.
+    #: The daemon rewrites ``serve-latest.npz`` there (atomically) every
+    #: ``snapshot_every_s`` seconds and once at shutdown, and ``repro
+    #: serve --resume`` restores a fresh daemon from it.
+    snapshot_dir: Optional[str] = None
+    #: Seconds between periodic crash-recovery snapshots.
+    snapshot_every_s: float = 30.0
     greedy: bool = False
     seed: int = 0
     hp: Hyperparameters = field(default_factory=Hyperparameters)
@@ -125,10 +157,29 @@ class ServeConfig:
                 f"({span}); a smaller ring would evict live clusters' "
                 f"records mid-serve — lower tick_stride instead"
             )
+        check_positive("broadcast_high_water", self.broadcast_high_water)
+        if self.snapshot_every_s <= 0:
+            raise ValueError(
+                f"snapshot_every_s must be > 0, got {self.snapshot_every_s}"
+            )
         if self.trainer_backend not in SERVE_BACKENDS:
             raise ValueError(
                 f"trainer backend must be one of {SERVE_BACKENDS}, "
                 f"got {self.trainer_backend!r}"
+            )
+        if self.trainer_backend == "process" and self.obs_ticks != int(
+            self.hp.sampling_ticks_per_observation
+        ):
+            # The worker builds observations from
+            # hp.sampling_ticks_per_observation rows of its mirror cache;
+            # a daemon serving a different window would hand it batches
+            # the agent's input layer rejects mid-serve.
+            raise ValueError(
+                f"obs_ticks ({self.obs_ticks}) must match "
+                f"hp.sampling_ticks_per_observation "
+                f"({self.hp.sampling_ticks_per_observation}) with the "
+                f"process trainer backend: the forked worker samples "
+                f"the hp window"
             )
         if self.trainer_backend != "none":
             # Reuse the TrainerConfig rejection rules (train_ratio >= 0,
@@ -222,8 +273,10 @@ class CapesServer:
             )
         )
         self._trainer: Optional[TrainerLoop] = None
+        #: The serial sampler, kept for snapshot capture of its RNG.
+        self._sampler: Optional[StridedMinibatchSampler] = None
         if config.trainer_backend == "serial":
-            sampler = StridedMinibatchSampler(
+            self._sampler = StridedMinibatchSampler(
                 self.db.cache,
                 self.spans,
                 obs_ticks=config.obs_ticks,
@@ -237,7 +290,7 @@ class CapesServer:
                     train_ratio=config.train_ratio,
                     sync_every=config.sync_every,
                 ),
-                sampler=sampler,
+                sampler=self._sampler,
             )
         elif config.trainer_backend == "process":
             self._trainer = TrainerLoop(
@@ -260,6 +313,7 @@ class CapesServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._stats_server: Optional[asyncio.base_events.Server] = None
         self._decider_task: Optional[asyncio.Task] = None
+        self._snapshot_task: Optional[asyncio.Task] = None
         self._conn_tasks: set = set()
         self._closing = False
         self._done = asyncio.Event()
@@ -272,6 +326,8 @@ class CapesServer:
         if self._trainer is not None:
             self._trainer.begin()
         self._decider_task = asyncio.create_task(self._decider())
+        if self.config.snapshot_dir is not None:
+            self._snapshot_task = asyncio.create_task(self._snapshot_loop())
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
@@ -299,6 +355,13 @@ class CapesServer:
             await self._done.wait()
             return
         self._closing = True
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+            self._snapshot_task = None
         if self._server is not None:
             self._server.close()
         if self._stats_server is not None:
@@ -318,6 +381,15 @@ class CapesServer:
             await self._decider_task
         if self._trainer is not None:
             self.stats.trainer = _trainer_snapshot(self._trainer.stop())
+        if self.config.snapshot_dir is not None:
+            # Final snapshot after the trainer has stopped: the decider
+            # has drained (every accepted frame landed), the serial
+            # burst flushed, and a process worker's weights have been
+            # adopted back — the artifact is the fully quiesced session.
+            try:
+                self.write_snapshot()
+            except OSError as exc:
+                self.events.publish("snapshot-error", error=str(exc))
         self.db.commit()
         self.db.close()
         if self._server is not None:
@@ -635,28 +707,54 @@ class CapesServer:
         if self._trainer is None or k <= 0:
             return
         self._trainer.notify_ticks(k)
-        self.stats.trainer = _trainer_snapshot(self._trainer.stats)
         stats = self._trainer.stats
-        if self._trainer.config.backend == "process":
-            epoch, version = stats.epoch, stats.weights_version
-        else:
-            # Serial SGD mutates the acting agent directly; mirror the
-            # process backend's broadcast cadence for clients.
-            epoch = stats.epoch
-            version = stats.steps_attempted // self._trainer.config.sync_every
-        if (epoch, version) <= (self._weight_epoch, self._weight_version):
-            return
-        self._weight_epoch, self._weight_version = epoch, version
-        message = self._checkpoint_message()
-        for cluster in self._clusters.values():
-            writer = cluster.writer
-            if writer is not None and not writer.is_closing():
+        try:
+            if self._trainer.config.backend == "process":
+                epoch, version = stats.epoch, stats.weights_version
+            else:
+                # Serial SGD mutates the acting agent directly; mirror
+                # the process backend's broadcast cadence for clients.
+                epoch = stats.epoch
+                version = (
+                    stats.steps_attempted // self._trainer.config.sync_every
+                )
+            if (epoch, version) <= (self._weight_epoch, self._weight_version):
+                return
+            self._weight_epoch, self._weight_version = epoch, version
+            if self._trainer.config.backend != "process":
+                # The serial path has no worker feeding these back; the
+                # broadcast IS the version bump, so record it.
+                stats.weights_version = version
+                stats.broadcasts_applied += 1
+            message = self._checkpoint_message()
+            high_water = self.config.broadcast_high_water
+            for cluster in self._clusters.values():
+                writer = cluster.writer
+                if writer is None or writer.is_closing():
+                    continue
+                buffered = writer.transport.get_write_buffer_size()
+                if buffered > high_water:
+                    # A stalled reader: queueing another megabyte blob
+                    # only grows its transport buffer without bound.
+                    # It catches up at the next bump or on reconnect.
+                    self.stats.broadcasts_skipped += 1
+                    self.events.publish(
+                        "checkpoint-skipped",
+                        cluster=cluster.name,
+                        buffered=buffered,
+                        version=version,
+                    )
+                    continue
                 try:
                     writer.write(message)
                 except (ConnectionError, RuntimeError):
                     pass
-        self.stats.checkpoints_broadcast += 1
-        self.events.publish("checkpoint", epoch=epoch, version=version)
+            self.stats.checkpoints_broadcast += 1
+            self.events.publish("checkpoint", epoch=epoch, version=version)
+        finally:
+            # Snapshot *after* the broadcast decision so /stats sees the
+            # version/broadcast accounting this call just produced.
+            self.stats.trainer = _trainer_snapshot(stats)
 
     def _checkpoint_message(self) -> bytes:
         """The current weights as a versioned CHECKPOINT message."""
@@ -665,6 +763,243 @@ class CapesServer:
             self._weight_version,
             self.agent.snapshot_weights(),
         )
+
+    # -- crash recovery ----------------------------------------------------
+    def snapshot_state(self) -> SessionSnapshot:
+        """Capture every mutable layer of the daemon into one artifact.
+
+        Sections: ``serve`` (weight fence, aggregate counters, the
+        cluster registry with each ring's warm frames), ``agent``
+        (networks + optimizer + epsilon + RNG, plus every per-slot
+        exploration stream), ``trainer`` (cadence debt and stats, the
+        serial sampler's RNG) and ``replay`` (span frontiers + cached
+        rows).  Runs synchronously on the event loop, so the capture is
+        a consistent point-in-time cut — no frame can land mid-capture.
+        """
+        cfg = self.config
+        snap = SessionSnapshot()
+        clusters = []
+        rings: Dict[str, np.ndarray] = {}
+        for cluster in self._clusters.values():
+            row = cluster.row
+            clusters.append(
+                {
+                    "name": cluster.name,
+                    "slot": int(cluster.slot),
+                    "last_tick": int(cluster.last_tick),
+                    "connects": int(row.connects),
+                    "frames": int(row.frames),
+                    "ticks_landed": int(row.ticks_landed),
+                    "decisions": int(row.decisions),
+                    "row_last_tick": int(row.last_tick),
+                    "last_action": row.last_action,
+                    "reward_ewma": {
+                        "mean": row.reward_ewma._mean,
+                        "count": int(row.reward_ewma._count),
+                    },
+                    "wire": {
+                        "messages": int(row.wire.messages),
+                        "raw_bytes": int(row.wire.raw_bytes),
+                        "compressed_bytes": int(row.wire.compressed_bytes),
+                        "entries_sent": int(row.wire.entries_sent),
+                    },
+                }
+            )
+            rings[f"ring{cluster.slot}"] = cluster.ring.view()
+        st = self.stats
+        meta = {
+            "frame_width": int(cfg.frame_width),
+            "n_actions": int(cfg.n_actions),
+            "obs_ticks": int(cfg.obs_ticks),
+            "tick_stride": int(cfg.tick_stride),
+            "max_clients": int(cfg.max_clients),
+            "seed": int(cfg.seed),
+            "trainer_backend": cfg.trainer_backend,
+            "weight_epoch": int(self._weight_epoch),
+            "weight_version": int(self._weight_version),
+            "counters": {
+                "connections_total": int(st.connections_total),
+                "disconnects": int(st.disconnects),
+                "evictions": int(st.evictions),
+                "resyncs": int(st.resyncs),
+                "timeouts": int(st.timeouts),
+                "protocol_errors": int(st.protocol_errors),
+                "frames_total": int(st.frames_total),
+                "decisions_total": int(st.decisions_total),
+                "checkpoints_broadcast": int(st.checkpoints_broadcast),
+                "broadcasts_skipped": int(st.broadcasts_skipped),
+            },
+            "clusters": clusters,
+            "act_rngs": [rng_state(g) for g in self._act_rngs],
+        }
+        snap.put("serve", meta=meta, arrays=rings)
+        agent_meta, agent_arrays = capture_agent(self.agent)
+        snap.put("agent", meta=agent_meta, arrays=agent_arrays)
+        if self._trainer is not None:
+            t_meta, t_arrays = capture_trainer(self._trainer)
+            if self._sampler is not None:
+                t_meta["sampler_rng"] = rng_state(self._sampler.rng)
+            snap.put("trainer", meta=t_meta, arrays=t_arrays)
+        r_meta, r_arrays = capture_replay(self.db, self.spans)
+        snap.put("replay", meta=r_meta, arrays=r_arrays)
+        return snap
+
+    def restore_state(self, snap: SessionSnapshot) -> None:
+        """Apply a serve snapshot onto this freshly built daemon.
+
+        Must run before :meth:`start`: a process-backend trainer forks
+        its worker on ``begin()`` and must fork from the restored
+        weights and (bumped) epoch.  Clusters re-register under their
+        old names, keep their slots, rings and monotonic tick fences,
+        and must continue from ``last_tick + 1`` — exactly the contract
+        a reconnect already imposes.
+        """
+        if self._server is not None or self._closing:
+            raise SnapshotError("restore_state must run before start()")
+        cfg = self.config
+        meta = snap.section("serve")
+        for key, live in (
+            ("frame_width", cfg.frame_width),
+            ("n_actions", cfg.n_actions),
+            ("obs_ticks", cfg.obs_ticks),
+            ("tick_stride", cfg.tick_stride),
+            ("max_clients", cfg.max_clients),
+        ):
+            if int(meta[key]) != int(live):
+                raise SnapshotError(
+                    f"serve geometry mismatch: snapshot has "
+                    f"{key}={meta[key]}, server has {live}"
+                )
+        if meta["trainer_backend"] != cfg.trainer_backend:
+            raise SnapshotError(
+                f"trainer backend mismatch: snapshot has "
+                f"{meta['trainer_backend']!r}, server has "
+                f"{cfg.trainer_backend!r}"
+            )
+        restore_agent(
+            self.agent, snap.section("agent"), snap.section_arrays("agent")
+        )
+        states = meta["act_rngs"]
+        if len(states) != len(self._act_rngs):
+            raise SnapshotError(
+                f"snapshot carries {len(states)} exploration streams, "
+                f"server has {len(self._act_rngs)}"
+            )
+        for gen, state in zip(self._act_rngs, states):
+            set_rng_state(gen, state)
+        if self._trainer is not None and snap.has_section("trainer"):
+            t_meta = snap.section("trainer")
+            # The epoch bump is the process-backend resume fence: the
+            # worker's in-flight state died with the old daemon, and
+            # the first post-resume report must win the broadcast race.
+            restore_trainer(
+                self._trainer,
+                t_meta,
+                snap.section_arrays("trainer"),
+                bump_epoch=(cfg.trainer_backend == "process"),
+            )
+            if self._sampler is not None and "sampler_rng" in t_meta:
+                set_rng_state(self._sampler.rng, t_meta["sampler_rng"])
+        restore_replay(
+            self.db,
+            self.spans,
+            snap.section("replay"),
+            snap.section_arrays("replay"),
+        )
+        if self._trainer is not None and cfg.trainer_backend == "process":
+            # The worker samples its *own* mirror cache, which died with
+            # the old daemon; replay the restored blocks through ingest
+            # (this forks the worker — from the weights and bumped epoch
+            # restored above) so post-resume SGD sees the full history.
+            r_meta = snap.section("replay")
+            r_arrays = snap.section_arrays("replay")
+            for i, top in enumerate(r_meta["tops"]):
+                key = f"ticks{i}"
+                if top < 0 or key not in r_arrays or not len(r_arrays[key]):
+                    continue
+                self._trainer.ingest(
+                    PackedRecords(
+                        ticks=r_arrays[key],
+                        frames=r_arrays[f"frames{i}"],
+                        actions=r_arrays[f"actions{i}"],
+                        rewards=r_arrays[f"rewards{i}"],
+                    )
+                )
+        rings = snap.section_arrays("serve")
+        self._clusters.clear()
+        self.stats.clusters.clear()
+        for spec in meta["clusters"]:
+            slot = int(spec["slot"])
+            cluster = _Cluster(
+                spec["name"],
+                slot,
+                cfg.obs_ticks,
+                cfg.frame_width,
+                self.stats.cluster(spec["name"], slot),
+            )
+            cluster.last_tick = int(spec["last_tick"])
+            ring = rings.get(f"ring{slot}")
+            if ring is not None and len(ring):
+                cluster.ring.extend(ring)
+            row = cluster.row
+            row.connects = int(spec["connects"])
+            row.frames = int(spec["frames"])
+            row.ticks_landed = int(spec["ticks_landed"])
+            row.decisions = int(spec["decisions"])
+            row.last_tick = int(spec["row_last_tick"])
+            row.last_action = (
+                None
+                if spec["last_action"] is None
+                else int(spec["last_action"])
+            )
+            ewma = spec["reward_ewma"]
+            row.reward_ewma._mean = (
+                None if ewma["mean"] is None else float(ewma["mean"])
+            )
+            row.reward_ewma._count = int(ewma["count"])
+            wire = spec["wire"]
+            row.wire.messages = int(wire["messages"])
+            row.wire.raw_bytes = int(wire["raw_bytes"])
+            row.wire.compressed_bytes = int(wire["compressed_bytes"])
+            row.wire.entries_sent = int(wire["entries_sent"])
+            self._clusters[spec["name"]] = cluster
+        counters = meta["counters"]
+        st = self.stats
+        for key, value in counters.items():
+            setattr(st, key, int(value))
+        self._weight_epoch = int(meta["weight_epoch"])
+        self._weight_version = int(meta["weight_version"])
+
+    def write_snapshot(
+        self, path: Optional[Union[str, Path]] = None
+    ) -> Path:
+        """Write the current state; defaults to the configured artifact."""
+        if path is None:
+            if self.config.snapshot_dir is None:
+                raise SnapshotError(
+                    "no snapshot path: configure ServeConfig.snapshot_dir "
+                    "or pass one explicitly"
+                )
+            path = Path(self.config.snapshot_dir) / SERVE_SNAPSHOT_NAME
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        out = self.snapshot_state().save(path)
+        self.events.publish("snapshot", path=str(out))
+        return out
+
+    async def _snapshot_loop(self) -> None:
+        """Rewrite the crash-recovery artifact every ``snapshot_every_s``.
+
+        The write runs on the event loop — that is what makes each cut
+        consistent — so the interval bounds added decision latency, not
+        correctness.  Shutdown writes the final quiesced artifact.
+        """
+        while True:
+            await asyncio.sleep(self.config.snapshot_every_s)
+            try:
+                self.write_snapshot()
+            except OSError as exc:
+                self.events.publish("snapshot-error", error=str(exc))
 
     # -- observability -----------------------------------------------------
     def stats_snapshot(self) -> dict:

@@ -137,6 +137,9 @@ class ServeStats:
         self.decisions_total = 0
         self.frames_total = 0
         self.checkpoints_broadcast = 0
+        #: Per-writer broadcast skips: a stalled client whose transport
+        #: buffer sat above the high-water mark when weights shipped.
+        self.broadcasts_skipped = 0
         self.latency = LatencyWindow()
         #: Filled from the trainer loop's :class:`~repro.train.TrainerStats`.
         self.trainer: Optional[dict] = None
@@ -186,6 +189,7 @@ class ServeStats:
             "frames_total": self.frames_total,
             "decisions_total": self.decisions_total,
             "checkpoints_broadcast": self.checkpoints_broadcast,
+            "broadcasts_skipped": self.broadcasts_skipped,
             "decision_latency_p50_ms": p50 * 1e3,
             "decision_latency_p99_ms": p99 * 1e3,
             "wire": wire_totals,

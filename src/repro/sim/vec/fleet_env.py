@@ -140,6 +140,89 @@ class FleetEnv:
             )
         return self.current_observation()
 
+    # -- snapshot support ------------------------------------------------
+    def snapshot_state(self):
+        """Capture the whole fleet's mutable state as ``(meta, arrays)``.
+
+        Arrays are the :attr:`FleetState.MUTABLE_ARRAYS` manifest,
+        copied; meta carries the RNG stream states (workload, drops,
+        scenario roots, and every runtime's per-event streams), the
+        scenario runtimes' logs/pending windows, and the slot-reset
+        bookkeeping.  Everything else about a fleet is frozen config.
+        """
+        self._require_reset()
+        st = self.state
+        arrays = {
+            name: getattr(st, name).copy() for name in st.MUTABLE_ARRAYS
+        }
+        meta = {
+            "seeds": list(self.seeds),
+            "n_envs": int(self.n_envs),
+            "frame_dim": int(self._frame_dim),
+            "has_scenario": self.config.scenario is not None,
+            "wl_rngs": [g.bit_generator.state for g in st.wl_rngs],
+            "drop_rngs": [g.bit_generator.state for g in st.drop_rngs],
+            "scenario_rngs": [
+                g.bit_generator.state for g in st.scenario_rngs
+            ],
+            "slot_resets": sorted(int(e) for e in self._slot_resets),
+            "runtimes": [
+                None if rt is None else rt.snapshot_state()
+                for rt in self._runtimes
+            ],
+        }
+        return meta, arrays
+
+    def restore_state(self, meta, arrays) -> None:
+        """Rebuild the fleet from a :meth:`snapshot_state` capture.
+
+        Construction first, RNG overwrite last: building
+        :class:`FleetState` and the scenario runtimes *draws* from the
+        seed-derived streams (``derive_rng`` consumes parent state), so
+        every stream — fleet-level and per-event — is overwritten with
+        its captured state only after the object graph stands.
+        """
+        if list(meta["seeds"]) != list(self.seeds):
+            raise RuntimeError(
+                f"seed mismatch: snapshot has {meta['seeds']}, "
+                f"fleet has {self.seeds}"
+            )
+        if int(meta["n_envs"]) != self.n_envs or (
+            int(meta["frame_dim"]) != self._frame_dim
+        ):
+            raise RuntimeError(
+                "fleet geometry mismatch between snapshot and live env"
+            )
+        if bool(meta["has_scenario"]) != (self.config.scenario is not None):
+            raise RuntimeError(
+                "scenario mismatch: snapshot and live env disagree on "
+                "whether a scenario timeline is attached"
+            )
+        st = FleetState(self.fcfg, self.seeds, self._frame_dim)
+        for name in st.MUTABLE_ARRAYS:
+            setattr(st, name, np.array(arrays[name]))
+        self.state = st
+        self._slot_resets = set(int(e) for e in meta["slot_resets"])
+        self._runtimes = [None] * self.n_envs
+        if self.config.scenario is not None:
+            self._runtimes = [
+                ScenarioRuntime(
+                    self.config.scenario,
+                    self._slots[e],
+                    st.scenario_rngs[e],
+                )
+                for e in range(self.n_envs)
+            ]
+        for gen, captured in zip(st.wl_rngs, meta["wl_rngs"]):
+            gen.bit_generator.state = captured
+        for gen, captured in zip(st.drop_rngs, meta["drop_rngs"]):
+            gen.bit_generator.state = captured
+        for gen, captured in zip(st.scenario_rngs, meta["scenario_rngs"]):
+            gen.bit_generator.state = captured
+        for rt, captured in zip(self._runtimes, meta["runtimes"]):
+            if rt is not None and captured is not None:
+                rt.restore_state(captured)
+
     def _require_reset(self) -> None:
         if self.state is None:
             raise RuntimeError("call reset() before stepping the environment")

@@ -98,6 +98,18 @@ class FleetState:
             self.drop_rngs.append(derive_rng(root, "vec-drops"))
             self.scenario_rngs.append(derive_rng(root, "scenario"))
 
+    #: Every mutable array attribute, the snapshot capture manifest.
+    #: Restoring assigns captured arrays wholesale (rather than copying
+    #: into a fresh state's buffers) so grown record columns keep their
+    #: grown capacity.  Keep in sync with ``__init__``.
+    MUTABLE_ARRAYS = (
+        "tick", "window", "rate", "tokens", "dirty", "qr", "ack", "send",
+        "last_pt", "min_pt", "lat", "inst_base", "surge", "paused",
+        "rf", "think", "disk_bw_f", "disk_seek_f", "net_bw_f", "net_lat_f",
+        "obs3", "obs_count",
+        "rec_len", "rec_ticks", "rec_frames", "rec_actions", "rec_rewards",
+    )
+
     # -- record columns ---------------------------------------------------
     def _grow_records(self) -> None:
         cap = self.rec_ticks.shape[1]

@@ -1,0 +1,61 @@
+"""Deterministic session snapshot/resume for CAPES sessions.
+
+The paper's control plane (§3) runs continuously against live
+clusters; crash recovery and reproducible post-hoc debugging are part
+of the deployed shape.  This package captures **every mutable layer**
+of a running session — environment state (reference simulator op logs
+*or* the vectorized fleet's arrays), scenario runtimes, agent networks
++ optimizer + epsilon schedule, trainer cadence, replay frontiers and
+cache rows, and every RNG stream's ``bit_generator.state`` — into one
+versioned, integrity-checked ``.npz`` artifact from which a fresh
+interpreter resumes **byte-identically**: the resumed run's remaining
+ticks extend the uninterrupted run's chained rollout digest exactly.
+
+Entry points: ``repro collect --snapshot-every K --snapshot-dir D``,
+``repro resume <snapshot>``, ``repro replay --at TICK`` (time-travel),
+and ``repro serve --snapshot-dir D --resume`` (daemon crash recovery).
+"""
+
+from repro.snapshot.core import (
+    FORMAT_VERSION,
+    RolloutDigest,
+    SessionSnapshot,
+    SnapshotError,
+    rng_state,
+    set_rng_state,
+)
+from repro.snapshot.layers import (
+    capture_agent,
+    capture_replay,
+    capture_trainer,
+    restore_agent,
+    restore_replay,
+    restore_trainer,
+)
+from repro.snapshot.session import (
+    CollectOutcome,
+    build_session_snapshot,
+    restore_session_state,
+    run_collect_session,
+    snapshot_path,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SnapshotError",
+    "SessionSnapshot",
+    "RolloutDigest",
+    "rng_state",
+    "set_rng_state",
+    "capture_agent",
+    "restore_agent",
+    "capture_trainer",
+    "restore_trainer",
+    "capture_replay",
+    "restore_replay",
+    "CollectOutcome",
+    "build_session_snapshot",
+    "restore_session_state",
+    "run_collect_session",
+    "snapshot_path",
+]

@@ -1,0 +1,270 @@
+"""Versioned session-snapshot artifact and the chained rollout digest.
+
+CAPES (§3) runs continuously against live clusters, so crash recovery
+and reproducible post-hoc debugging are part of the deployed shape.
+Two primitives make that tractable:
+
+- :class:`SessionSnapshot` — one ``.npz`` artifact holding every
+  mutable layer of a session as named sections of JSON metadata plus
+  numpy arrays, stamped with a format version and a blake2b integrity
+  digest that is verified on load.  Saves are atomic (write-temp +
+  rename) so a crash mid-write never leaves a torn artifact behind.
+- :class:`RolloutDigest` — a *chained* per-tick blake2b over the
+  reward columns of a rollout.  Chaining per tick (rather than hashing
+  one big buffer) makes the digest independent of chunking **and**
+  serializable: the 32-byte chain state is the only thing a snapshot
+  needs to carry for a resumed run to extend the same digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SnapshotError",
+    "SessionSnapshot",
+    "RolloutDigest",
+    "rng_state",
+    "set_rng_state",
+]
+
+#: Artifact format version; bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+#: npz entry carrying the JSON metadata (as uint8 bytes).
+_META_KEY = "__meta__"
+
+#: meta key carrying format/digest — excluded from the digest itself.
+_INTEGRITY_KEY = "__integrity__"
+
+_DIGEST_SIZE = 32
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be captured, saved, loaded, or applied."""
+
+
+def _jsonable(obj):
+    """JSON encoder fallback for the numpy scalars that leak into meta."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _canonical_json(meta: dict) -> bytes:
+    return json.dumps(
+        meta, sort_keys=True, separators=(",", ":"), default=_jsonable
+    ).encode()
+
+
+def rng_state(gen: np.random.Generator) -> dict:
+    """A JSON-able capture of ``gen``'s bit-generator state."""
+    return gen.bit_generator.state
+
+
+def set_rng_state(gen: np.random.Generator, state: dict) -> None:
+    """Overwrite ``gen``'s bit-generator state with a captured one."""
+    current = gen.bit_generator.state["bit_generator"]
+    captured = state.get("bit_generator")
+    if captured != current:
+        raise SnapshotError(
+            f"bit-generator mismatch: snapshot has {captured!r}, "
+            f"stream is {current!r}"
+        )
+    gen.bit_generator.state = state
+
+
+class RolloutDigest:
+    """Chained blake2b over per-tick reward columns, chunking-invariant.
+
+    ``digest_t = blake2b(digest_{t-1} || rewards[:, t])`` — feeding the
+    same rollout in one 200-tick block or ten 20-tick blocks yields the
+    same final digest, and the chain state round-trips through a
+    snapshot as a 64-char hex string.  This is the byte-identity
+    contract ``repro resume`` is held to.
+    """
+
+    _SEED = b"repro-rollout-digest-v1"
+
+    def __init__(self, state: Optional[str] = None):
+        if state is None:
+            state = hashlib.blake2b(
+                self._SEED, digest_size=_DIGEST_SIZE
+            ).hexdigest()
+        if len(state) != 2 * _DIGEST_SIZE:
+            raise SnapshotError(
+                f"digest state must be {2 * _DIGEST_SIZE} hex chars, "
+                f"got {len(state)}"
+            )
+        self._state = bytes.fromhex(state)
+
+    def update(self, rewards: np.ndarray) -> "RolloutDigest":
+        """Fold a ``(n_envs, k)`` (or ``(k,)``) reward block, tick by tick."""
+        block = np.ascontiguousarray(np.asarray(rewards, dtype=np.float64))
+        if block.ndim == 1:
+            block = block[:, None]
+        if block.ndim != 2:
+            raise SnapshotError(
+                f"rewards must be 1-D or 2-D, got shape {block.shape}"
+            )
+        state = self._state
+        for t in range(block.shape[1]):
+            h = hashlib.blake2b(state, digest_size=_DIGEST_SIZE)
+            h.update(np.ascontiguousarray(block[:, t]).tobytes())
+            state = h.digest()
+        self._state = state
+        return self
+
+    @property
+    def hexdigest(self) -> str:
+        """Current chain state as hex — the resumable digest value."""
+        return self._state.hex()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RolloutDigest) and self._state == other._state
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RolloutDigest({self.hexdigest[:12]}…)"
+
+
+class SessionSnapshot:
+    """Named sections of JSON metadata + numpy arrays, one npz artifact.
+
+    Sections keep layers separate (``"env"``, ``"agent"``, ``"trainer"``,
+    ``"session"``, …): each contributes one JSON-able metadata dict via
+    :meth:`put` plus any number of arrays stored under
+    ``"<section>::<name>"`` keys.  :meth:`save` stamps the artifact with
+    :data:`FORMAT_VERSION` and a blake2b digest over the canonical
+    serialization; :meth:`load` refuses artifacts whose digest or
+    version does not check out.
+    """
+
+    def __init__(
+        self,
+        meta: Optional[dict] = None,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+    ):
+        self.meta: dict = dict(meta or {})
+        self.arrays: Dict[str, np.ndarray] = dict(arrays or {})
+
+    # -- section API -----------------------------------------------------------
+    def put(
+        self,
+        section: str,
+        meta: Optional[dict] = None,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        """Store one layer's metadata and arrays under ``section``."""
+        if "::" in section or section == _META_KEY:
+            raise SnapshotError(f"invalid section name {section!r}")
+        if meta is not None:
+            self.meta[section] = meta
+        for name, arr in (arrays or {}).items():
+            self.arrays[f"{section}::{name}"] = np.asarray(arr)
+
+    def section(self, name: str) -> dict:
+        """The metadata dict stored for ``name`` (raises if absent)."""
+        try:
+            return self.meta[name]
+        except KeyError:
+            raise SnapshotError(f"snapshot has no section {name!r}") from None
+
+    def has_section(self, name: str) -> bool:
+        """Whether :meth:`put` stored metadata under ``name``."""
+        return name in self.meta and name != _INTEGRITY_KEY
+
+    def section_arrays(self, section: str) -> Dict[str, np.ndarray]:
+        """All arrays stored under ``section``, keyed by bare name."""
+        prefix = section + "::"
+        return {
+            key[len(prefix):]: arr
+            for key, arr in self.arrays.items()
+            if key.startswith(prefix)
+        }
+
+    # -- integrity -------------------------------------------------------------
+    def digest(self) -> str:
+        """blake2b over the canonical serialization (meta + sorted arrays)."""
+        h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        meta = {k: v for k, v in self.meta.items() if k != _INTEGRITY_KEY}
+        h.update(_canonical_json(meta))
+        for key in sorted(self.arrays):
+            arr = np.ascontiguousarray(self.arrays[key])
+            h.update(key.encode())
+            h.update(str(arr.dtype).encode())
+            h.update(repr(arr.shape).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the artifact atomically; returns the final path."""
+        path = Path(path)
+        meta = dict(self.meta)
+        meta[_INTEGRITY_KEY] = {
+            "format": FORMAT_VERSION,
+            "digest": self.digest(),
+        }
+        payload = dict(self.arrays)
+        payload[_META_KEY] = np.frombuffer(
+            _canonical_json(meta), dtype=np.uint8
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(fh, **payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(
+        cls, path: Union[str, Path], verify: bool = True
+    ) -> "SessionSnapshot":
+        """Read an artifact back, verifying version and digest."""
+        path = Path(path)
+        with np.load(path) as data:
+            if _META_KEY not in data.files:
+                raise SnapshotError(f"{path}: not a session snapshot")
+            meta = json.loads(bytes(data[_META_KEY].tobytes()).decode())
+            arrays = {
+                key: data[key] for key in data.files if key != _META_KEY
+            }
+        integrity = meta.pop(_INTEGRITY_KEY, None)
+        if integrity is None:
+            raise SnapshotError(f"{path}: missing integrity record")
+        if integrity.get("format") != FORMAT_VERSION:
+            raise SnapshotError(
+                f"{path}: format {integrity.get('format')!r} not supported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        snap = cls(meta=meta, arrays=arrays)
+        if verify:
+            found = snap.digest()
+            if found != integrity.get("digest"):
+                raise SnapshotError(
+                    f"{path}: integrity digest mismatch "
+                    f"(artifact corrupt or hand-edited)"
+                )
+        return snap

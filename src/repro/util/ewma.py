@@ -29,7 +29,10 @@ class EWMA:
         to "last value".
     initial:
         Optional initial mean.  When omitted, the first observation seeds
-        the mean exactly (no bias toward zero).
+        the mean exactly (no bias toward zero).  A seed is a prior, not an
+        observation: ``count`` stays 0 until :meth:`update` folds a real
+        sample, so count-gated warm-up logic never mistakes a
+        seeded-but-empty average for measured data.
     """
 
     __slots__ = ("alpha", "_mean", "_count")
@@ -38,7 +41,7 @@ class EWMA:
         check_in_range("alpha", alpha, 0.0, 1.0, low_inclusive=False)
         self.alpha = float(alpha)
         self._mean: Optional[float] = None if initial is None else float(initial)
-        self._count = 0 if initial is None else 1
+        self._count = 0
 
     def update(self, x: float) -> float:
         """Fold ``x`` into the average and return the new mean."""
@@ -56,6 +59,7 @@ class EWMA:
 
     @property
     def count(self) -> int:
+        """Number of samples folded via :meth:`update` (seeds excluded)."""
         return self._count
 
     def reset(self) -> None:

@@ -560,3 +560,260 @@ class TestServeCLIValidation:
             == 2
         )
         assert "tick_stride" in capsys.readouterr().err
+
+    def test_snapshot_every_needs_dir(self, conf_path, capsys):
+        assert (
+            self.run_cli("--config", conf_path, "--snapshot-every-s", "5")
+            == 2
+        )
+        assert "--snapshot-dir" in capsys.readouterr().err
+
+    def test_resume_without_path_needs_dir(self, conf_path, capsys):
+        assert self.run_cli("--config", conf_path, "--resume") == 2
+        assert "--snapshot-dir" in capsys.readouterr().err
+
+    def test_resume_missing_snapshot(self, conf_path, tmp_path, capsys):
+        assert (
+            self.run_cli(
+                "--config", conf_path,
+                "--snapshot-dir", str(tmp_path),
+                "--resume",
+            )
+            == 2
+        )
+        assert "no such snapshot" in capsys.readouterr().err
+
+
+# -- crash recovery ----------------------------------------------------------
+
+
+def test_shutdown_writes_snapshot_and_resume_restores_state(tmp_path):
+    """The serve tentpole golden: kill the daemon, resume a fresh one.
+
+    The dying daemon's final artifact carries the agent (byte-identical
+    weights + optimizer), the replay rows, the weight fence and the
+    cluster registry; the resumed daemon serves the same cluster from
+    ``last_tick + 1`` with cumulative accounting.
+    """
+    from repro.serve import SERVE_SNAPSHOT_NAME
+    from repro.snapshot import SessionSnapshot
+
+    config = make_config(
+        trainer_backend="serial",
+        train_ratio=1.0,
+        sync_every=2,
+        greedy=False,
+        snapshot_dir=str(tmp_path),
+        snapshot_every_s=300.0,
+    )
+    frames = client_frames(31, 20)
+    artifact = tmp_path / SERVE_SNAPSHOT_NAME
+
+    async def first_life():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            client = ServeClient("127.0.0.1", server.port, "alpha", W)
+            await client.connect()
+            for t in range(12):
+                await client.tick(t + 1, frames[t], reward=0.5)
+            await client.close()
+        finally:
+            await server.shutdown()
+        return server
+
+    server1 = run(first_life())
+    assert artifact.exists(), "shutdown did not write the final snapshot"
+    snap = SessionSnapshot.load(artifact)
+    serve_meta = snap.section("serve")
+    assert serve_meta["counters"]["frames_total"] == 12
+    assert serve_meta["weight_version"] >= 1  # training moved in life 1
+    assert [c["name"] for c in serve_meta["clusters"]] == ["alpha"]
+
+    server2 = CapesServer(make_config(**{**config.__dict__}))
+    server2.restore_state(snap)
+    # The replay store and the acting weights survive byte-identically.
+    assert len(server2.db) == 12
+    assert server2.agent.snapshot_weights(
+        include_optimizer=True
+    ) == server1.agent.snapshot_weights(include_optimizer=True)
+    assert server2.stats_snapshot()["weight_epoch"] == serve_meta[
+        "weight_epoch"
+    ]
+
+    async def second_life():
+        await server2.start()
+        try:
+            client = ServeClient("127.0.0.1", server2.port, "alpha", W)
+            await client.connect()
+            # The monotonic fence carried over: replaying an old tick is
+            # a protocol error, exactly as on a live reconnect.
+            with pytest.raises(ServeClientError):
+                await client.tick(1, frames[0], reward=0.5)
+            await client.close()
+
+            client = ServeClient("127.0.0.1", server2.port, "alpha", W)
+            await client.connect()
+            decided = 0
+            for t in range(12, 18):
+                _, _, ok = await client.tick(t + 1, frames[t], reward=0.5)
+                decided += bool(ok)
+            # The restored ring was warm, so every new tick decides.
+            assert decided == 6
+            await client.close()
+        finally:
+            await server2.shutdown()
+
+    run(second_life())
+    row = server2.stats.clusters["alpha"]
+    assert row.frames == 18, "per-cluster accounting must be cumulative"
+    assert row.connects >= 2
+    assert server2.stats.frames_total == 18
+    # Training resumed on top of the restored cadence.
+    assert (
+        server2.stats.trainer["steps_attempted"]
+        > snap.section("trainer")["steps_attempted"]
+    )
+
+
+def test_periodic_snapshot_task_rewrites_artifact(tmp_path):
+    """The snapshot loop writes while the daemon is up, not only at exit."""
+    from repro.serve import SERVE_SNAPSHOT_NAME
+
+    config = make_config(
+        snapshot_dir=str(tmp_path), snapshot_every_s=0.05
+    )
+    artifact = tmp_path / SERVE_SNAPSHOT_NAME
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            client = ServeClient("127.0.0.1", server.port, "alpha", W)
+            await client.connect()
+            frames = client_frames(5, 4)
+            for t in range(4):
+                await client.tick(t + 1, frames[t], reward=0.0)
+            for _ in range(100):
+                if artifact.exists():
+                    break
+                await asyncio.sleep(0.02)
+            assert artifact.exists(), "periodic snapshot never appeared"
+            await client.close()
+        finally:
+            await server.shutdown()
+
+    run(body())
+
+
+def test_restore_state_rejects_mismatched_geometry():
+    from repro.snapshot import SnapshotError
+
+    snap = CapesServer(make_config()).snapshot_state()
+    other = CapesServer(make_config(tick_stride=128))
+    with pytest.raises(SnapshotError, match="tick_stride"):
+        other.restore_state(snap)
+    frozen = CapesServer(
+        make_config(trainer_backend="serial", train_ratio=1.0)
+    )
+    with pytest.raises(SnapshotError, match="backend"):
+        frozen.restore_state(snap)
+    started = CapesServer(make_config())
+
+    async def started_rejects():
+        await started.start()
+        try:
+            with pytest.raises(SnapshotError, match="before start"):
+                started.restore_state(snap)
+        finally:
+            await started.shutdown()
+
+    run(started_rejects())
+
+
+def test_process_backend_requires_matching_obs_window():
+    """The forked worker samples the hp window; a daemon serving a
+    different obs_ticks would feed the agent unshaped batches."""
+    with pytest.raises(ValueError, match="sampling_ticks_per_observation"):
+        make_config(
+            trainer_backend="process",
+            obs_ticks=OBS + 1,
+            train_ratio=1.0,
+        )
+
+
+# -- broadcast backpressure and trainer-stats accounting ---------------------
+
+
+def test_broadcast_skipped_for_stalled_reader():
+    """A reader that stops draining its socket must not accumulate
+    checkpoint blobs in its transport buffer: the broadcast is skipped
+    and counted, and healthy clients still receive the weights."""
+    config = make_config(
+        trainer_backend="serial",
+        train_ratio=1.0,
+        sync_every=2,
+        greedy=False,
+        broadcast_high_water=64 * 1024,
+    )
+    frames = client_frames(13, 20)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            stalled_reader, stalled_writer = await raw_handshake(
+                server.port, "stalled"
+            )
+            # Simulate the stall: the peer never reads, and the server
+            # has megabytes queued for it already.
+            server._clusters["stalled"].writer.write(
+                b"\0" * (16 * 1024 * 1024)
+            )
+            healthy = ServeClient("127.0.0.1", server.port, "healthy", W)
+            await healthy.connect()
+            for t in range(12):
+                await healthy.tick(t + 1, frames[t], reward=0.5)
+            assert server.stats.broadcasts_skipped >= 1
+            assert server.stats.checkpoints_broadcast >= 1
+            assert healthy.checkpoints_applied >= 2  # handshake + bump
+            await healthy.close()
+            stalled_writer.close()
+        finally:
+            await server.shutdown()
+
+    run(body())
+
+
+def test_serial_trainer_stats_reach_stats_snapshot():
+    """Regression: the serial backend's broadcasts used to leave
+    ``weights_version``/``broadcasts_applied`` at zero in ``/stats``
+    because only the process worker fed them back."""
+    config = make_config(
+        trainer_backend="serial",
+        train_ratio=1.0,
+        sync_every=2,
+        greedy=False,
+    )
+    frames = client_frames(17, 16)
+
+    async def body():
+        server = CapesServer(config)
+        await server.start()
+        try:
+            client = ServeClient("127.0.0.1", server.port, "alpha", W)
+            await client.connect()
+            for t in range(12):
+                await client.tick(t + 1, frames[t], reward=0.5)
+            body = server.stats_snapshot()
+            trainer = body["trainer"]
+            assert trainer is not None
+            assert trainer["weights_version"] >= 1
+            assert trainer["broadcasts_applied"] == trainer["weights_version"]
+            assert body["checkpoints_broadcast"] == trainer["weights_version"]
+            assert body["weight_version"] == trainer["weights_version"]
+            await client.close()
+        finally:
+            await server.shutdown()
+
+    run(body())

@@ -36,10 +36,14 @@ class TestEWMA:
             e.update(float(i))
         assert e.count == 5
 
-    def test_initial_counts_as_observation(self):
+    def test_initial_seeds_mean_but_not_count(self):
+        # A seed is a prior, not an observation: count-gated warm-up
+        # logic must see a seeded-but-empty average as "no data yet".
         e = EWMA(alpha=0.2, initial=1.0)
-        assert e.count == 1
+        assert e.count == 0
         assert e.value == 1.0
+        e.update(3.0)
+        assert e.count == 1
 
     def test_reset(self):
         e = EWMA(alpha=0.2)
