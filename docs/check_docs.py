@@ -49,6 +49,7 @@ API_MODULES = (
     "repro.sim.vec",
     "repro.snapshot",
     "repro.train",
+    "repro.transport",
 )
 
 MERMAID_TYPES = (

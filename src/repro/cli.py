@@ -13,6 +13,11 @@ so the equivalent surface is a single CLI over a conf.py:
     python -m repro.cli collect  --config conf.py --ticks 600 \
                                  --n-envs 4 --vector-backend fork \
                                  --out replay.sqlite
+    python -m repro.cli shard-host --config conf.py --n-envs 2 \
+                                 --bind 127.0.0.1:7100
+    python -m repro.cli collect  --config conf.py --ticks 600 --n-envs 4 \
+                                 --shard 127.0.0.1:7100 \
+                                 --shard 127.0.0.1:7101
     python -m repro.cli sweep    --config conf.py \
                                  --tuners capes,random --seeds 0-4 --jobs 4
     python -m repro.cli sweep    --config conf.py --env sim-lustre \
@@ -32,7 +37,11 @@ transition fans into one replay DB, durable when ``--out`` names a
 file, for later offline training — and with ``--train`` the decoupled
 DRL engine (:mod:`repro.train`) trains against the fan-in stream while
 collection runs (``--trainer-backend serial|process``, ``--train-ratio``,
-``--sync-every``, ``--checkpoint``); ``sweep`` fans a multi-tuner,
+``--sync-every``, ``--checkpoint``); ``shard-host`` hosts a fraction
+of a sharded collection fleet over TCP (``collect --shard HOST:PORT``,
+repeatable, drives the same worker protocol the fork backend speaks
+over pipes — trajectories are byte-identical to local backends
+regardless of placement); ``sweep`` fans a multi-tuner,
 multi-seed experiment grid out through
 :class:`~repro.exp.runner.ExperimentRunner` — ``--env`` names any
 registered environment backend, ``--n-envs N`` trains each CAPES
@@ -125,6 +134,24 @@ def cmd_collect(args: argparse.Namespace) -> int:
     if args.n_envs < 1:
         print(f"--n-envs must be >= 1, got {args.n_envs}", file=sys.stderr)
         return 2
+    if args.shard and args.vector_backend not in ("serial", "shards"):
+        # serial is the argparse default: a bare --shard implies shards.
+        print(
+            f"--shard conflicts with --vector-backend "
+            f"{args.vector_backend}; sharded collection is "
+            f"--vector-backend shards",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard:
+        args.vector_backend = "shards"
+    if args.vector_backend == "shards" and not args.shard:
+        print(
+            "--vector-backend shards needs at least one --shard HOST:PORT "
+            "(start them with `repro shard-host`)",
+            file=sys.stderr,
+        )
+        return 2
     if args.ticks < 1:
         print(f"--ticks must be >= 1, got {args.ticks}", file=sys.stderr)
         return 2
@@ -161,14 +188,28 @@ def cmd_collect(args: argparse.Namespace) -> int:
     from repro.replaydb import CACHE_ONLY
 
     config = load_config(args.config)
-    venv = VectorEnv.from_config(
-        config.env,
-        args.n_envs,
-        backend=args.vector_backend,
-        # No --out: still fan in, just without a durable layer (useful
-        # as a throughput smoke and for in-process offline training).
-        shared_db_path=args.out if args.out else CACHE_ONLY,
-    )
+    vec_kwargs = {}
+    if args.vector_backend == "shards":
+        # The shard hosts build the envs from their own --config; the
+        # master derives the global seeds from this conf's seed and
+        # validates --n-envs against what the shards actually host.
+        vec_kwargs["shards"] = list(args.shard)
+    try:
+        venv = VectorEnv.from_config(
+            config.env,
+            args.n_envs,
+            backend=args.vector_backend,
+            # No --out: still fan in, just without a durable layer
+            # (useful as a throughput smoke and for in-process offline
+            # training).
+            shared_db_path=args.out if args.out else CACHE_ONLY,
+            **vec_kwargs,
+        )
+    except (ConnectionError, ValueError) as exc:
+        if args.vector_backend != "shards":
+            raise
+        print(f"cannot attach to shards: {exc}", file=sys.stderr)
+        return 2
     try:
         stats = None
         agent = None
@@ -307,6 +348,7 @@ def _session_extra(args: argparse.Namespace, trainer_config) -> dict:
         "chunk": args.chunk,
         "n_envs": int(args.n_envs),
         "vector_backend": args.vector_backend,
+        "shards": list(args.shard) if getattr(args, "shard", None) else None,
         "trainer": None,
     }
     if trainer_config is not None:
@@ -349,13 +391,36 @@ def cmd_resume(args: argparse.Namespace) -> int:
         )
         return 2
     config = load_config(args.config)
-    venv = VectorEnv.from_config(
-        config.env,
-        int(session["n_envs"]),
-        backend=session["backend"],
-        shared_db_path=args.out if args.out else CACHE_ONLY,
-        tick_stride=int(session["tick_stride"]),
-    )
+    vec_kwargs = {}
+    if session["backend"] == "shards":
+        # Default to the addresses the session recorded; --shard
+        # overrides for a moved or re-laid-out fleet (any layout with
+        # the same env total resumes byte-identically — placement
+        # independence).
+        shards = list(args.shard) if args.shard else session.get("shards")
+        if not shards:
+            print(
+                "session used sharded collection but recorded no shard "
+                "addresses; pass --shard HOST:PORT for each running "
+                "shard host",
+                file=sys.stderr,
+            )
+            return 2
+        vec_kwargs["shards"] = shards
+    try:
+        venv = VectorEnv.from_config(
+            config.env,
+            int(session["n_envs"]),
+            backend=session["backend"],
+            shared_db_path=args.out if args.out else CACHE_ONLY,
+            tick_stride=int(session["tick_stride"]),
+            **vec_kwargs,
+        )
+    except (ConnectionError, ValueError) as exc:
+        if session["backend"] != "shards":
+            raise
+        print(f"cannot attach to shards: {exc}", file=sys.stderr)
+        return 2
     try:
         agent = None
         trainer_config = None
@@ -393,7 +458,13 @@ def cmd_resume(args: argparse.Namespace) -> int:
             resume_from=snap,
             session_extra={
                 k: session.get(k)
-                for k in ("chunk", "n_envs", "vector_backend", "trainer")
+                for k in (
+                    "chunk",
+                    "n_envs",
+                    "vector_backend",
+                    "shards",
+                    "trainer",
+                )
             },
         )
         venv.commit_replay()
@@ -453,10 +524,16 @@ def cmd_replay(args: argparse.Namespace) -> int:
         )
         return 2
     config = load_config(args.config)
+    # Time travel is placement-independent: a sharded session's
+    # trajectory replays identically on local serial workers, with no
+    # shard hosts required.
+    backend = best_session["backend"]
+    if backend == "shards":
+        backend = "serial"
     venv = VectorEnv.from_config(
         config.env,
         int(best_session["n_envs"]),
-        backend=best_session["backend"],
+        backend=backend,
         shared_db_path=CACHE_ONLY,
         tick_stride=int(best_session["tick_stride"]),
     )
@@ -480,6 +557,83 @@ def cmd_replay(args: argparse.Namespace) -> int:
             print(f"cluster {i}: params={params}")
     finally:
         venv.close()
+    return 0
+
+
+def cmd_shard_host(args: argparse.Namespace) -> int:
+    """Host one fraction of a sharded collection fleet over TCP.
+
+    Builds its environments at attach time from the master-assigned
+    global seeds (placement never perturbs a trajectory); everything
+    else about the env comes from this host's own ``--config`` or
+    ``--env``, which must match the master's conf.
+    """
+    from repro.env.shard import ShardHost
+    from repro.transport import parse_address
+
+    if (args.config is None) == (args.env is None):
+        print(
+            "shard-host needs exactly one of --config (sim-lustre conf) "
+            "or --env (registry name)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.n_envs < 1:
+        print(f"--n-envs must be >= 1, got {args.n_envs}", file=sys.stderr)
+        return 2
+    try:
+        host, port = parse_address(args.bind)
+    except ValueError as exc:
+        print(f"bad --bind value: {exc}", file=sys.stderr)
+        return 2
+    if args.config is not None:
+        from dataclasses import replace
+
+        from repro.env import StorageTuningEnv
+        from repro.replaydb import CACHE_ONLY
+
+        env_config = load_config(args.config).env
+
+        def builder(seed: int):
+            # Mirror VectorEnv.from_config's per-env construction
+            # exactly: same config, derived seed, cache-only staging
+            # store (the master's shared DB is the durable layer).
+            return StorageTuningEnv(
+                replace(env_config, seed=seed, db_path=CACHE_ONLY)
+            )
+
+    else:
+        from repro.env import env_names, make_env
+
+        if args.env not in env_names():
+            print(
+                f"unknown environment {args.env!r}; registered: "
+                f"{env_names()}",
+                file=sys.stderr,
+            )
+            return 2
+
+        def builder(seed: int):
+            return make_env(args.env, seed=seed)
+
+    try:
+        shard = ShardHost(builder, args.n_envs, host=host, port=port)
+    except OSError as exc:
+        print(f"cannot bind {args.bind}: {exc}", file=sys.stderr)
+        return 2
+    # Flush immediately: launchers (tests, the shard-bench job) read
+    # the resolved ephemeral port from this line.
+    print(
+        f"shard-host listening on {shard.address} "
+        f"({args.n_envs} env(s))",
+        flush=True,
+    )
+    try:
+        shard.serve_forever(once=args.once)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        shard.close()
     return 0
 
 
@@ -917,10 +1071,20 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--vector-backend",
-        choices=("serial", "fork", "vec"),
+        choices=("serial", "fork", "vec", "shards"),
         default="serial",
         help="how the collecting clusters are stepped (vec: one "
-        "struct-of-arrays fleet advanced by numpy array ops)",
+        "struct-of-arrays fleet advanced by numpy array ops; shards: "
+        "remote shard hosts over TCP, see --shard)",
+    )
+    p.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="attach a running `repro shard-host` (repeatable, fleet "
+        "order; implies --vector-backend shards).  --n-envs must equal "
+        "the total env count the shards host",
     )
     p.add_argument(
         "--chunk",
@@ -1016,6 +1180,15 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for snapshots written by the resumed session",
     )
+    p.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="for sharded sessions: attach these shard hosts instead of "
+        "the addresses recorded in the snapshot (any layout with the "
+        "same total env count)",
+    )
     p.set_defaults(fn=cmd_resume)
 
     p = sub.add_parser(
@@ -1035,6 +1208,43 @@ def make_parser() -> argparse.ArgumentParser:
         help="directory holding the session's snapshot-*.npz artifacts",
     )
     p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser(
+        "shard-host",
+        help="host a fraction of a sharded collection fleet over TCP",
+    )
+    p.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="listen address; port 0 binds an ephemeral port (the "
+        "resolved address is printed on startup)",
+    )
+    p.add_argument(
+        "--config",
+        default=None,
+        help="conf.py whose ENV the hosted clusters are built from "
+        "(must match the master's conf; seeds come from the master)",
+    )
+    p.add_argument(
+        "--env",
+        default=None,
+        help="registered environment name to host instead of --config "
+        "(see repro.env.env_names())",
+    )
+    p.add_argument(
+        "--n-envs",
+        type=int,
+        default=1,
+        help="sub-environments this shard hosts",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="serve exactly one master session, then exit (benchmarks, "
+        "tests)",
+    )
+    p.set_defaults(fn=cmd_shard_host)
 
     p = sub.add_parser(
         "serve",

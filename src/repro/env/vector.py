@@ -21,6 +21,15 @@ Backends
     dispatched to all workers before any result is collected, so the
     simulations advance in parallel.  ``fork`` inherits memory, so
     unpicklable workload factories work unchanged.
+``shards``
+    Sub-environments live on remote shard hosts (``repro shard-host``)
+    and are driven over TCP — the fork worker protocol carried by
+    :class:`~repro.transport.tcp.SocketTransport` instead of a pipe.
+    The master derives *global* per-env seeds with
+    :func:`vector_seeds` and assigns each shard a contiguous slice at
+    attach time, so env ``i``'s trajectory is byte-identical whether
+    it runs forked, serial, or on any shard — placement never touches
+    the stream.
 ``vec``
     All sub-environments are rows of one struct-of-arrays
     :class:`~repro.sim.vec.fleet_env.FleetEnv`: a single ``tick_all``
@@ -40,7 +49,10 @@ Every reply that advances ticks carries the environment's new replay
 records inline, packed as one
 :class:`~repro.replaydb.records.PackedRecords` array block rather than
 a pickled object list, and the master lands each batch with one
-:meth:`~repro.replaydb.db.ReplayDB.put_many`.  Acting paths stay in
+:meth:`~repro.replaydb.db.ReplayDB.put_many`.  Worker commands and
+replies are framed binary messages (:mod:`repro.transport.codec`):
+observations, reward vectors and record columns cross pipes and
+sockets as raw array buffers, not pickles.  Acting paths stay in
 per-tick lockstep (the policy needs every observation) but pay no
 separate records round-trip; monitoring-only :meth:`VectorEnv.collect`
 and :meth:`VectorEnv.run_ticks` additionally run *chunked* — one
@@ -53,7 +65,8 @@ Per-env trajectories are a pure function of the per-env seed and the
 action sequence: ``VectorEnv`` over ``vector_seeds(seed, n)`` is
 byte-identical, env by env, to n serial single-environment runs built
 with the same derived seeds and fed the same actions — and the
-``serial`` and ``fork`` backends are byte-identical to each other.
+``serial``, ``fork`` and ``shards`` backends are byte-identical to
+each other, regardless of how envs are placed across shards.
 
 Shared-DB layout
 ----------------
@@ -71,29 +84,58 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+from collections import deque
 from dataclasses import replace
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.env.protocol import Environment
 from repro.env.tuning_env import EnvConfig, StorageTuningEnv
+from repro.env.worker import (
+    WorkerCrashError,
+    _transportable,
+    exec_env_cmd,
+    serve_env_session,
+)
 from repro.replaydb.db import CACHE_ONLY, ReplayDB
 from repro.replaydb.records import PackedRecords
 from repro.replaydb.spans import StridedMinibatchSampler, TickSpans
+from repro.transport.base import TransportClosedError
+from repro.transport.codec import (
+    MSG_CMD,
+    MSG_ERR,
+    decode_error,
+    decode_reply,
+    encode_command,
+)
+from repro.transport.framing import ProtocolError
+from repro.transport.pipe import PipeTransport
+from repro.transport.tcp import SocketTransport
 from repro.util.rng import derive_rng, ensure_rng
 from repro.util.validation import check_positive
 
+__all__ = [
+    "VectorEnv",
+    "WorkerCrashError",
+    "per_env_rngs",
+    "vector_seeds",
+]
+
 EnvFactoryFn = Callable[[], Environment]
+
+# Re-exported for callers that import the pickle-survival check from
+# its historical home (repro.train.process does).
+_transportable = _transportable
 
 
 def vector_seeds(base_seed: int, n: int) -> List[int]:
     """Derive n independent environment seeds from one base seed.
 
-    Env ``i``'s seed depends only on ``(base_seed, i)`` — not on ``n`` —
-    so growing the fleet keeps existing clusters' trajectories intact,
-    and a vectorized run can be replayed env by env with serial
-    single-environment runs.
+    Env ``i``'s seed depends only on ``(base_seed, i)`` — not on ``n``
+    and not on shard placement — so growing or resharding the fleet
+    keeps existing clusters' trajectories intact, and a vectorized run
+    can be replayed env by env with serial single-environment runs.
     """
     check_positive("n", n)
     return [
@@ -124,75 +166,6 @@ def per_env_rngs(
 # --------------------------------------------------------------------------
 
 
-def _fetch_packed(env: Environment, since: int) -> PackedRecords:
-    """New replay records after ``since``, in packed array form.
-
-    Uses the backend's native packed feed when it has one; otherwise
-    packs the object-form ``records_since`` so any Environment with a
-    record feed can join a fan-in fleet.
-    """
-    fn = getattr(env, "records_since_packed", None)
-    if fn is not None:
-        return fn(since)
-    return PackedRecords.from_records(env.records_since(since), env.frame_dim)
-
-
-def _chunk_rewards(env: Environment, action: Optional[int], k: int) -> np.ndarray:
-    """Advance ``k`` ticks (``action`` per tick, or none); per-tick rewards.
-
-    Prefers the backend's ``run_chunk`` (which skips the per-tick
-    observation builds nobody reads during chunked collection); the
-    fallback per-tick loop is byte-identical, just slower.
-    """
-    fn = getattr(env, "run_chunk", None)
-    if fn is not None:
-        return np.asarray(fn(k, action=action))
-    if action is None:
-        return np.asarray(env.run_ticks(k))
-    rewards = np.empty(k)
-    for j in range(k):
-        _obs, rewards[j], _info = env.step(action)
-    return rewards
-
-
-def _exec_env_cmd(env: Environment, cmd: str, payload: Any) -> Any:
-    """One worker command against one environment — both backends run
-    exactly this, so serial and fork stay behaviourally identical.
-
-    Replies that advance ticks carry the new replay records inline
-    (``since`` is the master's last-synced tick, or ``None`` when
-    fan-in is off), collapsing the old step-then-fetch double
-    round-trip into one.
-    """
-    if cmd == "reset":
-        want_records = payload
-        obs = env.reset()
-        packed = _fetch_packed(env, -1) if want_records else None
-        return obs, packed
-    if cmd == "step":
-        action, out, since = payload
-        obs, reward, info = env.step(action, out=out)
-        packed = _fetch_packed(env, since) if since is not None else None
-        return obs, reward, info, packed
-    if cmd == "run_chunk":
-        action, k, since, out = payload
-        rewards = _chunk_rewards(env, action, k)
-        obs = env.current_observation(out=out)
-        packed = _fetch_packed(env, since) if since is not None else None
-        return rewards, obs, packed
-    if cmd == "records":
-        return _fetch_packed(env, payload)
-    if cmd == "call":
-        name, args, kwargs = payload
-        return getattr(env, name)(*args, **kwargs)
-    if cmd == "commit":
-        fn = getattr(env, "commit_replay", None)
-        if fn is not None:
-            fn()
-        return None
-    raise ValueError(f"unknown worker command {cmd!r}")  # pragma: no cover
-
-
 class _SerialWorker:
     """In-process backend: submit computes immediately."""
 
@@ -205,86 +178,183 @@ class _SerialWorker:
             self.env.close()
             self._result = None
         else:
-            self._result = _exec_env_cmd(self.env, cmd, payload)
+            self._result = exec_env_cmd(self.env, cmd, payload)
 
     def result(self) -> Any:
         out, self._result = self._result, None
         return out
 
 
-class WorkerCrashError(RuntimeError):
-    """A fork worker raised an exception that could not cross the pipe.
+def _raise_worker_reply_error(
+    payload: bytes, env_index: int, shard: Optional[str] = None
+) -> None:
+    """Re-raise the failure a worker error frame carries.
 
-    Carries the original exception's type name, message and full
-    traceback as text — everything the real exception knew, minus the
-    unpicklable payload (open connections, generators, ...) that would
-    otherwise have killed the pipe and surfaced as a bare ``EOFError``.
+    The original exception is raised verbatim when it crossed whole
+    (pickled); otherwise its text travels inside a
+    :class:`WorkerCrashError` tagged with the global env index (and
+    shard address, when the worker lives on one).
     """
-
-
-def _transportable(exc: BaseException) -> BaseException:
-    """``exc`` if it survives a pickle round-trip, else a text wrapper."""
-    import pickle
-
-    try:
-        pickle.loads(pickle.dumps(exc))
-        return exc
-    except Exception:
-        import traceback
-
-        return WorkerCrashError(
-            f"{type(exc).__name__}: {exc}\n"
-            f"[worker traceback]\n{traceback.format_exc()}"
-        )
+    _env, text, exc = decode_error(payload)
+    if exc is not None:
+        raise exc
+    raise WorkerCrashError(text, env_index=env_index, shard=shard)
 
 
 def _env_worker(factory: EnvFactoryFn, conn) -> None:
-    """Forked worker loop: owns one environment for its whole life."""
-    env = factory()
+    """Forked worker main: serve one environment over its pipe."""
     try:
-        while True:
-            cmd, payload = conn.recv()
-            try:
-                if cmd == "close":
-                    env.close()
-                    conn.send(("ok", None))
-                    return
-                result = _exec_env_cmd(env, cmd, payload)
-            except Exception as exc:  # surface remote failures
-                conn.send(("err", _transportable(exc)))
-            else:
-                conn.send(("ok", result))
-    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        serve_env_session([factory()], PipeTransport(conn))
+    except KeyboardInterrupt:  # pragma: no cover - teardown
         pass
-    finally:
-        conn.close()
 
 
 class _ForkWorker:
-    """Forked-process backend: submit is asynchronous, result blocks."""
+    """Forked-process backend: submit is asynchronous, result blocks.
 
-    def __init__(self, factory: EnvFactoryFn, context):
-        self._conn, child = context.Pipe()
+    The child runs the same :func:`~repro.env.worker.serve_env_session`
+    loop a shard host runs, over a
+    :class:`~repro.transport.pipe.PipeTransport`.  A worker that dies
+    mid-command surfaces as :class:`WorkerCrashError` naming the env
+    and the command — never as a bare ``EOFError``.
+    """
+
+    def __init__(self, factory: EnvFactoryFn, context, env_index: int = 0):
+        self.env_index = int(env_index)
+        parent, child = context.Pipe()
         self._proc = context.Process(
             target=_env_worker, args=(factory, child), daemon=True
         )
         self._proc.start()
         child.close()
+        self._transport = PipeTransport(parent)
+        self._pending: Deque[str] = deque()
 
     def submit(self, cmd: str, payload: Any = None) -> None:
-        self._conn.send((cmd, payload))
+        try:
+            self._transport.send(MSG_CMD, encode_command(cmd, 0, payload))
+        except TransportClosedError as exc:
+            raise WorkerCrashError(
+                f"fork worker for env {self.env_index} is gone; cannot "
+                f"submit {cmd!r}: {exc}",
+                env_index=self.env_index,
+            ) from exc
+        self._pending.append(cmd)
 
     def result(self) -> Any:
-        status, value = self._conn.recv()
-        if status == "err":
-            raise value
-        return value
+        cmd = self._pending.popleft() if self._pending else "?"
+        try:
+            msg_type, payload = self._transport.recv()
+        except (TransportClosedError, ProtocolError) as exc:
+            raise WorkerCrashError(
+                f"fork worker for env {self.env_index} died during "
+                f"{cmd!r}: {exc}",
+                env_index=self.env_index,
+            ) from exc
+        if msg_type == MSG_ERR:
+            _raise_worker_reply_error(payload, self.env_index)
+        _cmd, result = decode_reply(payload)
+        return result
 
-    def terminate(self) -> None:
-        self._conn.close()
-        self._proc.join(timeout=5)
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Reap the worker process: join with a timeout, escalate to
+        terminate and finally kill rather than hang the master."""
+        self._transport.close()
+        self._proc.join(timeout=timeout)
         if self._proc.is_alive():  # pragma: no cover - hung worker
             self._proc.terminate()
+            self._proc.join(timeout=timeout)
+        if self._proc.is_alive():  # pragma: no cover - unkillable
+            self._proc.kill()
+            self._proc.join(timeout=timeout)
+
+
+class _ShardChannel:
+    """One master-side socket to a shard host, multiplexing its envs.
+
+    Commands for every env hosted on the shard share this transport;
+    the shard serves them strictly in arrival order, and the master
+    collects results in submission order, so a FIFO of in-flight
+    commands is the whole multiplexing state.
+    """
+
+    def __init__(self, address: str, timeout: Optional[float] = 30.0):
+        from repro.env.shard import SHARD_PROTO
+
+        self.address = address
+        self.transport = SocketTransport.connect(address, timeout=timeout)
+        #: (global env index, local slot, command) per in-flight command.
+        self._pending: Deque[Tuple[int, int, str]] = deque()
+        reply = self.rpc("hello", {"proto": SHARD_PROTO})
+        if not isinstance(reply, dict) or "n_envs" not in reply:
+            raise ProtocolError(
+                f"shard {address} sent a malformed hello reply: {reply!r}"
+            )
+        if int(reply.get("proto", -1)) != SHARD_PROTO:
+            raise ProtocolError(
+                f"shard {address} speaks proto {reply.get('proto')}, "
+                f"master speaks {SHARD_PROTO}"
+            )
+        #: How many envs this shard hosts (its ``--n-envs``).
+        self.n_envs = int(reply["n_envs"])
+
+    def submit(
+        self, local: int, cmd: str, payload: Any = None, env_index: int = -1
+    ) -> None:
+        try:
+            self.transport.send(MSG_CMD, encode_command(cmd, local, payload))
+        except TransportClosedError as exc:
+            raise WorkerCrashError(
+                f"shard {self.address} is gone; cannot submit {cmd!r} "
+                f"for env {env_index}: {exc}",
+                env_index=env_index,
+                shard=self.address,
+            ) from exc
+        self._pending.append((env_index, local, cmd))
+
+    def result(self) -> Any:
+        env_index, local, cmd = (
+            self._pending.popleft() if self._pending else (-1, -1, "?")
+        )
+        try:
+            msg_type, payload = self.transport.recv()
+        except (TransportClosedError, ProtocolError) as exc:
+            raise WorkerCrashError(
+                f"shard {self.address} went away during {cmd!r} for env "
+                f"{env_index} (its slot {local}): {exc}",
+                env_index=env_index,
+                shard=self.address,
+            ) from exc
+        if msg_type == MSG_ERR:
+            _raise_worker_reply_error(payload, env_index, shard=self.address)
+        _cmd, result = decode_reply(payload)
+        return result
+
+    def rpc(self, cmd: str, payload: Any = None) -> Any:
+        """One synchronous session-level command (handshake, snapshot)."""
+        self.submit(0, cmd, payload)
+        return self.result()
+
+    def close(self) -> None:
+        """Drain-then-close the shard socket (idempotent)."""
+        self.transport.close()
+
+
+class _ShardWorker:
+    """One sub-environment slot on a shard channel."""
+
+    def __init__(self, channel: _ShardChannel, local: int, env_index: int):
+        self._channel = channel
+        self._local = int(local)
+        self.env_index = int(env_index)
+
+    def submit(self, cmd: str, payload: Any = None) -> None:
+        self._channel.submit(
+            self._local, cmd, payload, env_index=self.env_index
+        )
+
+    def result(self) -> Any:
+        return self._channel.result()
 
 
 # --------------------------------------------------------------------------
@@ -298,13 +368,18 @@ class VectorEnv:
     Parameters
     ----------
     factories:
-        One zero-argument callable per sub-environment.  Each must
-        return an :class:`~repro.env.protocol.Environment`; fan-in
-        additionally requires ``records_since`` (which the sim-lustre
-        backend provides).
+        One zero-argument callable per sub-environment (``serial``,
+        ``fork``, ``vec``).  Each must return an
+        :class:`~repro.env.protocol.Environment`; fan-in additionally
+        requires ``records_since`` (which the sim-lustre backend
+        provides).  ``backend="shards"`` builds its environments on the
+        shard hosts instead — pass ``factories=None`` with ``shards=``
+        and ``base_seed=``.
     backend:
-        ``"serial"`` (in-process) or ``"fork"`` (one worker process per
-        environment).  Results are byte-identical either way.
+        ``"serial"`` (in-process), ``"fork"`` (one worker process per
+        environment) or ``"shards"`` (remote shard hosts over TCP).
+        Results are byte-identical across all three.  ``"vec"`` is the
+        struct-of-arrays fluid model (see the module docs).
     shared_db_path:
         Where the shared fan-in :class:`ReplayDB` lives.  The default,
         :data:`~repro.replaydb.db.CACHE_ONLY`, keeps the fan-in store
@@ -315,33 +390,74 @@ class VectorEnv:
     tick_stride:
         Tick-space block size per environment in the shared DB; an
         environment raises once its local tick reaches the stride.
+    shards:
+        ``backend="shards"`` only: the ``host:port`` addresses of the
+        shard hosts, in fleet order — shard ``s`` hosts the next
+        contiguous ``K_s`` global env slots.
+    base_seed:
+        ``backend="shards"`` only: the base seed global per-env seeds
+        derive from (the :func:`vector_seeds` argument); the master
+        sends each shard its slice at attach time.
+    connect_timeout:
+        ``backend="shards"`` only: seconds to wait for each shard
+        dial; established sessions block indefinitely.
     """
 
     def __init__(
         self,
-        factories: Sequence[EnvFactoryFn],
+        factories: Optional[Sequence[EnvFactoryFn]] = None,
         backend: str = "serial",
         shared_db_path: Optional[str] = CACHE_ONLY,
         tick_stride: int = 65536,
+        shards: Optional[Sequence[str]] = None,
+        base_seed: Optional[int] = None,
+        connect_timeout: Optional[float] = 30.0,
     ):
-        if not factories:
-            raise ValueError("VectorEnv needs at least one environment")
-        if backend not in ("serial", "fork", "vec"):
+        if backend not in ("serial", "fork", "vec", "shards"):
             raise ValueError(
-                f"backend must be 'serial', 'fork' or 'vec', got {backend!r}"
+                f"backend must be 'serial', 'fork', 'vec' or 'shards', "
+                f"got {backend!r}"
             )
+        if backend == "shards":
+            if factories:
+                raise ValueError(
+                    "backend='shards' builds its environments on the "
+                    "shard hosts; pass shards=[...] instead of factories"
+                )
+            if not shards:
+                raise ValueError(
+                    "backend='shards' needs at least one shard address"
+                )
+            if base_seed is None:
+                raise ValueError(
+                    "backend='shards' needs base_seed: per-env seeds are "
+                    "derived globally on the master and sent to the shards"
+                )
+        elif not factories:
+            raise ValueError("VectorEnv needs at least one environment")
         check_positive("tick_stride", tick_stride)
         self.backend = backend
         self.tick_stride = int(tick_stride)
         self._shared_db_path = shared_db_path
         self._fleet: Any = None
-        if backend == "fork":
+        self._closed = False
+        self._channels: List[_ShardChannel] = []
+        #: Shard addresses (``backend="shards"``) in fleet order.
+        self.shards: Optional[List[str]] = None
+        #: Env count per shard, aligned with :attr:`shards`.
+        self.shard_sizes: Optional[List[int]] = None
+        if backend == "shards":
+            self._workers = self._connect_shards(
+                list(shards), int(base_seed), connect_timeout
+            )
+        elif backend == "fork":
             try:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX fallback
                 context = multiprocessing.get_context()
             self._workers: List[Any] = [
-                _ForkWorker(f, context) for f in factories
+                _ForkWorker(f, context, env_index=i)
+                for i, f in enumerate(factories)
             ]
         else:
             self._workers = [_SerialWorker(f) for f in factories]
@@ -376,8 +492,12 @@ class VectorEnv:
             )
         #: Per-env fan-in frontier: which local tick each cluster's
         #: records are synced through.  Shared with the strided sampler
-        #: (candidate spans) and re-read on every draw.
-        self.spans = TickSpans(self.n_envs, self.tick_stride)
+        #: (candidate spans) and re-read on every draw.  Sharded fleets
+        #: carry the shard topology so frontier bookkeeping can be
+        #: reasoned about (and snapshotted) per shard.
+        self.spans = TickSpans(
+            self.n_envs, self.tick_stride, shard_sizes=self.shard_sizes
+        )
         self._ingest_listeners: List[Callable[[PackedRecords], None]] = []
         # Snapshot support for the worker backends: the op log since the
         # last reset().  Worker-side simulators drive live Python
@@ -390,6 +510,45 @@ class VectorEnv:
         # (the hot-path allocation the collection loop must not repeat).
         self._obs_buf = np.zeros((self.n_envs, self.obs_dim))
         self._reward_buf = np.zeros(self.n_envs)
+
+    def _connect_shards(
+        self,
+        shards: List[str],
+        base_seed: int,
+        connect_timeout: Optional[float],
+    ) -> List[_ShardWorker]:
+        """Dial every shard, derive the global seed sequence, attach.
+
+        Seeds are computed over the *total* fleet size and sliced
+        contiguously per shard, so each env's stream depends on its
+        global index alone — resharding the same total fleet is
+        byte-invisible.
+        """
+        try:
+            self._channels = [
+                _ShardChannel(addr, timeout=connect_timeout)
+                for addr in shards
+            ]
+            self.shards = shards
+            self.shard_sizes = [ch.n_envs for ch in self._channels]
+            seeds = vector_seeds(base_seed, sum(self.shard_sizes))
+            workers: List[_ShardWorker] = []
+            offset = 0
+            for ch in self._channels:
+                ch.rpc(
+                    "attach",
+                    {"seeds": seeds[offset : offset + ch.n_envs]},
+                )
+                workers.extend(
+                    _ShardWorker(ch, local, offset + local)
+                    for local in range(ch.n_envs)
+                )
+                offset += ch.n_envs
+            return workers
+        except Exception:
+            for ch in self._channels:
+                ch.close()
+            raise
 
     # -- construction helpers -------------------------------------------
     @classmethod
@@ -410,7 +569,27 @@ class VectorEnv:
         ``backend="vec"`` builds one struct-of-arrays
         :class:`~repro.sim.vec.fleet_env.FleetEnv` over the same derived
         seeds and wraps its per-env slots.
+
+        ``backend="shards"`` (pass ``shards=[...]`` in ``vec_kwargs``)
+        attaches to running shard hosts with ``config.seed`` as the
+        base seed; ``n_envs`` is validated against the fleet the shards
+        actually host.
         """
+        if backend == "shards":
+            venv = cls(
+                None,
+                backend="shards",
+                base_seed=config.seed,
+                **vec_kwargs,
+            )
+            if int(n_envs) != venv.n_envs:
+                sizes = venv.shard_sizes
+                venv.close()
+                raise ValueError(
+                    f"requested n_envs={n_envs} but the shards host "
+                    f"{sum(sizes)} env(s) (sizes {sizes})"
+                )
+            return venv
         if backend == "vec":
             from repro.sim.vec.fleet_env import FleetEnv
 
@@ -450,9 +629,25 @@ class VectorEnv:
         :class:`EnvConfig` (scenario-named keys included) and routes it
         through :meth:`from_config`'s fleet path, so scenario timelines
         ride along.
+
+        ``backend="shards"`` attaches to running shard hosts (each
+        built with its own ``--env``/``--config``; the master only
+        sends seeds), validating ``n_envs`` against the hosted total.
         """
         from repro.env.registry import make_env
 
+        if backend == "shards":
+            venv = cls(
+                None, backend="shards", base_seed=base_seed, **vec_kwargs
+            )
+            if int(n_envs) != venv.n_envs:
+                sizes = venv.shard_sizes
+                venv.close()
+                raise ValueError(
+                    f"requested n_envs={n_envs} but the shards host "
+                    f"{sum(sizes)} env(s) (sizes {sizes})"
+                )
+            return venv
         if backend == "vec":
             probe = make_env(name, seed=base_seed, **(env_kwargs or {}))
             config = getattr(probe, "config", None)
@@ -617,9 +812,9 @@ class VectorEnv:
         Returns ``(obs, rewards, infos)`` where ``obs`` is the reused
         ``(n, obs_dim)`` buffer and ``rewards`` the reused ``(n,)``
         buffer.  All submissions go out before any result is collected,
-        so the ``fork`` backend steps clusters in parallel; each reply
-        carries the cluster's new replay records, so fan-in costs no
-        extra round-trip.
+        so the ``fork`` and ``shards`` backends step clusters in
+        parallel; each reply carries the cluster's new replay records,
+        so fan-in costs no extra round-trip.
         """
         actions = np.asarray(actions)
         if actions.shape != (self.n_envs,):
@@ -645,7 +840,7 @@ class VectorEnv:
             obs, reward, info, packed = w.result()
             if self.backend != "serial":
                 # Serial steps wrote straight into the buffer via out=;
-                # pipe-crossing observations need the one copy.
+                # boundary-crossing observations need the one copy.
                 self._obs_buf[i] = obs
             self._reward_buf[i] = reward
             infos.append(info)
@@ -729,10 +924,14 @@ class VectorEnv:
         - ``vec`` — the :class:`~repro.sim.vec.state.FleetState` arrays
           and every RNG/scenario-runtime state, wholesale (the fleet is
           plain data);
-        - ``serial``/``fork`` — the op log since ``reset()``.  Worker
-          simulators drive live generator coroutines that cannot cross
-          a process boundary, but their trajectories are a pure
-          function of seed + op sequence, so the log *is* the state.
+        - ``serial``/``fork``/``shards`` — the op log since
+          ``reset()``.  Worker simulators drive live generator
+          coroutines that cannot cross a process boundary, but their
+          trajectories are a pure function of seed + op sequence, so
+          the log *is* the state.  Sharded fleets additionally run a
+          ``snapshot`` barrier against every shard (all in-flight
+          commands applied, topology acknowledged) and record the
+          shard layout in the meta.
 
         Raises when no lockstep history exists (never reset, or an
         :meth:`env_method` call drove one env ahead of the others).
@@ -762,6 +961,13 @@ class VectorEnv:
             "tick_stride": int(self.tick_stride),
             "oplog": [list(op) for op in self._oplog],
         }
+        if self.backend == "shards":
+            acks = [ch.rpc("snapshot") for ch in self._channels]
+            meta["shards"] = {
+                "addresses": list(self.shards),
+                "sizes": list(self.shard_sizes),
+                "acks": acks,
+            }
         return {"meta": meta, "arrays": {}}
 
     def restore(self, snap: dict) -> None:
@@ -771,9 +977,11 @@ class VectorEnv:
         geometry, scenario).  Ingest listeners attached before the call
         hear the whole restored record stream — a trainer mirror
         re-fed this way ends up with the same replay cache the
-        original session had.  ``serial`` and ``fork`` snapshots are
-        interchangeable (their trajectories are byte-identical by
-        contract); ``vec`` snapshots only restore onto ``vec``.
+        original session had.  ``serial``, ``fork`` and ``shards``
+        snapshots are interchangeable (their trajectories are
+        byte-identical by contract — a 2×2 sharded session may resume
+        as a 4-env fork fleet and vice versa, any shard layout);
+        ``vec`` snapshots only restore onto ``vec``.
         """
         from repro.snapshot.core import SnapshotError
 
@@ -844,14 +1052,16 @@ class VectorEnv:
         """
         if not 0 <= i < self.n_envs:
             raise IndexError(f"env index {i} out of range 0..{self.n_envs - 1}")
-        if self.backend != "fork":
-            # serial and vec are both in-process: write straight into
-            # the buffer row via out=.
+        if self.backend in ("serial", "vec"):
+            # Both are in-process: write straight into the buffer row
+            # via out=.
             self._workers[i].submit(
                 "call", ("current_observation", (), {"out": self._obs_buf[i]})
             )
             self._workers[i].result()
         else:
+            # fork and shards cross a process/host boundary: the out=
+            # buffer cannot travel, so copy the returned observation.
             self._workers[i].submit("call", ("current_observation", (), {}))
             self._obs_buf[i] = self._workers[i].result()
         return self._obs_buf
@@ -872,17 +1082,42 @@ class VectorEnv:
         )
 
     def close(self) -> None:
-        """Close every sub-environment (and fork worker) and the
-        shared fan-in DB."""
+        """Close every sub-environment, reap every worker process with a
+        bounded join, drain-then-close every shard socket, and close the
+        shared fan-in DB.  Idempotent — a second call is a no-op, and a
+        crashed worker never blocks the teardown of the healthy ones.
+        """
+        if self._closed:
+            return
+        self._closed = True
         for w in self._workers:
-            w.submit("close")
+            try:
+                w.submit("close")
+            except (
+                WorkerCrashError,
+                TransportClosedError,
+                ProtocolError,
+                OSError,
+            ):
+                pass  # this worker is already gone; keep reaping
         for w in self._workers:
             try:
                 w.result()
-            except (EOFError, BrokenPipeError):  # pragma: no cover
+            except (
+                WorkerCrashError,
+                TransportClosedError,
+                ProtocolError,
+                EOFError,
+                BrokenPipeError,
+                OSError,
+            ):
                 pass
-            if isinstance(w, _ForkWorker):
-                w.terminate()
+        for w in self._workers:
+            shutdown = getattr(w, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+        for ch in self._channels:
+            ch.close()
         if self.shared_db is not None:
             self.shared_db.close()
 

@@ -35,6 +35,14 @@ import json
 import struct
 from typing import Tuple
 
+from repro.transport.framing import (
+    MAX_PAYLOAD,
+    PREFIX as _PREFIX,
+    ProtocolError,
+    encode_frame,
+    read_frame_async,
+)
+
 PROTO_VERSION = 1
 
 HELLO = 1
@@ -58,43 +66,29 @@ TYPE_NAMES = {
     ERROR: "error",
 }
 
-_PREFIX = struct.Struct("<BI")  # message type, payload length
 _FRAME_HEAD = struct.Struct("<qd")  # tick, reward
 _DECISION = struct.Struct("<qqB")  # tick, action, decided flag
 _CHECKPOINT_HEAD = struct.Struct("<qq")  # weight epoch, version
 
-#: Hard cap on a single payload; anything larger is a framing error
-#: (a desynchronised or malicious peer), not a legitimate message.
-MAX_PAYLOAD = 64 * 1024 * 1024
-
-
-class ProtocolError(ValueError):
-    """The peer sent bytes that do not parse as a protocol message."""
-
-
 def pack_message(msg_type: int, payload: bytes = b"") -> bytes:
-    """One wire-ready framed message."""
-    if len(payload) > MAX_PAYLOAD:
-        raise ProtocolError(
-            f"payload of {len(payload)} bytes exceeds cap {MAX_PAYLOAD}"
-        )
-    return _PREFIX.pack(msg_type, len(payload)) + payload
+    """One wire-ready framed message.
+
+    Thin alias of :func:`repro.transport.framing.encode_frame` — the
+    control plane and the collection transports share one framing
+    implementation (prefix layout, :data:`MAX_PAYLOAD` cap,
+    :class:`ProtocolError` on oversize).
+    """
+    return encode_frame(msg_type, payload)
 
 
 async def read_message(reader: asyncio.StreamReader) -> Tuple[int, bytes]:
     """Read one framed message; raises on EOF or oversized frames.
 
+    Thin alias of :func:`repro.transport.framing.read_frame_async`.
     ``asyncio.IncompleteReadError`` propagates on a peer that vanished
     mid-frame — callers treat it exactly like a disconnect.
     """
-    prefix = await reader.readexactly(_PREFIX.size)
-    msg_type, length = _PREFIX.unpack(prefix)
-    if length > MAX_PAYLOAD:
-        raise ProtocolError(
-            f"framed payload of {length} bytes exceeds cap {MAX_PAYLOAD}"
-        )
-    payload = await reader.readexactly(length) if length else b""
-    return msg_type, payload
+    return await read_frame_async(reader)
 
 
 def pack_json(msg_type: int, obj: dict) -> bytes:

@@ -1,0 +1,85 @@
+"""Framed-message transport layer for distributed collection.
+
+One framing format (:mod:`repro.transport.framing`), one message
+abstraction (:mod:`repro.transport.base`), three media:
+
+- :class:`PipeTransport` — ``multiprocessing`` pipes to forked
+  collection workers (the historical fork-backend path, unchanged
+  behavior);
+- :class:`SocketTransport` / :class:`SocketListener` — TCP to remote
+  shard hosts (``repro shard-host``), making the worker protocol
+  host-portable;
+- :class:`LoopbackTransport` — an in-process queue pair for tests.
+
+On top of the byte layer, :mod:`repro.transport.codec` defines the
+binary request/response vocabulary of the vectorized worker protocol
+(``reset`` / ``step`` / ``run_chunk`` / records fan-in / shard
+handshake), with NumPy payloads as raw buffers rather than pickles.
+The serve control-plane protocol (:mod:`repro.serve.protocol`) frames
+its messages through the same :mod:`~repro.transport.framing` module,
+so the length-prefix layout and the oversize cap live in exactly one
+place.
+"""
+
+from repro.transport.base import (
+    Listener,
+    StreamTransport,
+    Transport,
+    TransportClosedError,
+)
+from repro.transport.codec import (
+    MSG_CMD,
+    MSG_ERR,
+    MSG_OK,
+    decode_command,
+    decode_error,
+    decode_reply,
+    decode_sections,
+    encode_command,
+    encode_error,
+    encode_reply,
+    encode_sections,
+)
+# PREFIX (the struct.Struct of the 5-byte frame prefix) stays a
+# framing-module detail: its repr is instance-specific, so it is not
+# part of the indexed package surface.
+from repro.transport.framing import (
+    MAX_PAYLOAD,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    read_frame_async,
+)
+from repro.transport.loopback import LoopbackTransport, loopback_pair
+from repro.transport.pipe import PipeTransport, pipe_pair
+from repro.transport.tcp import SocketListener, SocketTransport, parse_address
+
+__all__ = [
+    "FrameDecoder",
+    "Listener",
+    "LoopbackTransport",
+    "MAX_PAYLOAD",
+    "MSG_CMD",
+    "MSG_ERR",
+    "MSG_OK",
+    "PipeTransport",
+    "ProtocolError",
+    "SocketListener",
+    "SocketTransport",
+    "StreamTransport",
+    "Transport",
+    "TransportClosedError",
+    "decode_command",
+    "decode_error",
+    "decode_reply",
+    "decode_sections",
+    "encode_command",
+    "encode_error",
+    "encode_frame",
+    "encode_reply",
+    "encode_sections",
+    "loopback_pair",
+    "parse_address",
+    "pipe_pair",
+    "read_frame_async",
+]
