@@ -45,6 +45,7 @@ API_MODULES = (
     "repro.exp",
     "repro.replaydb",
     "repro.scenarios",
+    "repro.scenarios.fuzz",
     "repro.serve",
     "repro.sim.vec",
     "repro.snapshot",

@@ -902,8 +902,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 2
     from repro.env import env_names
+    from repro.scenarios import has_scenario
 
-    if args.env not in env_names():
+    # Resolver-backed scenario names (fuzz-<seed>-<index>) are env keys
+    # too but unbounded, so they resolve via has_scenario rather than
+    # appearing in the env_names() enumeration.
+    if args.env not in env_names() and not has_scenario(args.env):
         print(
             f"unknown environment {args.env!r}; registered: {env_names()}",
             file=sys.stderr,
@@ -927,7 +931,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             return 2
     # The timeline may be named either way: --scenario NAME, or a
     # scenario-named --env (spec.build_env reroutes the latter).
-    if args.scenario in scenario_names():
+    if args.scenario is not None and has_scenario(args.scenario):
         effective_scenario = args.scenario
         if args.env not in ("sim-lustre", args.scenario):
             print(
@@ -937,7 +941,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    elif args.env in scenario_names():
+    elif has_scenario(args.env):
         effective_scenario = args.env
     else:
         effective_scenario = None
@@ -999,6 +1003,97 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(results.format_table(unit_scale=MBPS_PER_UNIT, unit=" MB/s"))
     if args.artifacts:
         print(f"per-run artifacts: {args.artifacts}/runs.jsonl")
+    return 0
+
+
+def cmd_fuzz_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import has_scenario, make_scenario
+    from repro.scenarios.fuzz import (
+        Candidate,
+        FUZZ_NAME_RE,
+        SEEDED_BURSTY_NAME,
+        ScenarioFuzzer,
+        merge_frontier,
+    )
+
+    for knob in ("budget", "top", "jobs"):
+        if getattr(args, knob) < 1:
+            print(f"--{knob} must be >= 1", file=sys.stderr)
+            return 2
+    if args.score is not None and args.score_events is not None:
+        print(
+            "--score and --score-events are exclusive single-candidate "
+            "modes; pass one",
+            file=sys.stderr,
+        )
+        return 2
+    fuzzer = ScenarioFuzzer(args.seed, jobs=args.jobs)
+    if args.score is not None or args.score_events is not None:
+        # Single-candidate re-run mode: this is the exact command every
+        # frontier entry prints as its repro line.
+        if args.score is not None:
+            if not has_scenario(args.score):
+                print(
+                    f"unknown scenario {args.score!r}; --score takes a "
+                    f"name-derivable fuzzed scenario "
+                    f"(fuzz-<root_seed>-<index> or "
+                    f"{SEEDED_BURSTY_NAME!r})",
+                    file=sys.stderr,
+                )
+                return 2
+            scenario = make_scenario(args.score)
+            derivable = bool(
+                FUZZ_NAME_RE.match(args.score)
+                or args.score == SEEDED_BURSTY_NAME
+            )
+            cand = Candidate(
+                name=scenario.name,
+                events=scenario.events,
+                origin="score",
+                derivable=derivable,
+            )
+        else:
+            try:
+                payload = json.loads(args.score_events)
+                if not isinstance(payload, dict) or "events" not in payload:
+                    raise ValueError(
+                        "expected a JSON object with an 'events' list"
+                    )
+                scenario = make_scenario(
+                    "fuzzed",
+                    name=payload.get("name", "fuzzed"),
+                    events=payload["events"],
+                )
+            except (json.JSONDecodeError, ValueError, TypeError, KeyError) as exc:
+                print(f"bad --score-events JSON: {exc}", file=sys.stderr)
+                return 2
+            cand = Candidate(
+                name=scenario.name,
+                events=scenario.events,
+                origin="score",
+                derivable=False,
+            )
+        cand = fuzzer.score_one(cand)
+        print(json.dumps(cand.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"fuzzing {args.budget} candidate timeline(s) "
+        f"(strategy={args.strategy}, root_seed={args.seed}, "
+        f"jobs={args.jobs}; 2 runs per candidate)..."
+    )
+    result = fuzzer.search(strategy=args.strategy, budget=args.budget)
+    section = result.frontier_section(top_k=args.top)
+    header = f"{'score%':>8}  {'origin':<24} name"
+    print(header)
+    for row in section["top"]:
+        print(
+            f"{row['tuner_vs_static_pct']:>+8.2f}  "
+            f"{row['origin']:<24} {row['name']}"
+        )
+        print(f"          repro: {row['repro']}")
+    if args.out:
+        merge_frontier(args.out, section)
+        print(f"fuzzed_frontier ({len(section['top'])} entries) -> {args.out}")
     return 0
 
 
@@ -1343,6 +1438,67 @@ def make_parser() -> argparse.ArgumentParser:
         "no path, resumes from --snapshot-dir/serve-latest.npz",
     )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "fuzz-scenarios",
+        help="adversarial scenario search: fuzz randomized event "
+        "timelines and hunt for where capes stops beating static",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=8,
+        help="candidate timelines to score (each costs one capes run "
+        "plus one static run)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=42,
+        help="root seed: fuzzed timelines derive purely from "
+        "(seed, index), so frontiers are identical across invocations",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    p.add_argument(
+        "--strategy",
+        choices=("random", "hill_climb", "evolution"),
+        default="evolution",
+        help="search driver: random sweep baseline, greedy hill_climb, "
+        "or a small (mu+lambda) evolution over timeline mutations",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="frontier size: the top-k most flat/losing-for-capes "
+        "timelines reported",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="BENCH_JSON",
+        help="merge the fuzzed_frontier section into this JSON file "
+        "read-update-write (e.g. BENCH_scenarios.json)",
+    )
+    p.add_argument(
+        "--score",
+        default=None,
+        metavar="NAME",
+        help="re-score one name-derivable fuzzed scenario "
+        "(fuzz-<root_seed>-<index>) and print its row instead of "
+        "searching",
+    )
+    p.add_argument(
+        "--score-events",
+        default=None,
+        metavar="JSON",
+        help="re-score one serialized timeline "
+        '(\'{"name": ..., "events": [...]}\', as printed in frontier '
+        "repro commands) and print its row instead of searching",
+    )
+    p.set_defaults(fn=cmd_fuzz_scenarios)
 
     p = sub.add_parser(
         "sweep",

@@ -26,7 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.env.protocol import Environment
 from repro.env.tuning_env import EnvConfig, StorageTuningEnv
-from repro.scenarios.registry import make_scenario, scenario_names
+from repro.scenarios.registry import has_scenario, make_scenario, scenario_names
 from repro.scenarios.scenario import Scenario
 
 EnvFactory = Callable[..., Environment]
@@ -55,7 +55,7 @@ def make_env(name: str, **cfg: Any) -> Environment:
     :func:`repro.scenarios.register_scenario` work immediately).
     """
     factory = _ENVS.get(name)
-    if factory is None and name in scenario_names():
+    if factory is None and has_scenario(name):
         factory = functools.partial(_make_sim_lustre_scenario, name)
     if factory is None:
         raise KeyError(

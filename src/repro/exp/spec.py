@@ -227,9 +227,9 @@ class ExperimentSpec:
         """The registered :class:`~repro.scenarios.scenario.Scenario`
         this spec names, or ``None`` when ``scenario`` is only a label.
         """
-        from repro.scenarios import make_scenario, scenario_names
+        from repro.scenarios import has_scenario, make_scenario, scenario_names
 
-        if self.scenario and self.scenario in scenario_names():
+        if self.scenario and has_scenario(self.scenario):
             return make_scenario(self.scenario, **self.scenario_kwargs)
         if self.scenario_kwargs:
             raise KeyError(
@@ -280,17 +280,19 @@ class ExperimentSpec:
         """
         if self.n_envs < 1:
             raise ValueError(f"n_envs must be >= 1, got {self.n_envs}")
-        from repro.scenarios import scenario_names
+        from repro.scenarios import has_scenario
 
-        if self.env != "sim-lustre" and self.env in scenario_names():
+        if self.env != "sim-lustre" and has_scenario(self.env):
             # A scenario-named environment is sim-lustre plus that
             # timeline.  Re-route through the sim-lustre config path so
             # the conf/inline cluster-workload-hp configuration applies
             # (the generic registry branch below would rebuild from
             # EnvConfig defaults and misdescribe the run).  Any
             # scenario_kwargs parametrize this scenario.
-            if self.scenario in scenario_names() and (
-                self.scenario != self.env
+            if (
+                self.scenario
+                and has_scenario(self.scenario)
+                and self.scenario != self.env
             ):
                 raise ValueError(
                     f"env={self.env!r} names one scenario but "
@@ -405,9 +407,9 @@ def grid(
     expansion order is deterministic (workload-major, then tuner, then
     seed) so artifact indices are stable across runs.
     """
-    from repro.scenarios import scenario_names
+    from repro.scenarios import has_scenario
 
-    if workloads is not None and base.scenario in scenario_names():
+    if workloads is not None and base.scenario and has_scenario(base.scenario):
         # The workloads axis relabels each spec's scenario field, which
         # would silently replace the registered perturbation timeline
         # with a plain label and run every session unperturbed.

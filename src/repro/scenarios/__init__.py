@@ -24,13 +24,28 @@ from repro.scenarios.events import (
     ScenarioError,
     ScenarioEvent,
     WorkloadPhaseShift,
+    event_from_dict,
+    event_to_dict,
 )
 from repro.scenarios.registry import (
+    has_scenario,
     make_scenario,
     register_scenario,
+    register_scenario_resolver,
     scenario_names,
 )
 from repro.scenarios.scenario import Scenario, ScenarioRuntime
+
+# Importing the fuzzer installs its name resolver, so the
+# fuzz-<root_seed>-<index> / "fuzzed" scenario families resolve in
+# every process that can name a scenario at all (CLI, spec workers,
+# shard hosts).  The heavyweight scoring imports inside it are lazy.
+from repro.scenarios.fuzz import (  # noqa: E402  (resolver side effect)
+    ScenarioFuzzer,
+    mutate_timeline,
+    sample_scenario,
+    sample_timeline,
+)
 
 __all__ = [
     "ClientChurn",
@@ -40,9 +55,17 @@ __all__ = [
     "Scenario",
     "ScenarioError",
     "ScenarioEvent",
+    "ScenarioFuzzer",
     "ScenarioRuntime",
     "WorkloadPhaseShift",
+    "event_from_dict",
+    "event_to_dict",
+    "has_scenario",
     "make_scenario",
+    "mutate_timeline",
     "register_scenario",
+    "register_scenario_resolver",
+    "sample_scenario",
+    "sample_timeline",
     "scenario_names",
 ]

@@ -23,8 +23,8 @@ monitored interval.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -54,9 +54,12 @@ class ScenarioEvent(abc.ABC):
     def __post_init__(self) -> None:
         if self.at_tick < 1:
             raise ValueError(f"at_tick must be >= 1, got {self.at_tick}")
-        if self.duration_ticks is not None and self.duration_ticks < 1:
+        if self.duration_ticks is not None and self.duration_ticks < 0:
+            # duration_ticks == 0 is a legal *empty* window: the fuzzer's
+            # rescale mutation can shrink a window to nothing, and the
+            # runtime treats the event as pure no-op (never applied).
             raise ValueError(
-                f"duration_ticks must be >= 1 or None, got "
+                f"duration_ticks must be >= 0 or None, got "
                 f"{self.duration_ticks}"
             )
 
@@ -431,3 +434,54 @@ class LoadSpike(ScenarioEvent):
             )
 
         return self._tag(revert, payload)
+
+
+#: JSON-serializable event classes, keyed by class name — the wire
+#: vocabulary of :func:`event_to_dict`/:func:`event_from_dict`.
+EVENT_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        ClientChurn,
+        DiskDegradation,
+        LoadSpike,
+        NetworkCongestionWindow,
+        WorkloadPhaseShift,
+    )
+}
+
+
+def event_to_dict(event: ScenarioEvent) -> dict:
+    """Serialize an event to a JSON-able dict (``type`` + field values).
+
+    The built-in events carry only ints/floats/``None``, so the dict
+    round-trips through ``json`` exactly; :func:`event_from_dict`
+    inverts it.  This is how fuzzed timelines travel in
+    ``BENCH_scenarios.json`` frontier entries and ``--score-events``
+    repro commands.
+    """
+    if type(event).__name__ not in EVENT_TYPES:
+        raise ScenarioError(
+            f"{type(event).__name__} is not a serializable built-in "
+            f"event; register it in EVENT_TYPES to fuzz it"
+        )
+    data: dict = {"type": type(event).__name__}
+    for field in fields(event):
+        data[field.name] = getattr(event, field.name)
+    return data
+
+
+def event_from_dict(data: Mapping) -> ScenarioEvent:
+    """Rebuild an event from its :func:`event_to_dict` serialization.
+
+    Field values pass through each event's ``__post_init__``
+    validation, so a hand-edited or corrupted dict fails loudly.
+    """
+    payload = dict(data)
+    type_name = payload.pop("type", None)
+    cls = EVENT_TYPES.get(type_name)
+    if cls is None:
+        raise ScenarioError(
+            f"unknown event type {type_name!r}; known: "
+            f"{sorted(EVENT_TYPES)}"
+        )
+    return cls(**payload)

@@ -25,7 +25,7 @@ EXPERIMENTS.md; every factory takes knobs so tests compress further.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.scenarios.events import (
     ClientChurn,
@@ -37,7 +37,12 @@ from repro.scenarios.scenario import Scenario
 
 ScenarioFactory = Callable[..., Scenario]
 
+#: Maps a name the exact-name table does not carry to a factory, or
+#: ``None`` when the name is not this resolver's to claim.
+ScenarioResolver = Callable[[str], Optional[ScenarioFactory]]
+
 _SCENARIOS: Dict[str, ScenarioFactory] = {}
+_RESOLVERS: List[ScenarioResolver] = []
 
 
 def register_scenario(name: str, factory: ScenarioFactory) -> None:
@@ -45,19 +50,58 @@ def register_scenario(name: str, factory: ScenarioFactory) -> None:
     _SCENARIOS[name] = factory
 
 
+def register_scenario_resolver(resolver: ScenarioResolver) -> None:
+    """Register a fallback resolver for *families* of scenario names.
+
+    Exact-name registration covers a finite catalogue; a resolver
+    covers an open-ended family — the fuzzer's ``fuzz-<seed>-<index>``
+    names resolve this way, so any fuzzed timeline is a one-line repro
+    in every process without enumerating the family in
+    :func:`scenario_names` (which benchmarks iterate exhaustively).
+    """
+    _RESOLVERS.append(resolver)
+
+
 def scenario_names() -> List[str]:
-    """Every currently registered scenario name, sorted."""
+    """Every exactly-registered scenario name, sorted.
+
+    Resolver-backed families (e.g. fuzzed ``fuzz-<seed>-<index>``
+    names) are unbounded and deliberately not enumerated here; use
+    :func:`has_scenario` for membership tests.
+    """
     return sorted(_SCENARIOS)
 
 
-def make_scenario(name: str, **kwargs: Any) -> Scenario:
-    """Build a registered scenario by name."""
-    try:
-        factory = _SCENARIOS[name]
-    except KeyError:
+def resolve_scenario_factory(name: str) -> Optional[ScenarioFactory]:
+    """The factory for ``name`` — exact registration first, then the
+    registered resolvers in order — or ``None`` when nothing claims it.
+    """
+    factory = _SCENARIOS.get(name)
+    if factory is not None:
+        return factory
+    for resolver in _RESOLVERS:
+        factory = resolver(name)
+        if factory is not None:
+            return factory
+    return None
+
+
+def has_scenario(name: str) -> bool:
+    """Whether ``name`` resolves to a scenario (exact or via resolver)."""
+    return resolve_scenario_factory(name) is not None
+
+
+def make_scenario(name: str, /, **kwargs: Any) -> Scenario:
+    """Build a registered scenario by name (resolvers included).
+
+    ``name`` is positional-only so factories may themselves take a
+    ``name=`` knob (the fuzzer's ``"fuzzed"`` factory does).
+    """
+    factory = resolve_scenario_factory(name)
+    if factory is None:
         raise KeyError(
             f"unknown scenario {name!r}; registered: {scenario_names()}"
-        ) from None
+        )
     return factory(**kwargs)
 
 

@@ -117,6 +117,11 @@ class ScenarioRuntime:
         for pos, event in enumerate(self.scenario.events):
             if event.at_tick != tick:
                 continue
+            if event.duration_ticks == 0:
+                # An empty window [t, t): applying and immediately
+                # reverting would still burn rng draws and log entries,
+                # so a zero-length event is a pure no-op instead.
+                continue
             if getattr(self.env, "fleet_slot", False):
                 # A vectorized fleet row: events scale its factor
                 # arrays instead of mutating an object graph.

@@ -59,9 +59,12 @@ class TestEventValidation:
         with pytest.raises(ValueError, match="at_tick"):
             DiskDegradation(at_tick=0)
 
-    def test_duration_must_be_positive_or_none(self):
+    def test_duration_must_be_nonnegative_or_none(self):
         with pytest.raises(ValueError, match="duration_ticks"):
-            NetworkCongestionWindow(at_tick=1, duration_ticks=0)
+            NetworkCongestionWindow(at_tick=1, duration_ticks=-1)
+        # Zero-length windows are legal no-ops (fuzzer mutations can
+        # shrink a window to nothing); the runtime never applies them.
+        NetworkCongestionWindow(at_tick=1, duration_ticks=0)
 
     def test_factor_validation(self):
         with pytest.raises(ValueError):
@@ -484,6 +487,214 @@ class TestRuntimeOrdering:
             ]
         finally:
             env.close()
+
+
+class TestFuzzedEdgeCases:
+    """Degenerate timelines the fuzzer generates (repro.scenarios.fuzz)
+    must no-op or unwind cleanly: zero-length windows never apply,
+    events scheduled past the run horizon never leak state, and
+    randomized same-tick window stacks return every factor — object
+    graph and vec arrays alike — to baseline after the last revert."""
+
+    def _vec_fleet(self, scen, n_envs=2):
+        return make_env(
+            "sim-lustre-vec",
+            seed=3,
+            n_envs=n_envs,
+            scenario=scen,
+            cluster=ClusterConfig(n_servers=2, n_clients=2),
+            hp=TINY_HP,
+            workload_factory=tiny_workload,
+        )
+
+    def test_zero_length_window_is_a_pure_noop(self):
+        scen = Scenario(
+            "t",
+            (
+                NetworkCongestionWindow(
+                    at_tick=4, duration_ticks=0, bandwidth_factor=0.1
+                ),
+                DiskDegradation(
+                    at_tick=5, duration_ticks=0, throughput_factor=0.2
+                ),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            fabric = env.cluster.fabric
+            disk = env.cluster.servers[0].disk
+            bw0, read0 = fabric.nic_bw, disk.read_bw
+            for _ in range(4):  # through tick 7, past both fire ticks
+                env.step(0)
+                assert fabric.nic_bw == bw0
+                assert disk.read_bw == read0
+            # An empty window [t, t) never applies: no draws, no log.
+            assert not env.scenario_runtime.log
+            assert env.scenario_runtime.active_count == 0
+        finally:
+            env.close()
+
+    def test_zero_length_window_noop_on_vec_factor_arrays(self):
+        scen = Scenario(
+            "t",
+            (
+                NetworkCongestionWindow(
+                    at_tick=4, duration_ticks=0, bandwidth_factor=0.05
+                ),
+                DiskDegradation(
+                    at_tick=4, duration_ticks=0, throughput_factor=0.1
+                ),
+            ),
+        )
+        fleet = self._vec_fleet(scen)
+        try:
+            fleet.reset()
+            for t in range(4):
+                fleet.step([t % fleet.n_actions] * fleet.n_envs)
+            st = fleet.state
+            assert np.array_equal(st.net_bw_f, np.ones_like(st.net_bw_f))
+            assert np.array_equal(
+                st.disk_bw_f, np.ones_like(st.disk_bw_f)
+            )
+            for rt in fleet._runtimes:
+                assert not rt.log
+                assert rt.active_count == 0
+        finally:
+            fleet.close()
+
+    def test_past_horizon_events_noop_cleanly(self):
+        # The fuzzer's generator draws at_tick over the *search*
+        # horizon (110), but scoring runs are far shorter — events the
+        # run never reaches must leave no trace on either backend.
+        scen = Scenario(
+            "t",
+            (
+                DiskDegradation(
+                    at_tick=50, duration_ticks=5, throughput_factor=0.3
+                ),
+                NetworkCongestionWindow(
+                    at_tick=80, duration_ticks=2, bandwidth_factor=0.5
+                ),
+                ClientChurn(at_tick=60, duration_ticks=None, client_index=0),
+            ),
+        )
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            fabric = env.cluster.fabric
+            disk = env.cluster.servers[0].disk
+            bw0, read0 = fabric.nic_bw, disk.read_bw
+            for _ in range(6):
+                env.step(0)
+            assert fabric.nic_bw == bw0
+            assert disk.read_bw == read0
+            assert not env.scenario_runtime.log
+            assert env.scenario_runtime.active_count == 0
+        finally:
+            env.close()
+        fleet = self._vec_fleet(scen)
+        try:
+            fleet.reset()
+            for t in range(6):
+                fleet.step([t % fleet.n_actions] * fleet.n_envs)
+            st = fleet.state
+            assert np.array_equal(st.net_bw_f, np.ones_like(st.net_bw_f))
+            assert np.array_equal(
+                st.disk_bw_f, np.ones_like(st.disk_bw_f)
+            )
+            for rt in fleet._runtimes:
+                assert not rt.log
+        finally:
+            fleet.close()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_same_tick_stacks_unwind_to_baseline(self, seed):
+        """Randomized overlapping windows, with a forced same-tick
+        apply/apply stack and a forced revert-tick apply: once the last
+        window closes, every factor must be back at baseline (allclose:
+        inverse scaling round-trips through float multiplication)."""
+        rng = np.random.default_rng(seed)
+
+        def window(at, dur):
+            if rng.random() < 0.5:
+                return NetworkCongestionWindow(
+                    at_tick=at,
+                    duration_ticks=dur,
+                    bandwidth_factor=round(float(rng.uniform(0.1, 0.9)), 3),
+                    latency_factor=round(float(rng.uniform(1.0, 4.0)), 3),
+                )
+            return DiskDegradation(
+                at_tick=at,
+                duration_ticks=dur,
+                server_index=int(rng.integers(0, 2)),
+                throughput_factor=round(float(rng.uniform(0.1, 0.9)), 3),
+                seek_factor=round(float(rng.uniform(1.0, 3.0)), 3),
+            )
+
+        events = [
+            window(int(rng.integers(4, 9)), int(rng.integers(1, 5)))
+            for _ in range(int(rng.integers(3, 6)))
+        ]
+        first = events[0]
+        # Same-tick apply/apply stack on the first window's fire tick,
+        # and an apply scheduled exactly on its revert tick (the
+        # runtime reverts before it applies — handover, not compound).
+        events.append(window(first.at_tick, int(rng.integers(1, 4))))
+        events.append(
+            window(
+                first.at_tick + first.duration_ticks,
+                int(rng.integers(1, 4)),
+            )
+        )
+        scen = Scenario("t", tuple(events))
+        last_tick = max(e.at_tick + e.duration_ticks for e in events)
+
+        env = tiny_env(scen)
+        try:
+            env.reset()
+            fabric = env.cluster.fabric
+            disks = [s.disk for s in env.cluster.servers]
+            base = (
+                fabric.nic_bw,
+                fabric.latency,
+                [(d.read_bw, d.min_seek, d.max_seek) for d in disks],
+            )
+            for _ in range(last_tick + 2):
+                env.step(0)
+            assert fabric.nic_bw == pytest.approx(base[0])
+            assert fabric.latency == pytest.approx(base[1])
+            for d, (read0, lo0, hi0) in zip(disks, base[2]):
+                assert d.read_bw == pytest.approx(read0)
+                assert d.min_seek == pytest.approx(lo0)
+                assert d.max_seek == pytest.approx(hi0)
+            assert env.scenario_runtime.active_count == 0
+            kinds = [a for _t, a, _e in env.scenario_runtime.log]
+            assert kinds.count("apply") == len(events)
+            assert kinds.count("revert") == len(events)
+        finally:
+            env.close()
+
+        fleet = self._vec_fleet(scen)
+        try:
+            fleet.reset()
+            for t in range(last_tick + 2):
+                fleet.step([t % fleet.n_actions] * fleet.n_envs)
+            st = fleet.state
+            for arr in (
+                st.net_bw_f,
+                st.net_lat_f,
+                st.disk_bw_f,
+                st.disk_seek_f,
+            ):
+                assert np.allclose(arr, 1.0), (
+                    f"vec factor arrays off baseline after last revert "
+                    f"(seed {seed}): {arr}"
+                )
+            for rt in fleet._runtimes:
+                assert rt.active_count == 0
+        finally:
+            fleet.close()
 
 
 class TestDeterminismContracts:

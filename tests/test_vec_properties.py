@@ -83,3 +83,112 @@ def test_env_stream_independent_of_fleet_size(seed, i, scenario):
         f"env {i} of seed {seed} ({scenario or 'plain'}) diverged between "
         f"fleet sizes 2 and 8: per-env streams leak fleet-size dependence"
     )
+
+
+# -- fuzzed scenarios (repro.scenarios.fuzz) -------------------------------
+#
+# Fuzzed timelines resolve by name (fuzz-<root_seed>-<index>) through
+# the scenario-registry resolver, so the same promises must hold for a
+# timeline nobody hand-wrote: env i's vec stream is fleet-size
+# independent, and on the reference backend a fuzzed run is
+# *placement-independent* — serial and fork workers produce
+# byte-identical traces at n_envs 1 and 4.  (The vec engine's fluid
+# physics intentionally differ from the reference object graph, so
+# cross-backend trace equality is not a contract; fleet-size
+# independence is the vec-side half of placement independence.)
+
+#: Compressed generator horizon so fuzzed events actually fire (and
+#: windowed ones revert) inside the short property rollouts.
+FUZZ_KW = dict(horizon=12)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    root_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    index=st.integers(min_value=0, max_value=7),
+    i=st.integers(min_value=0, max_value=1),
+)
+def test_fuzzed_env_stream_independent_of_fleet_size(root_seed, index, i):
+    name = f"fuzz-{root_seed}-{index}"
+    kw = dict(ENV_KW, workload_factory=_default_workload)
+    small = _fuzzed_vec_digest(name, n_envs=2, i=i, env_kw=kw)
+    large = _fuzzed_vec_digest(name, n_envs=8, i=i, env_kw=kw)
+    assert small == large, (
+        f"env {i} of fuzzed scenario {name} diverged between fleet "
+        f"sizes 2 and 8"
+    )
+
+
+def _fuzzed_vec_digest(name: str, n_envs: int, i: int, env_kw) -> str:
+    fleet = make_env(
+        "sim-lustre-vec",
+        seed=7,
+        n_envs=n_envs,
+        scenario=name,
+        scenario_kwargs=FUZZ_KW,
+        **env_kw,
+    )
+    h = hashlib.blake2b(digest_size=16)
+    try:
+        obs = fleet.reset()
+        h.update(np.ascontiguousarray(obs[i], dtype=np.float64).tobytes())
+        for t in range(N_TICKS):
+            obs, rewards, _infos = fleet.step([t % fleet.n_actions] * n_envs)
+            h.update(np.ascontiguousarray(obs[i], dtype=np.float64).tobytes())
+            h.update(np.float64(rewards[i]).tobytes())
+    finally:
+        fleet.close()
+    return h.hexdigest()
+
+
+def _fuzzed_vector_digest(name: str, n: int, backend: str) -> str:
+    from repro.env import VectorEnv
+
+    venv = VectorEnv.from_registry(
+        name,
+        n,
+        base_seed=11,
+        backend=backend,
+        env_kwargs=dict(scenario_kwargs=FUZZ_KW, **ENV_KW),
+    )
+    h = hashlib.blake2b(digest_size=16)
+    try:
+        obs = venv.reset()
+        h.update(np.ascontiguousarray(obs, dtype=np.float64).tobytes())
+        for t in range(N_TICKS):
+            obs, rewards, _infos = venv.step([t % venv.n_actions] * n)
+            h.update(np.ascontiguousarray(obs, dtype=np.float64).tobytes())
+            h.update(
+                np.ascontiguousarray(rewards, dtype=np.float64).tobytes()
+            )
+    finally:
+        venv.close()
+    return h.hexdigest()
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    root_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    index=st.integers(min_value=0, max_value=7),
+)
+def test_fuzzed_run_is_placement_independent(root_seed, index):
+    # The fuzzed scenario rebuilds from its *name* inside each fork
+    # worker (registry resolver), so serial and fork must agree at
+    # both fleet sizes — and the n_envs=1 replica is the degenerate
+    # placement every larger fleet's replica 0 must match.
+    name = f"fuzz-{root_seed}-{index}"
+    for n_envs in (1, 4):
+        serial = _fuzzed_vector_digest(name, n_envs, "serial")
+        fork = _fuzzed_vector_digest(name, n_envs, "fork")
+        assert serial == fork, (
+            f"fuzzed scenario {name} diverged between serial and fork "
+            f"at n_envs={n_envs}: placement changed a seeded run"
+        )
